@@ -1,0 +1,61 @@
+"""E1 -- Theorem 1, data complexity: fixed schema, growing graph.
+
+Paper claim: with the schema fixed, the straightforward first-order
+implementation validates in O(n²) time; Theorem 1 places the problem in AC0
+(so a far better practical algorithm must exist -- our indexed engine runs
+in near-linear time).
+
+The benchmark table gives one row per (engine, n); reading the time ratios
+between successive rows exposes the growth orders: ~4x per doubling for the
+naive engine, ~2x for the indexed engine.  The shape to check: the naive
+engine's quadratic growth and the widening gap to the indexed engine.
+"""
+
+import pytest
+
+from repro.validation import IndexedValidator, NaiveValidator
+from repro.workloads import load, user_session_graph
+
+SCHEMA = load("user_session_edge_props")
+
+#: |V| ≈ num_users * (1 + sessions); n = |V| + |E|
+NAIVE_SIZES = [50, 100, 200, 400]
+INDEXED_SIZES = [50, 100, 200, 400, 800, 1600, 3200]
+
+
+def _graph(num_users: int):
+    return user_session_graph(num_users, sessions_per_user=2, seed=42)
+
+
+@pytest.mark.experiment("E1")
+@pytest.mark.parametrize("num_users", NAIVE_SIZES)
+def test_naive_engine_scaling(benchmark, num_users):
+    graph = _graph(num_users)
+    validator = NaiveValidator(SCHEMA)
+    benchmark.extra_info["n"] = len(graph)
+    report = benchmark(validator.validate, graph)
+    assert report.conforms
+
+
+@pytest.mark.experiment("E1")
+@pytest.mark.parametrize("num_users", INDEXED_SIZES)
+def test_indexed_engine_scaling(benchmark, num_users):
+    graph = _graph(num_users)
+    validator = IndexedValidator(SCHEMA)
+    benchmark.extra_info["n"] = len(graph)
+    report = benchmark(validator.validate, graph)
+    assert report.conforms
+
+
+@pytest.mark.experiment("E1")
+@pytest.mark.parametrize("num_users", [200])
+def test_engines_agree_on_the_workload(benchmark, num_users):
+    """Sanity anchor for the whole experiment: identical verdicts."""
+    graph = _graph(num_users)
+    naive = NaiveValidator(SCHEMA)
+    indexed = IndexedValidator(SCHEMA)
+
+    def both():
+        return naive.validate(graph).keys() == indexed.validate(graph).keys()
+
+    assert benchmark(both)

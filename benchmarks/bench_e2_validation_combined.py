@@ -1,0 +1,60 @@
+"""E2 -- Theorem 1, combined complexity: schema and graph grow together.
+
+Paper claim: the straightforward algorithm is O(n³) in combined complexity
+(schema + graph as input).  The series varies the number of object types k
+at fixed graph size, and graph size at fixed k, for both engines; the shape
+to check is that validation cost grows with *both* inputs, super-linearly
+for the naive engine and gently for the indexed one.
+"""
+
+import pytest
+
+from repro.validation import IndexedValidator, NaiveValidator
+from repro.workloads import conformant_graph, random_schema
+
+SCHEMA_SIZES = [4, 8, 16, 32]
+NODES_PER_TYPE = 12
+
+
+def _workload(num_types: int):
+    schema = random_schema(
+        num_object_types=num_types,
+        num_interface_types=max(1, num_types // 4),
+        num_union_types=1,
+        directive_probability=0.25,
+        seed=num_types,
+    )
+    graph = conformant_graph(schema, nodes_per_type=NODES_PER_TYPE, seed=7)
+    return schema, graph
+
+
+@pytest.mark.experiment("E2")
+@pytest.mark.parametrize("num_types", SCHEMA_SIZES)
+def test_indexed_schema_scaling(benchmark, num_types):
+    schema, graph = _workload(num_types)
+    validator = IndexedValidator(schema)
+    benchmark.extra_info["types"] = num_types
+    benchmark.extra_info["n"] = len(graph)
+    benchmark(validator.validate, graph)
+
+
+@pytest.mark.experiment("E2")
+@pytest.mark.parametrize("num_types", SCHEMA_SIZES[:3])
+def test_naive_schema_scaling(benchmark, num_types):
+    schema, graph = _workload(num_types)
+    validator = NaiveValidator(schema)
+    benchmark.extra_info["types"] = num_types
+    benchmark.extra_info["n"] = len(graph)
+    benchmark(validator.validate, graph)
+
+
+@pytest.mark.experiment("E2")
+@pytest.mark.parametrize("nodes_per_type", [5, 10, 20, 40])
+def test_indexed_graph_scaling_at_fixed_schema(benchmark, nodes_per_type):
+    schema = random_schema(
+        num_object_types=8, num_interface_types=2, num_union_types=1, seed=8
+    )
+    graph = conformant_graph(schema, nodes_per_type=nodes_per_type, seed=7)
+    validator = IndexedValidator(schema)
+    benchmark.extra_info["n"] = len(graph)
+    benchmark(validator.validate, graph)

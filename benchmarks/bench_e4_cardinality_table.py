@@ -1,0 +1,69 @@
+"""E4 -- the §3.3 cardinality table.
+
+The paper's table says how the four directive combinations realise the four
+binary-relationship cardinalities:
+
+    1:1   rel: B @uniqueForTarget
+    1:N   rel: B
+    N:1   rel: [B] @uniqueForTarget
+    N:M   rel: [B]
+
+Each benchmark validates a fan-out/fan-in pattern against a table row and
+*asserts* the accept/reject matrix the semantics predicts -- the reproduced
+"table" is the assertion set plus the timing rows.
+"""
+
+import pytest
+
+from repro.validation import IndexedValidator
+from repro.workloads import CARDINALITY_FIELDS, cardinality_graph, load
+
+SCHEMA = load("cardinality_table")
+VALIDATOR = IndexedValidator(SCHEMA)
+
+#: (pattern label, fan_out, fan_in)
+PATTERNS = [
+    ("matching", 1, 1),
+    ("fan_out_2", 2, 1),
+    ("fan_in_2", 1, 2),
+    ("bipartite_3x3", 3, 3),
+]
+
+#: row -> patterns the §3.3 semantics accepts
+EXPECTED = {
+    "1:1": {"matching"},
+    "1:N": {"matching", "fan_in_2"},
+    "N:1": {"matching", "fan_out_2"},
+    "N:M": {"matching", "fan_out_2", "fan_in_2", "bipartite_3x3"},
+}
+
+
+@pytest.mark.experiment("E4")
+@pytest.mark.parametrize("row", sorted(CARDINALITY_FIELDS))
+@pytest.mark.parametrize("pattern,fan_out,fan_in", PATTERNS)
+def test_cardinality_cell(benchmark, row, pattern, fan_out, fan_in):
+    field_name = CARDINALITY_FIELDS[row]
+    graph = cardinality_graph(field_name, fan_out, fan_in)
+    report = benchmark(VALIDATOR.validate, graph)
+    expected_ok = pattern in EXPECTED[row]
+    assert report.conforms == expected_ok, (
+        f"row {row}, pattern {pattern}: expected "
+        f"{'accept' if expected_ok else 'reject'}, got {report.summary()}"
+    )
+
+
+@pytest.mark.experiment("E4")
+def test_full_matrix(benchmark):
+    """The whole 4x4 matrix in one benchmark, asserting every cell."""
+
+    def matrix():
+        results = {}
+        for row, field_name in CARDINALITY_FIELDS.items():
+            for pattern, fan_out, fan_in in PATTERNS:
+                graph = cardinality_graph(field_name, fan_out, fan_in)
+                results[(row, pattern)] = VALIDATOR.validate(graph).conforms
+        return results
+
+    results = benchmark(matrix)
+    for (row, pattern), accepted in results.items():
+        assert accepted == (pattern in EXPECTED[row]), (row, pattern)

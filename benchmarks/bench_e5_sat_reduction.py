@@ -1,0 +1,112 @@
+"""E5 -- Theorem 2: NP-hardness via the CNF-SAT reduction, executed.
+
+The reduction maps a CNF to a schema whose anchor type is satisfiable iff
+the CNF is.  The benchmarks (a) time the reduction itself (polynomial, as
+the proof requires), (b) time object-type satisfiability on reduced
+instances of growing size, and (c) assert agreement with the DPLL ground
+truth on every instance.
+
+Shapes to check: the reduction's cost grows polynomially, the tableau's
+cost on reduced instances grows *exponentially* with the variable count
+(the NP-hardness showing through), and the verdicts always match DPLL.
+Direct DPLL rows are included for contrast: the detour through the schema
+encoding costs orders of magnitude more, exactly as a generic reduction
+should.
+"""
+
+import pytest
+
+from repro.sat import random_ksat, solve
+from repro.satisfiability import (
+    SatisfiabilityChecker,
+    assignment_from_graph,
+    graph_from_assignment,
+    reduce_cnf_to_schema,
+)
+from repro.validation import validate
+
+#: (num_vars, num_clauses, seed) -- sizes rise toward the 4.26 transition
+INSTANCES = [
+    (3, 9, 0),
+    (3, 13, 1),
+    (4, 13, 0),
+    (4, 17, 1),
+    (5, 17, 2),
+    (5, 21, 8),
+]
+
+RATIO_SWEEP = [2.0, 3.0, 4.26, 6.0]
+
+
+def _label(num_vars, num_clauses, seed):
+    return f"v{num_vars}_c{num_clauses}_s{seed}"
+
+
+@pytest.mark.experiment("E5")
+@pytest.mark.parametrize(
+    "num_vars,num_clauses,seed", INSTANCES, ids=[_label(*i) for i in INSTANCES]
+)
+def test_reduction_construction_cost(benchmark, num_vars, num_clauses, seed):
+    cnf = random_ksat(num_vars, num_clauses, k=3, seed=seed)
+    reduction = benchmark(reduce_cnf_to_schema, cnf)
+    benchmark.extra_info["schema_types"] = len(reduction.schema.object_types) + len(
+        reduction.schema.interface_types
+    )
+
+
+@pytest.mark.experiment("E5")
+@pytest.mark.parametrize(
+    "num_vars,num_clauses,seed", INSTANCES, ids=[_label(*i) for i in INSTANCES]
+)
+def test_tableau_on_reduced_instance(benchmark, num_vars, num_clauses, seed):
+    cnf = random_ksat(num_vars, num_clauses, k=3, seed=seed)
+    expected = solve(cnf).satisfiable
+    reduction = reduce_cnf_to_schema(cnf)
+    checker = SatisfiabilityChecker(reduction.schema, bounded_max_nodes=0)
+    benchmark.extra_info["sat"] = expected
+    verdict = benchmark.pedantic(
+        checker.is_satisfiable, args=(reduction.anchor,), rounds=1, iterations=1
+    )
+    assert verdict == expected
+
+
+@pytest.mark.experiment("E5")
+@pytest.mark.parametrize(
+    "num_vars,num_clauses,seed", INSTANCES, ids=[_label(*i) for i in INSTANCES]
+)
+def test_direct_dpll_for_contrast(benchmark, num_vars, num_clauses, seed):
+    cnf = random_ksat(num_vars, num_clauses, k=3, seed=seed)
+    result = benchmark(solve, cnf)
+    assert result.satisfiable in (True, False)
+
+
+@pytest.mark.experiment("E5")
+@pytest.mark.parametrize("ratio", RATIO_SWEEP, ids=[f"r{r}" for r in RATIO_SWEEP])
+def test_phase_ratio_sweep(benchmark, ratio):
+    """Clause/variable ratio sweep at v=4 across the 3-SAT phase transition."""
+    num_vars = 4
+    cnf = random_ksat(num_vars, max(1, round(ratio * num_vars)), k=3, seed=11)
+    expected = solve(cnf).satisfiable
+    reduction = reduce_cnf_to_schema(cnf)
+    checker = SatisfiabilityChecker(reduction.schema, bounded_max_nodes=0)
+    benchmark.extra_info["sat"] = expected
+    verdict = benchmark.pedantic(
+        checker.is_satisfiable, args=(reduction.anchor,), rounds=1, iterations=1
+    )
+    assert verdict == expected
+
+
+@pytest.mark.experiment("E5")
+def test_witness_round_trip(benchmark):
+    """Models transfer both ways across the reduction (the proof's iff)."""
+    cnf = random_ksat(4, 12, k=3, seed=5)
+    dpll = solve(cnf)
+    assert dpll.satisfiable
+    reduction = reduce_cnf_to_schema(cnf)
+
+    def round_trip():
+        witness = graph_from_assignment(reduction, dpll.assignment)
+        assert validate(reduction.schema, witness).conforms
+        return cnf.evaluate(assignment_from_graph(reduction, witness))
+
+    assert benchmark(round_trip)

@@ -1,0 +1,70 @@
+"""E7 -- Figure 1 and the SDL front end: parse / build / print throughput.
+
+Exercises the full front end on the paper's own Figure-1 schema (asserting
+the round-trip identity) and on synthetic schemas up to hundreds of types,
+giving the throughput rows a user of the library would care about.
+"""
+
+import random
+
+import pytest
+
+from repro.schema import parse_schema, print_schema
+from repro.sdl import parse_document, print_document
+from repro.workloads import CORPUS
+from repro.workloads.schemas import random_schema_sdl
+
+FIGURE_1 = CORPUS["figure_1"].sdl
+
+
+def _big_sdl(num_types: int) -> str:
+    return random_schema_sdl(num_types, max(1, num_types // 8), 2, 4, 3, 0.3, 0.3,
+                             random.Random(num_types))
+
+
+@pytest.mark.experiment("E7")
+def test_parse_figure_1(benchmark):
+    document = benchmark(parse_document, FIGURE_1)
+    assert len(document.definitions) == 9
+
+
+@pytest.mark.experiment("E7")
+def test_figure_1_ast_round_trip(benchmark):
+    def round_trip():
+        document = parse_document(FIGURE_1)
+        return parse_document(print_document(document)) == document
+
+    assert benchmark(round_trip)
+
+
+@pytest.mark.experiment("E7")
+def test_build_figure_1_schema(benchmark):
+    schema = benchmark(parse_schema, FIGURE_1)
+    # the Query root is dropped by the Property Graph interpretation
+    assert set(schema.object_types) == {"Starship", "Human", "Droid"}
+    assert schema.scalars.is_enum("LenUnit")
+
+
+@pytest.mark.experiment("E7")
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_parse_corpus_entry(benchmark, name):
+    entry = CORPUS[name]
+    schema = benchmark(parse_schema, entry.sdl, entry.consistent)
+    assert schema.object_types
+
+
+@pytest.mark.experiment("E7")
+@pytest.mark.parametrize("num_types", [20, 80, 320])
+def test_parse_large_schema(benchmark, num_types):
+    sdl = _big_sdl(num_types)
+    benchmark.extra_info["sdl_bytes"] = len(sdl)
+    schema = benchmark(parse_schema, sdl)
+    assert len(schema.object_types) == num_types
+
+
+@pytest.mark.experiment("E7")
+@pytest.mark.parametrize("num_types", [80])
+def test_print_large_schema(benchmark, num_types):
+    schema = parse_schema(_big_sdl(num_types))
+    text = benchmark(print_schema, schema)
+    assert f"type T{num_types - 1}" in text

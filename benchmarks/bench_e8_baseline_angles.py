@@ -1,0 +1,99 @@
+"""E8 -- baseline comparison against Angles' schema model [3].
+
+The paper positions Angles' model as the only prior formal Property Graph
+schema proposal.  This experiment translates the paper's schemas into that
+model, validates identical graphs under both, and quantifies:
+
+* the speed of the two validators on conformant workloads, and
+* the *coverage gap*: violations the SDL semantics catches that the Angles
+  translation cannot express (target-side cardinality/participation,
+  @distinct, @noLoops, composite keys) -- asserted, not just timed.
+"""
+
+import pytest
+
+from repro.baselines import AnglesValidator, sdl_to_angles
+from repro.validation import IndexedValidator, validate
+from repro.workloads import CORPUS, library_graph, user_session_graph
+
+US_SCHEMA = CORPUS["user_session_edge_props"].load()
+US_ANGLES = sdl_to_angles(US_SCHEMA).schema
+LIB_SCHEMA = CORPUS["library"].load()
+LIB_ANGLES = sdl_to_angles(LIB_SCHEMA).schema
+
+SIZES = [50, 200, 800]
+
+
+@pytest.mark.experiment("E8")
+@pytest.mark.parametrize("num_users", SIZES)
+def test_sdl_validator_speed(benchmark, num_users):
+    graph = user_session_graph(num_users, 2, seed=1)
+    validator = IndexedValidator(US_SCHEMA)
+    benchmark.extra_info["n"] = len(graph)
+    assert benchmark(validator.validate, graph).conforms
+
+
+@pytest.mark.experiment("E8")
+@pytest.mark.parametrize("num_users", SIZES)
+def test_angles_validator_speed(benchmark, num_users):
+    graph = user_session_graph(num_users, 2, seed=1)
+    validator = AnglesValidator(US_ANGLES)
+    benchmark.extra_info["n"] = len(graph)
+    assert benchmark(validator.conforms, graph)
+
+
+@pytest.mark.experiment("E8")
+def test_translation_cost(benchmark):
+    result = benchmark(sdl_to_angles, LIB_SCHEMA)
+    assert result.schema.node_types
+
+
+@pytest.mark.experiment("E8")
+def test_coverage_gap(benchmark):
+    """Constraints the SDL semantics enforces but the Angles model cannot:
+    the same damaged graphs must fail SDL validation yet pass Angles."""
+    base = library_graph(4, 6, num_series=1, num_publishers=2, seed=0)
+
+    def damaged_variants():
+        variants = []
+        # DS3: second publisher for one book (target-side cardinality)
+        graph = base.copy()
+        book = next(iter(graph.nodes_with_label("Book")))
+        publisher = next(
+            p
+            for p in graph.nodes_with_label("Publisher")
+            if all(graph.endpoints(e)[0] != p for e in graph.in_edges(book, "published"))
+        )
+        graph.add_edge("gap_ds3", publisher, book, "published")
+        variants.append(("DS3", graph))
+        # DS4: a book nobody published (target-side participation)
+        graph = base.copy()
+        author = next(iter(graph.nodes_with_label("Author")))
+        orphan = graph.add_node("gap_orphan", "Book", {"title": "ghost"})
+        graph.add_edge("gap_edge", orphan, author, "author")
+        variants.append(("DS4", graph))
+        # DS2: a relatedAuthor self-loop
+        graph = base.copy()
+        graph.add_edge("gap_loop", author, author, "relatedAuthor")
+        variants.append(("DS2", graph))
+        # DS1: a duplicated author edge
+        graph = base.copy()
+        book = next(iter(graph.nodes_with_label("Book")))
+        edge = graph.out_edges(book, "author")[0]
+        target = graph.endpoints(edge)[1]
+        graph.add_edge("gap_dup", book, target, "author")
+        variants.append(("DS1", graph))
+        return variants
+
+    def measure():
+        gaps = 0
+        for rule, graph in damaged_variants():
+            sdl_report = validate(LIB_SCHEMA, graph)
+            assert not sdl_report.conforms, rule
+            assert rule in {v.rule for v in sdl_report.violations}, rule
+            if AnglesValidator(LIB_ANGLES).conforms(graph):
+                gaps += 1
+        return gaps
+
+    gaps = benchmark(measure)
+    assert gaps == 4, "all four directive families should be invisible to Angles"

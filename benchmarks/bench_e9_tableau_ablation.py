@@ -1,0 +1,57 @@
+"""E9 (ablation) -- which tableau optimisations carry the load?
+
+DESIGN.md calls out four tableau optimisations as design choices: boolean
+constraint propagation, Name-guarded lazy axiom application, lazy unfolding
+of union/interface definitions, and disjointness propagation.  All are
+semantics-preserving, so every configuration must return identical verdicts
+(asserted); the benchmark rows quantify what each one buys on a Theorem-2
+reduction instance, the workload that motivated them.
+"""
+
+import pytest
+
+from repro.dl import Name, Tableau, schema_to_tbox
+from repro.sat import random_ksat, solve
+from repro.satisfiability import reduce_cnf_to_schema
+from repro.workloads import CORPUS
+
+CONFIGS = {
+    "full": {},
+    "no_bcp": {"bcp": False},
+    "no_guarded_axioms": {"guarded_axioms": False},
+    "no_lazy_definitions": {"lazy_definitions": False},
+    "no_disjointness_propagation": {"disjointness_propagation": False},
+}
+
+CNF = random_ksat(3, 6, k=3, seed=2)
+EXPECTED = solve(CNF).satisfiable
+REDUCTION = reduce_cnf_to_schema(CNF)
+
+
+@pytest.mark.experiment("E9")
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_reduction_instance_ablation(benchmark, config):
+    tableau = Tableau(schema_to_tbox(REDUCTION.schema), **CONFIGS[config])
+    verdict = benchmark.pedantic(
+        tableau.is_satisfiable,
+        args=(Name(REDUCTION.anchor),),
+        rounds=1,
+        iterations=1,
+    )
+    assert verdict == EXPECTED
+    benchmark.extra_info["branches"] = tableau.stats.branches
+
+
+@pytest.mark.experiment("E9")
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_example_6_1_ablation(benchmark, config):
+    schema = CORPUS["example_6_1_a"].load()
+    tableau = Tableau(schema_to_tbox(schema), **CONFIGS[config])
+
+    def verdicts():
+        return (
+            tableau.is_satisfiable(Name("OT1")),
+            tableau.is_satisfiable(Name("OT2")),
+        )
+
+    assert benchmark(verdicts) == (False, True)

@@ -1,0 +1,33 @@
+"""Shared machinery for the experiment benchmarks (E1-E8).
+
+Each ``bench_eN_*`` module regenerates one paper artifact (see DESIGN.md §4
+and EXPERIMENTS.md).  The pytest-benchmark table is the experiment's series:
+one row per parameter point.  Correctness assertions (engine agreement,
+accept/reject matrices, SAT equivalences) run inside the benchmarks, so a
+bench run doubles as an end-to-end check.
+
+Run everything with:
+
+    pytest benchmarks/ --benchmark-only
+
+and a single experiment with e.g.:
+
+    pytest benchmarks/bench_e1_validation_data_complexity.py --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id): marks a benchmark as part of experiment id"
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_log():
+    """Collects printed experiment rows; emitted at session end."""
+    rows: list[str] = []
+    yield rows
+    if rows:
+        print("\n" + "\n".join(rows))

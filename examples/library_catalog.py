@@ -1,0 +1,110 @@
+"""Library catalogue: the paper's Examples 3.6-3.8 end to end.
+
+Exercises every directive the paper introduces -- @required, @distinct,
+@noLoops, @uniqueForTarget, @requiredForTarget and @key -- on the
+books/authors/series/publishers domain, then reproduces the §3.3
+cardinality table by construction.
+
+Run with:  python examples/library_catalog.py
+"""
+
+from repro import GraphBuilder, parse_schema, validate
+from repro.workloads import CARDINALITY_FIELDS, cardinality_graph, load
+
+SCHEMA = """
+type Author @key(fields: ["name"]) {
+  name: String! @required
+  favoriteBook: Book
+  relatedAuthor: [Author] @distinct @noloops
+}
+
+type Book {
+  title: String! @required
+  author: [Author] @required @distinct
+}
+
+type BookSeries {
+  contains: [Book] @required @uniqueForTarget
+}
+
+type Publisher {
+  published: [Book] @uniqueForTarget @requiredForTarget
+}
+"""
+
+
+def build_catalogue():
+    return (
+        GraphBuilder()
+        .node("leguin", "Author", name="Ursula K. Le Guin")
+        .node("jemisin", "Author", name="N. K. Jemisin")
+        .node("dispossessed", "Book", title="The Dispossessed")
+        .node("fifth", "Book", title="The Fifth Season")
+        .node("hainish", "BookSeries")
+        .node("harper", "Publisher")
+        .edge("dispossessed", "author", "leguin")
+        .edge("fifth", "author", "jemisin")
+        .edge("leguin", "favoriteBook", "fifth")
+        .edge("jemisin", "relatedAuthor", "leguin")
+        .edge("hainish", "contains", "dispossessed")
+        .edge("harper", "published", "dispossessed")
+        .edge("harper", "published", "fifth")
+        .graph()
+    )
+
+
+def main() -> None:
+    schema = parse_schema(SCHEMA)
+    graph = build_catalogue()
+    report = validate(schema, graph)
+    print(f"catalogue: {report.summary()}")
+    assert report.conforms
+
+    # every directive, violated on purpose:
+    cases = {
+        "DS6 (@required edge)": lambda g: g.remove_edge(
+            g.out_edges("fifth", "author")[0]
+        ),
+        "DS2 (@noLoops)": lambda g: g.add_edge(
+            "loop", "leguin", "leguin", "relatedAuthor"
+        ),
+        "DS1 (@distinct)": lambda g: g.add_edge(
+            "dup", "jemisin", "leguin", "relatedAuthor"
+        ),
+        "DS3 (@uniqueForTarget)": lambda g: (
+            g.add_node("penguin", "Publisher"),
+            g.add_edge("second", "penguin", "fifth", "published"),
+        ),
+        "DS4 (@requiredForTarget)": lambda g: (
+            g.add_node("orphan", "Book", {"title": "Unpublished"}),
+            g.add_edge("oa", "orphan", "leguin", "author"),
+        ),
+        "DS7 (@key)": lambda g: g.set_property(
+            "jemisin", "name", "Ursula K. Le Guin"
+        ),
+    }
+    for description, damage in cases.items():
+        broken = build_catalogue()
+        damage(broken)
+        result = validate(schema, broken)
+        rule = description.split()[0]
+        fired = sorted({violation.rule for violation in result.violations})
+        print(f"{description}: fired {fired}")
+        assert rule in fired, (description, fired)
+
+    # the §3.3 cardinality table, row by row: which (fan_out, fan_in)
+    # patterns does each relationship kind accept?
+    table_schema = load("cardinality_table")
+    print("\n§3.3 cardinality table (✓ = pattern accepted):")
+    print(f"{'relationship':>14} | {'1-to-1':^7} | {'fan-out 2':^9} | {'fan-in 2':^8}")
+    for kind, field_name in CARDINALITY_FIELDS.items():
+        row = []
+        for fan_out, fan_in in ((1, 1), (2, 1), (1, 2)):
+            graph = cardinality_graph(field_name, fan_out, fan_in)
+            ok = validate(table_schema, graph).conforms
+            row.append("✓" if ok else "✗")
+        print(f"{kind:>14} | {row[0]:^7} | {row[1]:^9} | {row[2]:^8}")
+
+
+if __name__ == "__main__":
+    main()

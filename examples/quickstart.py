@@ -1,0 +1,60 @@
+"""Quickstart: define a schema in GraphQL SDL, build a graph, validate it.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import GraphBuilder, parse_schema, validate
+
+# 1. A Property Graph schema, written in the GraphQL SDL (the paper's
+#    Examples 3.1/3.4/3.12 rolled into one).
+SCHEMA = """
+type UserSession {
+  id: ID! @required
+  user(certainty: Float! comment: String): User! @required
+  startTime: String! @required
+  endTime: String
+}
+
+type User @key(fields: ["id"]) {
+  id: ID! @required
+  login: String! @required
+  nicknames: [String!]!
+}
+"""
+
+
+def main() -> None:
+    schema = parse_schema(SCHEMA)
+    print(f"parsed schema: {schema}")
+
+    # 2. A Property Graph (Definition 2.1): nodes, edges, properties.
+    graph = (
+        GraphBuilder()
+        .node("u1", "User", id="user-1", login="alice", nicknames=["al", "ali"])
+        .node("u2", "User", id="user-2", login="bob")
+        .node("s1", "UserSession", id="sess-1", startTime="09:00", endTime="09:45")
+        .edge("s1", "user", "u1", {"certainty": 0.97, "comment": "cookie match"})
+        .graph()
+    )
+    print(f"built graph:   {graph}")
+
+    # 3. Decide the Schema Validation Problem (strong satisfaction).
+    report = validate(schema, graph)
+    print(f"validation:    {report.summary()}")
+    assert report.conforms
+
+    # 4. Break it in three different ways and watch the rules fire.
+    graph.set_property("u2", "login", 42)  # WS1: wrong value type
+    graph.add_node("ghost", "Phantom")  # SS1: unknown node type
+    graph.add_edge("dup", "s1", "u2", "user")  # WS4: second edge on non-list field
+
+    report = validate(schema, graph)
+    print(f"after damage:  {report.summary()}")
+    for violation in sorted(report.violations, key=str):
+        print(f"  {violation}")
+    assert not report.conforms
+    assert {violation.rule for violation in report.violations} == {"WS1", "SS1", "WS4"}
+
+
+if __name__ == "__main__":
+    main()

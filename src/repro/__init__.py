@@ -1,0 +1,89 @@
+"""repro: Property Graph schemas via the GraphQL Schema Definition Language.
+
+A comprehensive reproduction of
+
+    Olaf Hartig and Jan Hidders.
+    "Defining Schemas for Property Graphs by using the GraphQL Schema
+    Definition Language."  GRADES-NDA 2019.
+
+The package implements the paper end to end, from scratch:
+
+* :mod:`repro.pg` -- the Property Graph model (Definition 2.1);
+* :mod:`repro.sdl` -- a GraphQL SDL lexer/parser/printer (June 2018);
+* :mod:`repro.schema` -- the formal schema model, type system, subtype
+  relation and consistency checks (Section 4);
+* :mod:`repro.validation` -- weak/directives/strong satisfaction (Section
+  5) with naive and indexed engines;
+* :mod:`repro.fo` -- the Theorem-1 first-order encoding, executable;
+* :mod:`repro.sat`, :mod:`repro.dl` -- SAT and ALCQI-tableau substrates;
+* :mod:`repro.satisfiability` -- Theorems 2 and 3: the CNF reduction, the
+  ALCQI translation, and bounded finite-model search (Section 6.2);
+* :mod:`repro.api` -- the S3.6 GraphQL-API extension with a query executor;
+* :mod:`repro.baselines` -- Angles' schema model, the paper's comparator;
+* :mod:`repro.workloads` -- the paper's example corpus and generators.
+
+Quickstart::
+
+    from repro import parse_schema, GraphBuilder, validate
+
+    schema = parse_schema('''
+        type User @key(fields: ["id"]) {
+          id: ID! @required
+          follows: [User] @distinct @noLoops
+        }
+    ''')
+    graph = (
+        GraphBuilder()
+        .node("alice", "User", id="u1")
+        .node("bob", "User", id="u2")
+        .edge("alice", "follows", "bob")
+        .graph()
+    )
+    report = validate(schema, graph)
+    assert report.conforms
+"""
+
+from .errors import (
+    ConsistencyError,
+    GraphError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SDLSyntaxError,
+)
+from .pg import GraphBuilder, PropertyGraph
+from .satisfiability import SatisfiabilityChecker
+from .schema import GraphQLSchema, TypeRef, parse_schema, print_schema
+from .validation import (
+    ValidationReport,
+    Violation,
+    satisfies_directives,
+    strongly_satisfies,
+    validate,
+    weakly_satisfies,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConsistencyError",
+    "GraphBuilder",
+    "GraphError",
+    "GraphQLSchema",
+    "PropertyGraph",
+    "QueryError",
+    "ReproError",
+    "SDLSyntaxError",
+    "SatisfiabilityChecker",
+    "SchemaError",
+    "TypeRef",
+    "ValidationReport",
+    "Violation",
+    "__version__",
+    "parse_schema",
+    "print_schema",
+    "satisfies_directives",
+    "strongly_satisfies",
+    "validate",
+    "weakly_satisfies",
+]

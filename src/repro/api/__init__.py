@@ -1,0 +1,34 @@
+"""GraphQL API extension over Property Graphs (the paper's §3.6 outlook)."""
+
+from .executor import GraphQLExecutor, execute_query
+from .extend import APISchema, InverseField, extend_to_api_schema
+from .query_ast import (
+    FieldSelection,
+    FragmentDefinition,
+    FragmentSpread,
+    InlineFragment,
+    Operation,
+    QueryDocument,
+    SelectionSet,
+    VariableDefinition,
+    VariableRef,
+)
+from .query_parser import parse_query
+
+__all__ = [
+    "APISchema",
+    "FieldSelection",
+    "FragmentDefinition",
+    "FragmentSpread",
+    "GraphQLExecutor",
+    "InlineFragment",
+    "InverseField",
+    "Operation",
+    "QueryDocument",
+    "SelectionSet",
+    "VariableDefinition",
+    "VariableRef",
+    "execute_query",
+    "extend_to_api_schema",
+    "parse_query",
+]

@@ -1,0 +1,172 @@
+"""Extending a Property Graph schema into a GraphQL API schema (§3.6).
+
+The paper's schemas deliberately omit root operation types and mention each
+edge type only from the source side.  Section 3.6 sketches how a real
+GraphQL API over the Property Graph would extend them; this module carries
+that sketch out:
+
+* a ``Query`` root type with, per object type ``T``,
+  - ``allT: [T]`` listing every ``T`` node, and
+  - ``tByK(k: …!): T`` lookup fields, one per single-field scalar ``@key``;
+* inverse relationship fields for bidirectional traversal: for every
+  relationship declaration ``(S, f)`` with target base ``T``, each object
+  type below ``T`` gains ``_incoming_f_from_S: [S]``, so GraphQL queries
+  can walk edges against their direction (which Gremlin/Cypher do natively,
+  as the paper notes);
+* a ``schema { query: Query }`` block, making the result a *complete*
+  GraphQL schema in the ordinary sense.
+
+The result carries both the merged SDL text and an extended
+:class:`~repro.schema.model.GraphQLSchema` value; parsing the SDL back with
+:func:`repro.schema.parse_schema` recovers the original Property Graph
+schema, because the builder drops root types and the executor-only inverse
+fields are plain relationship fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..schema.model import (
+    ArgumentDefinition,
+    FieldDefinition,
+    FieldKind,
+    GraphQLSchema,
+    ObjectType,
+)
+from ..schema.printer import print_schema
+from ..schema.typerefs import TypeRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+@dataclass(frozen=True)
+class InverseField:
+    """Resolution metadata for a generated inverse relationship field."""
+
+    field_name: str
+    edge_label: str
+    source_type: str
+
+
+@dataclass
+class APISchema:
+    """A Property Graph schema extended into a GraphQL API schema."""
+
+    base: GraphQLSchema
+    extended: GraphQLSchema
+    sdl: str
+    #: query field name -> ("all", object type) or ("lookup", type, key field)
+    query_fields: dict[str, tuple] = field(default_factory=dict)
+    #: object type -> generated inverse fields
+    inverse_fields: dict[str, list[InverseField]] = field(default_factory=dict)
+
+    def inverse_field(self, type_name: str, field_name: str) -> InverseField | None:
+        for inverse in self.inverse_fields.get(type_name, ()):
+            if inverse.field_name == field_name:
+                return inverse
+        return None
+
+
+def extend_to_api_schema(schema: GraphQLSchema) -> APISchema:
+    """Extend *schema* into a complete GraphQL API schema."""
+    query_fields: dict[str, tuple] = {}
+    inverse_fields: dict[str, list[InverseField]] = {}
+
+    # inverse relationship fields for bidirectional traversal
+    extra_fields: dict[str, list[FieldDefinition]] = {
+        name: [] for name in schema.object_types
+    }
+    for source_type, field_name, field_def in schema.field_declarations():
+        if not field_def.is_relationship or source_type not in schema.object_types:
+            continue  # interface declarations are repeated in implementors
+        for target_object in sorted(schema.object_types_below(field_def.type.base)):
+            inverse_name = f"_incoming_{field_name}_from_{source_type}"
+            existing = inverse_fields.setdefault(target_object, [])
+            if any(entry.field_name == inverse_name for entry in existing):
+                continue
+            existing.append(InverseField(inverse_name, field_name, source_type))
+            extra_fields[target_object].append(
+                FieldDefinition(
+                    name=inverse_name,
+                    type=TypeRef.list_of(source_type),
+                    kind=FieldKind.RELATIONSHIP,
+                    description=f"Inverse of {source_type}.{field_name}",
+                )
+            )
+
+    # the Query root type
+    query_field_defs: list[FieldDefinition] = []
+    for type_name in sorted(schema.object_types):
+        all_field = f"all{type_name}"
+        query_fields[all_field] = ("all", type_name)
+        query_field_defs.append(
+            FieldDefinition(
+                name=all_field,
+                type=TypeRef.list_of(type_name),
+                kind=FieldKind.RELATIONSHIP,
+            )
+        )
+        for key_fields in schema.object_types[type_name].keys:
+            if len(key_fields) != 1:
+                continue  # composite keys do not make single-argument lookups
+            key_field = key_fields[0]
+            ref = schema.type_f(type_name, key_field)
+            if ref is None or not schema.is_scalar_type(ref.base):
+                continue
+            lookup = f"{_lower_first(type_name)}By{_upper_first(key_field)}"
+            if lookup in query_fields:
+                continue
+            query_fields[lookup] = ("lookup", type_name, key_field)
+            query_field_defs.append(
+                FieldDefinition(
+                    name=lookup,
+                    type=TypeRef.named(type_name),
+                    kind=FieldKind.RELATIONSHIP,
+                    arguments=(
+                        ArgumentDefinition(
+                            name=key_field, type=TypeRef.non_null_of(ref.base)
+                        ),
+                    ),
+                )
+            )
+
+    extended_objects = {
+        name: ObjectType(
+            name=object_type.name,
+            fields=object_type.fields + tuple(extra_fields[name]),
+            interfaces=object_type.interfaces,
+            directives=object_type.directives,
+            description=object_type.description,
+        )
+        for name, object_type in schema.object_types.items()
+    }
+    extended_objects["Query"] = ObjectType(
+        name="Query", fields=tuple(query_field_defs)
+    )
+    extended = GraphQLSchema(
+        object_types=extended_objects,
+        interface_types=dict(schema.interface_types),
+        union_types=dict(schema.union_types),
+        scalars=schema.scalars.copy(),
+        directive_definitions=dict(schema.directive_definitions),
+    )
+    sdl = print_schema(extended) + "\nschema {\n  query: Query\n}\n"
+
+    return APISchema(
+        base=schema,
+        extended=extended,
+        sdl=sdl,
+        query_fields=query_fields,
+        inverse_fields=inverse_fields,
+    )
+
+
+def _lower_first(text: str) -> str:
+    return text[:1].lower() + text[1:]
+
+
+def _upper_first(text: str) -> str:
+    return text[:1].upper() + text[1:]

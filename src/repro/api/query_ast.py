@@ -1,0 +1,108 @@
+"""AST for the executable GraphQL subset served by the API extension.
+
+The executor supports the read side of GraphQL: named/anonymous query
+operations, nested selection sets, field aliases, field arguments (constant
+values only -- no variables) and inline fragments for dispatching on the
+concrete type behind a union or interface target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FieldSelection:
+    """``alias: name(arguments) { selections }``"""
+
+    name: str
+    alias: str | None = None
+    arguments: tuple[tuple[str, object], ...] = ()
+    selections: "SelectionSet | None" = None
+
+    @property
+    def output_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class InlineFragment:
+    """``... on TypeName { selections }``"""
+
+    type_condition: str
+    selections: "SelectionSet"
+
+
+@dataclass(frozen=True)
+class FragmentSpread:
+    """``...FragmentName``"""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class VariableRef:
+    """A ``$name`` placeholder inside argument values."""
+
+    name: str
+
+
+Selection = FieldSelection | InlineFragment | FragmentSpread
+
+
+@dataclass(frozen=True)
+class SelectionSet:
+    selections: tuple[Selection, ...]
+
+
+@dataclass(frozen=True)
+class VariableDefinition:
+    """``$name: Type = default`` in an operation header."""
+
+    name: str
+    type_text: str
+    default: object = None
+    has_default: bool = False
+    required: bool = False
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A query operation (the only kind the executor serves)."""
+
+    selections: SelectionSet
+    name: str | None = None
+    operation_type: str = "query"
+    variables: tuple[VariableDefinition, ...] = ()
+
+
+@dataclass(frozen=True)
+class FragmentDefinition:
+    """``fragment Name on Type { selections }``"""
+
+    name: str
+    type_condition: str
+    selections: SelectionSet
+
+
+@dataclass(frozen=True)
+class QueryDocument:
+    operations: tuple[Operation, ...]
+    fragments: "dict[str, FragmentDefinition]" = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.fragments is None:
+            object.__setattr__(self, "fragments", {})
+
+    def operation(self, name: str | None = None) -> Operation:
+        """The named operation, or the only one when *name* is None."""
+        if name is None:
+            if len(self.operations) != 1:
+                raise ValueError(
+                    "document has multiple operations; an operation name is required"
+                )
+            return self.operations[0]
+        for operation in self.operations:
+            if operation.name == name:
+                return operation
+        raise ValueError(f"no operation named {name!r}")

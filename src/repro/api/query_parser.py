@@ -1,0 +1,161 @@
+"""Parser for the executable GraphQL query subset.
+
+Reuses the SDL lexer and low-level parser machinery; grammar (June 2018
+spec §2, constant values plus variables):
+
+    Document        := (Operation | FragmentDefinition)+
+    Operation       := SelectionSet
+                     | "query" Name? VariableDefinitions? SelectionSet
+    VariableDefs    := "(" ("$" Name ":" Type DefaultValue?)+ ")"
+    FragmentDef     := "fragment" Name "on" Name SelectionSet
+    SelectionSet    := "{" Selection+ "}"
+    Selection       := Field | InlineFragment | FragmentSpread
+    Field           := (Alias ":")? Name Arguments? SelectionSet?
+    InlineFragment  := "..." "on" Name SelectionSet
+    FragmentSpread  := "..." Name
+"""
+
+from __future__ import annotations
+
+from ..errors import SDLSyntaxError
+from ..schema.build import value_to_python
+from ..sdl import ast as sdl_ast
+from ..sdl.lexer import tokenize
+from ..sdl.parser import _Parser
+from ..sdl.printer import print_type
+from ..sdl.tokens import TokenKind
+from .query_ast import (
+    FieldSelection,
+    FragmentDefinition,
+    FragmentSpread,
+    InlineFragment,
+    Operation,
+    QueryDocument,
+    Selection,
+    SelectionSet,
+    VariableDefinition,
+    VariableRef,
+)
+
+
+def parse_query(source: str) -> QueryDocument:
+    """Parse a query document."""
+    return _QueryParser(tokenize(source)).parse_query_document()
+
+
+def _argument_value(node: sdl_ast.ValueNode) -> object:
+    """Convert an argument value literal; variables become VariableRef."""
+    if isinstance(node, sdl_ast.Variable):
+        return VariableRef(node.name)
+    if isinstance(node, sdl_ast.ListValue):
+        return tuple(_argument_value(item) for item in node.values)
+    return value_to_python(node)
+
+
+class _QueryParser(_Parser):
+    def parse_query_document(self) -> QueryDocument:
+        operations: list[Operation] = []
+        fragments: dict[str, FragmentDefinition] = {}
+        while not self.peek(TokenKind.EOF):
+            if self.peek_keyword("fragment"):
+                fragment = self.parse_fragment_definition()
+                if fragment.name in fragments:
+                    token = self.current
+                    raise SDLSyntaxError(
+                        f"duplicate fragment {fragment.name}", token.line, token.column
+                    )
+                fragments[fragment.name] = fragment
+            else:
+                operations.append(self.parse_operation())
+        if not operations:
+            token = self.current
+            raise SDLSyntaxError(
+                "query document has no operations", token.line, token.column
+            )
+        return QueryDocument(tuple(operations), fragments)
+
+    def parse_operation(self) -> Operation:
+        name: str | None = None
+        variables: tuple[VariableDefinition, ...] = ()
+        if self.peek_keyword("query"):
+            self.advance()
+            if self.peek(TokenKind.NAME):
+                name = self.parse_name()
+            variables = self.parse_variable_definitions()
+        elif self.peek_keyword("mutation") or self.peek_keyword("subscription"):
+            token = self.current
+            raise SDLSyntaxError(
+                f"{token.value} operations are not supported (read-only API)",
+                token.line,
+                token.column,
+            )
+        return Operation(self.parse_selection_set(), name, "query", variables)
+
+    def parse_variable_definitions(self) -> tuple[VariableDefinition, ...]:
+        definitions: list[VariableDefinition] = []
+        if self.skip(TokenKind.PAREN_L):
+            while not self.skip(TokenKind.PAREN_R):
+                self.expect(TokenKind.DOLLAR)
+                variable_name = self.parse_name()
+                self.expect(TokenKind.COLON)
+                type_node = self.parse_type_reference()
+                default: object = None
+                has_default = False
+                if self.skip(TokenKind.EQUALS):
+                    default = value_to_python(self.parse_value_literal(const=True))
+                    has_default = True
+                definitions.append(
+                    VariableDefinition(
+                        name=variable_name,
+                        type_text=print_type(type_node),
+                        default=default,
+                        has_default=has_default,
+                        required=isinstance(type_node, sdl_ast.NonNullTypeNode)
+                        and not has_default,
+                    )
+                )
+        return tuple(definitions)
+
+    def parse_fragment_definition(self) -> FragmentDefinition:
+        self.expect_keyword("fragment")
+        name = self.parse_name()
+        if name == "on":
+            token = self.current
+            raise SDLSyntaxError("fragment cannot be named 'on'", token.line, token.column)
+        self.expect_keyword("on")
+        type_condition = self.parse_name()
+        return FragmentDefinition(name, type_condition, self.parse_selection_set())
+
+    def parse_selection_set(self) -> SelectionSet:
+        self.expect(TokenKind.BRACE_L)
+        selections: list[Selection] = []
+        while not self.skip(TokenKind.BRACE_R):
+            selections.append(self.parse_selection())
+        if not selections:
+            token = self.current
+            raise SDLSyntaxError("empty selection set", token.line, token.column)
+        return SelectionSet(tuple(selections))
+
+    def parse_selection(self) -> Selection:
+        if self.skip(TokenKind.SPREAD):
+            if self.peek_keyword("on"):
+                self.advance()
+                type_condition = self.parse_name()
+                return InlineFragment(type_condition, self.parse_selection_set())
+            return FragmentSpread(self.parse_name())
+        name = self.parse_name()
+        alias: str | None = None
+        if self.skip(TokenKind.COLON):
+            alias, name = name, self.parse_name()
+        arguments: list[tuple[str, object]] = []
+        if self.skip(TokenKind.PAREN_L):
+            while not self.skip(TokenKind.PAREN_R):
+                argument_name = self.parse_name()
+                self.expect(TokenKind.COLON)
+                arguments.append(
+                    (argument_name, _argument_value(self.parse_value_literal(const=False)))
+                )
+        selections: SelectionSet | None = None
+        if self.peek(TokenKind.BRACE_L):
+            selections = self.parse_selection_set()
+        return FieldSelection(name, alias, tuple(arguments), selections)

@@ -1,0 +1,26 @@
+"""Baseline schema models (Angles [3]) and translations into them."""
+
+from .angles import (
+    AnglesSchema,
+    AnglesValidator,
+    AnglesViolation,
+    EdgeType,
+    NodeType,
+    PropertyType,
+)
+from .cypher import CypherExport, graph_to_cypher, schema_to_cypher_ddl
+from .translate import TranslationResult, sdl_to_angles
+
+__all__ = [
+    "AnglesSchema",
+    "AnglesValidator",
+    "AnglesViolation",
+    "CypherExport",
+    "EdgeType",
+    "NodeType",
+    "PropertyType",
+    "TranslationResult",
+    "graph_to_cypher",
+    "schema_to_cypher_ddl",
+    "sdl_to_angles",
+]

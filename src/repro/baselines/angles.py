@@ -1,0 +1,248 @@
+"""Angles' Property Graph Schema model [3] -- the paper's research baseline.
+
+Renzo Angles, *The Property Graph Database Model* (AMW 2018), defines a
+schema as node types and edge types with property-type constraints:
+
+* a set of node types, each with a set of allowed properties (name, value
+  type), some marked mandatory;
+* a set of edge types (source node type, label, target node type), each
+  with allowed properties, some mandatory;
+* optional extra constraints the paper outlines: unique (key) properties
+  and edge-cardinality bounds.
+
+The model is *structural*: it has no interfaces, unions, wrapping types or
+target-side constraints (no @uniqueForTarget/@requiredForTarget
+equivalents), which is exactly the expressiveness gap experiment E8
+quantifies.  :class:`AnglesValidator` validates a Property Graph against an
+Angles schema; :mod:`repro.baselines.translate` maps GraphQL-SDL schemas
+into this model (losing what cannot be expressed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..pg.values import value_signature
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pg.model import PropertyGraph
+
+#: Value types of the Angles model, with membership predicates.
+_VALUE_TYPES = {
+    "INTEGER": lambda value: isinstance(value, int) and not isinstance(value, bool),
+    "REAL": lambda value: isinstance(value, float)
+    or (isinstance(value, int) and not isinstance(value, bool)),
+    "STRING": lambda value: isinstance(value, str),
+    "BOOLEAN": lambda value: isinstance(value, bool),
+    "ANY": lambda value: True,
+}
+
+
+@dataclass(frozen=True)
+class PropertyType:
+    """An allowed property: name, value type, mandatoriness, uniqueness."""
+
+    name: str
+    value_type: str = "ANY"
+    mandatory: bool = False
+    unique: bool = False
+
+    def admits(self, value: object) -> bool:
+        predicate = _VALUE_TYPES.get(self.value_type)
+        if predicate is None:
+            raise ValueError(f"unknown Angles value type: {self.value_type}")
+        if isinstance(value, tuple):
+            return all(predicate(item) for item in value)
+        return predicate(value)
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """A node type: a label plus its allowed properties."""
+
+    label: str
+    properties: tuple[PropertyType, ...] = ()
+
+    def property_type(self, name: str) -> PropertyType | None:
+        for prop in self.properties:
+            if prop.name == name:
+                return prop
+        return None
+
+
+@dataclass(frozen=True)
+class EdgeType:
+    """An edge type: (source label, edge label, target label) + properties.
+
+    ``max_out`` bounds the number of such edges leaving one source node
+    (None = unbounded); ``min_out`` forces them (0 = optional).  These
+    realise the cardinality constraints Angles outlines.
+    """
+
+    source: str
+    label: str
+    target: str
+    properties: tuple[PropertyType, ...] = ()
+    min_out: int = 0
+    max_out: int | None = None
+
+    def property_type(self, name: str) -> PropertyType | None:
+        for prop in self.properties:
+            if prop.name == name:
+                return prop
+        return None
+
+
+@dataclass
+class AnglesSchema:
+    """A Property Graph schema in Angles' model."""
+
+    node_types: dict[str, NodeType] = field(default_factory=dict)
+    edge_types: list[EdgeType] = field(default_factory=list)
+
+    def add_node_type(self, node_type: NodeType) -> None:
+        self.node_types[node_type.label] = node_type
+
+    def add_edge_type(self, edge_type: EdgeType) -> None:
+        self.edge_types.append(edge_type)
+
+    def edge_types_for(self, source: str, label: str) -> list[EdgeType]:
+        return [
+            edge_type
+            for edge_type in self.edge_types
+            if edge_type.source == source and edge_type.label == label
+        ]
+
+
+@dataclass(frozen=True)
+class AnglesViolation:
+    """A violation of an Angles schema."""
+
+    kind: str
+    element: object
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} ({self.element}): {self.detail}"
+
+
+class AnglesValidator:
+    """Validates Property Graphs against an Angles schema."""
+
+    def __init__(self, schema: AnglesSchema) -> None:
+        self.schema = schema
+
+    def validate(self, graph: "PropertyGraph") -> list[AnglesViolation]:
+        violations: list[AnglesViolation] = []
+        violations.extend(self._check_nodes(graph))
+        violations.extend(self._check_edges(graph))
+        violations.extend(self._check_uniqueness(graph))
+        return violations
+
+    def conforms(self, graph: "PropertyGraph") -> bool:
+        return not self.validate(graph)
+
+    # ------------------------------------------------------------------ #
+
+    def _check_nodes(self, graph: "PropertyGraph"):
+        for node in graph.nodes:
+            node_type = self.schema.node_types.get(graph.label(node))
+            if node_type is None:
+                yield AnglesViolation(
+                    "unknown-node-type", node, f"label {graph.label(node)}"
+                )
+                continue
+            properties = graph.properties(node)
+            for name, value in properties.items():
+                prop = node_type.property_type(name)
+                if prop is None:
+                    yield AnglesViolation(
+                        "undeclared-property", node, f"property {name}"
+                    )
+                elif not prop.admits(value):
+                    yield AnglesViolation(
+                        "property-type", node, f"{name}={value!r} not {prop.value_type}"
+                    )
+            for prop in node_type.properties:
+                if prop.mandatory and prop.name not in properties:
+                    yield AnglesViolation(
+                        "missing-property", node, f"mandatory property {prop.name}"
+                    )
+
+    def _check_edges(self, graph: "PropertyGraph"):
+        for edge in graph.edges:
+            source, target = graph.endpoints(edge)
+            candidates = [
+                edge_type
+                for edge_type in self.schema.edge_types_for(
+                    graph.label(source), graph.label(edge)
+                )
+                if edge_type.target == graph.label(target)
+            ]
+            if not candidates:
+                yield AnglesViolation(
+                    "unknown-edge-type",
+                    edge,
+                    f"({graph.label(source)})-[{graph.label(edge)}]->"
+                    f"({graph.label(target)})",
+                )
+                continue
+            edge_type = candidates[0]
+            properties = graph.properties(edge)
+            for name, value in properties.items():
+                prop = edge_type.property_type(name)
+                if prop is None:
+                    yield AnglesViolation(
+                        "undeclared-property", edge, f"edge property {name}"
+                    )
+                elif not prop.admits(value):
+                    yield AnglesViolation(
+                        "property-type", edge, f"{name}={value!r} not {prop.value_type}"
+                    )
+            for prop in edge_type.properties:
+                if prop.mandatory and prop.name not in properties:
+                    yield AnglesViolation(
+                        "missing-property", edge, f"mandatory edge property {prop.name}"
+                    )
+        # cardinality bounds per (source node, edge type)
+        for edge_type in self.schema.edge_types:
+            if edge_type.min_out == 0 and edge_type.max_out is None:
+                continue
+            for node in graph.nodes_with_label(edge_type.source):
+                count = sum(
+                    1
+                    for out_edge in graph.out_edges(node, edge_type.label)
+                    if graph.label(graph.endpoints(out_edge)[1]) == edge_type.target
+                )
+                if count < edge_type.min_out:
+                    yield AnglesViolation(
+                        "cardinality",
+                        node,
+                        f"needs ≥{edge_type.min_out} {edge_type.label} edges, has {count}",
+                    )
+                if edge_type.max_out is not None and count > edge_type.max_out:
+                    yield AnglesViolation(
+                        "cardinality",
+                        node,
+                        f"allows ≤{edge_type.max_out} {edge_type.label} edges, has {count}",
+                    )
+
+    def _check_uniqueness(self, graph: "PropertyGraph"):
+        for label, node_type in self.schema.node_types.items():
+            for prop in node_type.properties:
+                if not prop.unique:
+                    continue
+                seen: dict[tuple, object] = {}
+                for node in graph.nodes_with_label(label):
+                    if not graph.has_property(node, prop.name):
+                        continue
+                    signature = value_signature(graph.property_value(node, prop.name))
+                    if signature in seen:
+                        yield AnglesViolation(
+                            "uniqueness",
+                            node,
+                            f"duplicate {prop.name} with node {seen[signature]}",
+                        )
+                    else:
+                        seen[signature] = node

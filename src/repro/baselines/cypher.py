@@ -1,0 +1,163 @@
+"""Export to Neo4j: Cypher constraint DDL and data-loading statements.
+
+Section 2.1 of the paper surveys the proprietary schema facilities of
+Property Graph systems — Neo4j's Cypher DDL among them — and notes that
+none has a formal semantics.  This module makes the comparison concrete by
+compiling an SDL schema into the closest Cypher 3.5-style DDL:
+
+* ``@key(fields: ["f"])`` on a single field → ``CREATE CONSTRAINT ... IS UNIQUE``;
+* ``@required`` on an attribute → ``CREATE CONSTRAINT ... IS NOT NULL``
+  (property-existence constraint);
+* composite ``@key`` → a node-key constraint.
+
+Everything else the paper's proposal can express — target typing of edges,
+cardinalities (WS4), ``@distinct``, ``@noLoops``, ``@uniqueForTarget``,
+``@requiredForTarget``, value typing beyond existence — has **no Cypher DDL
+equivalent** and is reported in :attr:`CypherExport.unsupported`, which is
+the measured content of the paper's "systems support different kinds of
+constraints [but no commonly agreed schema]" observation.
+
+:func:`graph_to_cypher` additionally renders any Property Graph as Cypher
+``CREATE`` statements so exported schema + data can be loaded into a real
+Neo4j instance for eyeballing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..schema.directives import (
+    DISTINCT,
+    NO_LOOPS,
+    REQUIRED,
+    REQUIRED_FOR_TARGET,
+    UNIQUE_FOR_TARGET,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pg.model import PropertyGraph
+    from ..schema.model import GraphQLSchema
+
+
+@dataclass
+class CypherExport:
+    """The DDL statements plus everything Cypher cannot express."""
+
+    statements: list[str] = field(default_factory=list)
+    unsupported: list[str] = field(default_factory=list)
+
+    @property
+    def ddl(self) -> str:
+        return "\n".join(statement + ";" for statement in self.statements) + (
+            "\n" if self.statements else ""
+        )
+
+
+def schema_to_cypher_ddl(schema: "GraphQLSchema") -> CypherExport:
+    """Compile *schema* into Cypher constraint DDL, reporting the remainder."""
+    export = CypherExport()
+    for type_name, object_type in sorted(schema.object_types.items()):
+        variable = type_name[0].lower()
+        for key in object_type.keys:
+            scalar_keys = [
+                key_field
+                for key_field in key
+                if (ref := schema.type_f(type_name, key_field)) is not None
+                and schema.is_scalar_type(ref.base)
+            ]
+            if not scalar_keys:
+                export.unsupported.append(
+                    f"type {type_name}: @key({', '.join(key)}) has no scalar fields"
+                )
+                continue
+            if len(scalar_keys) == 1:
+                export.statements.append(
+                    f"CREATE CONSTRAINT ON ({variable}:{type_name}) "
+                    f"ASSERT {variable}.{scalar_keys[0]} IS UNIQUE"
+                )
+            else:
+                rendered = ", ".join(
+                    f"{variable}.{key_field}" for key_field in scalar_keys
+                )
+                export.statements.append(
+                    f"CREATE CONSTRAINT ON ({variable}:{type_name}) "
+                    f"ASSERT ({rendered}) IS NODE KEY"
+                )
+        for field_def in object_type.fields:
+            where = f"{type_name}.{field_def.name}"
+            if field_def.is_attribute:
+                if field_def.has_directive(REQUIRED):
+                    export.statements.append(
+                        f"CREATE CONSTRAINT ON ({variable}:{type_name}) "
+                        f"ASSERT exists({variable}.{field_def.name})"
+                    )
+                continue
+            # relationship declarations: Cypher DDL has no schema for edges
+            export.unsupported.append(
+                f"{where}: edge target typing ({field_def.type}) has no Cypher DDL"
+            )
+            if not field_def.type.is_list:
+                export.unsupported.append(f"{where}: at-most-one cardinality (WS4)")
+            for directive in (
+                REQUIRED,
+                DISTINCT,
+                NO_LOOPS,
+                UNIQUE_FOR_TARGET,
+                REQUIRED_FOR_TARGET,
+            ):
+                if field_def.has_directive(directive):
+                    export.unsupported.append(f"{where}: @{directive}")
+            for argument in field_def.arguments:
+                if argument.type.non_null and not argument.has_default:
+                    export.unsupported.append(
+                        f"{where}({argument.name}): mandatory edge property"
+                    )
+    return export
+
+
+def _cypher_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, tuple):
+        return "[" + ", ".join(_cypher_value(item) for item in value) + "]"
+    escaped = str(value).replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"
+
+
+def _cypher_props(properties: dict) -> str:
+    if not properties:
+        return ""
+    inner = ", ".join(
+        f"{name}: {_cypher_value(value)}" for name, value in sorted(properties.items())
+    )
+    return " {" + inner + "}"
+
+
+def graph_to_cypher(graph: "PropertyGraph") -> str:
+    """Render *graph* as a single Cypher CREATE script.
+
+    Node identifiers become Cypher variables (sanitised); each element's
+    original id is preserved in a ``_id`` property so the load is lossless.
+    """
+    lines = []
+    variables: dict[object, str] = {}
+    for index, node in enumerate(sorted(graph.nodes, key=str)):
+        variable = f"n{index}"
+        variables[node] = variable
+        properties = dict(graph.properties(node))
+        properties["_id"] = str(node)
+        lines.append(
+            f"CREATE ({variable}:{graph.label(node)}{_cypher_props(properties)})"
+        )
+    for index, edge in enumerate(sorted(graph.edges, key=str)):
+        source, target = graph.endpoints(edge)
+        properties = dict(graph.properties(edge))
+        properties["_id"] = str(edge)
+        lines.append(
+            f"CREATE ({variables[source]})-[:{graph.label(edge)}"
+            f"{_cypher_props(properties)}]->({variables[target]})"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,129 @@
+"""Translation from GraphQL-SDL schemas to Angles' schema model.
+
+The translation is intentionally lossy where Angles' model is less
+expressive, and the loss is *reported*: the returned
+:class:`TranslationResult` lists every constraint of the source schema that
+the Angles schema cannot capture.  Experiment E8 uses this to quantify the
+expressiveness gap between the paper's proposal and the only prior formal
+Property Graph schema model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..schema.directives import (
+    DISTINCT,
+    NO_LOOPS,
+    REQUIRED,
+    REQUIRED_FOR_TARGET,
+    UNIQUE_FOR_TARGET,
+)
+from .angles import AnglesSchema, EdgeType, NodeType, PropertyType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..schema.model import GraphQLSchema
+
+_SCALAR_TO_ANGLES = {
+    "Int": "INTEGER",
+    "Float": "REAL",
+    "String": "STRING",
+    "Boolean": "BOOLEAN",
+    "ID": "ANY",
+}
+
+
+@dataclass
+class TranslationResult:
+    """An Angles schema plus everything that was lost in translation."""
+
+    schema: AnglesSchema
+    lost_constraints: list[str] = field(default_factory=list)
+
+
+def sdl_to_angles(schema: "GraphQLSchema") -> TranslationResult:
+    """Translate *schema* into Angles' model, recording what cannot be kept."""
+    result = TranslationResult(AnglesSchema())
+    lost = result.lost_constraints
+
+    for type_name, object_type in sorted(schema.object_types.items()):
+        properties: list[PropertyType] = []
+        single_field_keys = {
+            key[0] for key in object_type.keys if len(key) == 1
+        }
+        for key in object_type.keys:
+            if len(key) > 1:
+                lost.append(
+                    f"{type_name}: composite @key({', '.join(key)}) "
+                    "(Angles uniqueness is per-property)"
+                )
+        for field_def in object_type.fields:
+            if not field_def.is_attribute:
+                continue
+            value_type = _SCALAR_TO_ANGLES.get(field_def.type.base, "ANY")
+            if schema.scalars.is_enum(field_def.type.base):
+                value_type = "STRING"
+                lost.append(
+                    f"{type_name}.{field_def.name}: enum domain "
+                    f"{field_def.type.base} widens to STRING"
+                )
+            if field_def.type.is_list:
+                lost.append(
+                    f"{type_name}.{field_def.name}: array element typing "
+                    f"({field_def.type}) widens to element-type check"
+                )
+            properties.append(
+                PropertyType(
+                    name=field_def.name,
+                    value_type=value_type,
+                    mandatory=field_def.has_directive(REQUIRED),
+                    unique=field_def.name in single_field_keys,
+                )
+            )
+        result.schema.add_node_type(NodeType(type_name, tuple(properties)))
+
+    for type_name, field_name, field_def in schema.field_declarations():
+        if not field_def.is_relationship or type_name not in schema.object_types:
+            continue
+        edge_properties = tuple(
+            PropertyType(
+                name=argument.name,
+                value_type=_SCALAR_TO_ANGLES.get(argument.type.base, "ANY"),
+                mandatory=argument.type.non_null and not argument.has_default,
+            )
+            for argument in field_def.arguments
+        )
+        max_out = None if field_def.type.is_list else 1
+        min_out = 1 if field_def.has_directive(REQUIRED) else 0
+        targets = sorted(schema.object_types_below(field_def.type.base))
+        if not targets:
+            lost.append(
+                f"{type_name}.{field_name}: target {field_def.type.base} has no "
+                "object types"
+            )
+        for target in targets:
+            result.schema.add_edge_type(
+                EdgeType(
+                    source=type_name,
+                    label=field_name,
+                    target=target,
+                    properties=edge_properties,
+                    min_out=min_out if len(targets) == 1 else 0,
+                    max_out=max_out,
+                )
+            )
+        if min_out == 1 and len(targets) > 1:
+            lost.append(
+                f"{type_name}.{field_name}: @required over the union/interface "
+                f"target {field_def.type.base} (Angles cardinality is per edge type)"
+            )
+        for directive_name, description in (
+            (DISTINCT, "@distinct (edge-identity constraint)"),
+            (NO_LOOPS, "@noLoops"),
+            (UNIQUE_FOR_TARGET, "@uniqueForTarget (target-side cardinality)"),
+            (REQUIRED_FOR_TARGET, "@requiredForTarget (target-side participation)"),
+        ):
+            if field_def.has_directive(directive_name):
+                lost.append(f"{type_name}.{field_name}: {description}")
+    return result

@@ -1,0 +1,271 @@
+"""Command-line interface: the ``pgschema`` tool.
+
+Subcommands:
+
+* ``pgschema check SCHEMA.graphql`` -- parse, report warnings, and check
+  consistency (Definitions 4.3/4.4).
+* ``pgschema validate SCHEMA.graphql GRAPH.json`` -- decide the Schema
+  Validation Problem (strong satisfaction) and list violations.
+* ``pgschema sat SCHEMA.graphql [--type T]`` -- object-type satisfiability
+  via the Theorem-3 tableau, with a bounded finite-witness search.
+* ``pgschema translate SCHEMA.graphql`` -- show the ALCQI TBox of the
+  Theorem-3 translation.
+* ``pgschema api SCHEMA.graphql`` -- print the §3.6 GraphQL API schema.
+* ``pgschema query SCHEMA.graphql GRAPH.json 'QUERY'`` -- run a GraphQL
+  query against the graph through the generated API.
+* ``pgschema infer GRAPH.json`` -- induce an SDL schema from an instance.
+* ``pgschema diff OLD.graphql NEW.graphql`` -- classify schema evolution
+  (backward compatible vs breaking).
+* ``pgschema stats GRAPH.json`` -- profile an instance (labels, property
+  coverage, degrees).
+* ``pgschema export-cypher SCHEMA.graphql [GRAPH.json]`` -- Neo4j DDL (and
+  optionally the data) with a report of the inexpressible constraints.
+
+Exit status: 0 on success/conformance, 1 on violations or unsatisfiable
+types, 2 on usage or input errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .api import GraphQLExecutor, extend_to_api_schema
+from .dl import schema_to_tbox
+from .errors import ReproError
+from .pg import load_graph
+from .satisfiability import SatisfiabilityChecker
+from .schema import consistency_errors, parse_schema
+from .validation import validate
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pgschema",
+        description="Property Graph schemas via the GraphQL SDL "
+        "(Hartig & Hidders, GRADES-NDA 2019)",
+    )
+    subparsers = parser.add_subparsers(required=True)
+
+    check = subparsers.add_parser("check", help="parse a schema and check consistency")
+    check.add_argument("schema")
+    check.set_defaults(handler=_cmd_check)
+
+    validate_cmd = subparsers.add_parser(
+        "validate", help="validate a graph against a schema"
+    )
+    validate_cmd.add_argument("schema")
+    validate_cmd.add_argument("graph")
+    validate_cmd.add_argument(
+        "--mode",
+        choices=("weak", "directives", "strong", "extended"),
+        default="strong",
+    )
+    validate_cmd.add_argument(
+        "--engine", choices=("indexed", "naive"), default="indexed"
+    )
+    validate_cmd.set_defaults(handler=_cmd_validate)
+
+    sat = subparsers.add_parser("sat", help="check object-type satisfiability")
+    sat.add_argument("schema")
+    sat.add_argument("--type", dest="type_name", help="one object type (default: all)")
+    sat.add_argument("--no-witness", action="store_true")
+    sat.add_argument(
+        "--max-witness-nodes", type=int, default=4, metavar="N",
+        help="bound for the finite witness search (default 4)",
+    )
+    sat.set_defaults(handler=_cmd_sat)
+
+    translate = subparsers.add_parser(
+        "translate", help="print the ALCQI translation (Theorem 3)"
+    )
+    translate.add_argument("schema")
+    translate.set_defaults(handler=_cmd_translate)
+
+    api = subparsers.add_parser("api", help="print the §3.6 GraphQL API schema")
+    api.add_argument("schema")
+    api.set_defaults(handler=_cmd_api)
+
+    query = subparsers.add_parser("query", help="run a GraphQL query over a graph")
+    query.add_argument("schema")
+    query.add_argument("graph")
+    query.add_argument("query_text")
+    query.set_defaults(handler=_cmd_query)
+
+    infer = subparsers.add_parser("infer", help="induce a schema from a graph")
+    infer.add_argument("graph")
+    infer.set_defaults(handler=_cmd_infer)
+
+    diff = subparsers.add_parser(
+        "diff", help="classify schema evolution old -> new"
+    )
+    diff.add_argument("old_schema")
+    diff.add_argument("new_schema")
+    diff.set_defaults(handler=_cmd_diff)
+
+    stats = subparsers.add_parser("stats", help="profile a graph instance")
+    stats.add_argument("graph")
+    stats.set_defaults(handler=_cmd_stats)
+
+    export = subparsers.add_parser(
+        "export-cypher", help="export Neo4j constraint DDL (and optionally data)"
+    )
+    export.add_argument("schema")
+    export.add_argument("graph", nargs="?")
+    export.set_defaults(handler=_cmd_export_cypher)
+
+    return parser
+
+
+def _load_schema(path: str, check: bool = True):
+    with open(path) as handle:
+        return parse_schema(handle.read(), check=check)
+
+
+def _load_graph(path: str):
+    with open(path) as handle:
+        return load_graph(handle)
+
+
+def _cmd_check(args) -> int:
+    schema = _load_schema(args.schema, check=False)
+    for warning in schema.warnings:
+        print(f"warning: {warning}")
+    errors = consistency_errors(schema)
+    if errors:
+        print(f"schema is NOT consistent ({len(errors)} problem(s)):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(
+        f"schema is consistent: {len(schema.object_types)} object type(s), "
+        f"{len(schema.interface_types)} interface(s), "
+        f"{len(schema.union_types)} union(s)"
+    )
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    schema = _load_schema(args.schema)
+    graph = _load_graph(args.graph)
+    report = validate(schema, graph, mode=args.mode, engine=args.engine)
+    print(report.summary())
+    for violation in sorted(report.violations, key=str):
+        print(f"  {violation}")
+    return 0 if report.conforms else 1
+
+
+def _cmd_sat(args) -> int:
+    schema = _load_schema(args.schema, check=False)
+    checker = SatisfiabilityChecker(
+        schema, bounded_max_nodes=args.max_witness_nodes
+    )
+    type_names = (
+        [args.type_name] if args.type_name else sorted(schema.object_types)
+    )
+    any_unsat = False
+    for type_name in type_names:
+        result = checker.check_type(type_name, find_witness=not args.no_witness)
+        if result.tableau_satisfiable:
+            finite = result.finitely_satisfiable
+            note = (
+                f"finite witness with {result.witness.num_nodes} node(s)"
+                if finite
+                else "satisfiable (no finite witness found at this bound; "
+                "possibly only infinite models)"
+            )
+            print(f"{type_name}: SATISFIABLE ({note})")
+        else:
+            any_unsat = True
+            print(f"{type_name}: UNSATISFIABLE")
+    return 1 if any_unsat else 0
+
+
+def _cmd_translate(args) -> int:
+    schema = _load_schema(args.schema, check=False)
+    tbox = schema_to_tbox(schema)
+    for axiom in tbox.axioms:
+        print(axiom)
+    for name, definiens in tbox.definitions.items():
+        print(f"{name} ≡ {definiens}")
+    for group in tbox.disjoint_groups:
+        print("disjoint(" + ", ".join(sorted(group)) + ")")
+    return 0
+
+
+def _cmd_api(args) -> int:
+    schema = _load_schema(args.schema)
+    print(extend_to_api_schema(schema).sdl, end="")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    schema = _load_schema(args.schema)
+    graph = _load_graph(args.graph)
+    executor = GraphQLExecutor(extend_to_api_schema(schema), graph)
+    print(json.dumps(executor.execute(args.query_text), indent=2, default=str))
+    return 0
+
+
+def _cmd_infer(args) -> int:
+    from .inference import infer_schema
+
+    graph = _load_graph(args.graph)
+    result = infer_schema(graph)
+    print(result.sdl, end="")
+    for label, keys in sorted(result.key_candidates.items()):
+        if len(keys) > 1:
+            print(f"# {label}: other key candidates: {', '.join(keys[1:])}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .evolution import diff_schemas
+
+    old = _load_schema(args.old_schema)
+    new = _load_schema(args.new_schema)
+    diff = diff_schemas(old, new)
+    print(diff.summary())
+    for change in diff.changes:
+        print(f"  {change}")
+    return 0 if diff.is_backward_compatible else 1
+
+
+def _cmd_stats(args) -> int:
+    from .pg.stats import profile_graph
+
+    graph = _load_graph(args.graph)
+    for line in profile_graph(graph).summary_lines():
+        print(line)
+    return 0
+
+
+def _cmd_export_cypher(args) -> int:
+    from .baselines import graph_to_cypher, schema_to_cypher_ddl
+
+    schema = _load_schema(args.schema)
+    export = schema_to_cypher_ddl(schema)
+    print(export.ddl, end="")
+    for item in export.unsupported:
+        print(f"// not expressible in Cypher DDL: {item}")
+    if args.graph:
+        print(graph_to_cypher(_load_graph(args.graph)), end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Description-logic substrate: ALCQI with a tableau decision procedure."""
+
+from .concepts import (
+    And,
+    AtLeast,
+    AtMost,
+    Bottom,
+    Concept,
+    Exists,
+    Forall,
+    Name,
+    Not,
+    Or,
+    Role,
+    Top,
+    conj,
+    disj,
+)
+from .nnf import complement, nnf
+from .tableau import Tableau, TableauLimitError, TableauStats
+from .tbox import Axiom, TBox
+from .translate import schema_to_tbox
+
+__all__ = [
+    "And",
+    "AtLeast",
+    "AtMost",
+    "Axiom",
+    "Bottom",
+    "Concept",
+    "Exists",
+    "Forall",
+    "Name",
+    "Not",
+    "Or",
+    "Role",
+    "TBox",
+    "Tableau",
+    "TableauLimitError",
+    "TableauStats",
+    "Top",
+    "complement",
+    "conj",
+    "disj",
+    "nnf",
+    "schema_to_tbox",
+]

@@ -1,0 +1,79 @@
+"""Negation normal form for ALCQI concepts.
+
+Negations are pushed down to concept names using the dualities:
+
+    ¬(C ⊓ D) = ¬C ⊔ ¬D          ¬∃R.C = ∀R.¬C
+    ¬(C ⊔ D) = ¬C ⊓ ¬D          ¬∀R.C = ∃R.¬C
+    ¬≥n R.C  = ≤(n-1) R.C  (n ≥ 1);   ¬≥0 R.C = ⊥
+    ¬≤n R.C  = ≥(n+1) R.C
+
+The tableau's clash and choose rules assume their inputs are in NNF.
+"""
+
+from __future__ import annotations
+
+from .concepts import (
+    And,
+    AtLeast,
+    AtMost,
+    Bottom,
+    Concept,
+    Exists,
+    Forall,
+    Name,
+    Not,
+    Or,
+    Top,
+)
+
+
+def nnf(concept: Concept) -> Concept:
+    """The negation normal form of *concept*."""
+    if isinstance(concept, (Top, Bottom, Name)):
+        return concept
+    if isinstance(concept, And):
+        return And(tuple(nnf(part) for part in concept.parts))
+    if isinstance(concept, Or):
+        return Or(tuple(nnf(part) for part in concept.parts))
+    if isinstance(concept, Exists):
+        return Exists(concept.role, nnf(concept.body))
+    if isinstance(concept, Forall):
+        return Forall(concept.role, nnf(concept.body))
+    if isinstance(concept, AtLeast):
+        return AtLeast(concept.n, concept.role, nnf(concept.body))
+    if isinstance(concept, AtMost):
+        return AtMost(concept.n, concept.role, nnf(concept.body))
+    if isinstance(concept, Not):
+        return _nnf_negated(concept.body)
+    raise TypeError(f"not a concept: {concept!r}")
+
+
+def _nnf_negated(concept: Concept) -> Concept:
+    if isinstance(concept, Top):
+        return Bottom()
+    if isinstance(concept, Bottom):
+        return Top()
+    if isinstance(concept, Name):
+        return Not(concept)
+    if isinstance(concept, Not):
+        return nnf(concept.body)
+    if isinstance(concept, And):
+        return Or(tuple(_nnf_negated(part) for part in concept.parts))
+    if isinstance(concept, Or):
+        return And(tuple(_nnf_negated(part) for part in concept.parts))
+    if isinstance(concept, Exists):
+        return Forall(concept.role, _nnf_negated(concept.body))
+    if isinstance(concept, Forall):
+        return Exists(concept.role, _nnf_negated(concept.body))
+    if isinstance(concept, AtLeast):
+        if concept.n == 0:
+            return Bottom()  # ≥0 R.C is ⊤
+        return AtMost(concept.n - 1, concept.role, nnf(concept.body))
+    if isinstance(concept, AtMost):
+        return AtLeast(concept.n + 1, concept.role, nnf(concept.body))
+    raise TypeError(f"not a concept: {concept!r}")
+
+
+def complement(concept: Concept) -> Concept:
+    """The NNF of ¬concept (for clash detection and the choose rule)."""
+    return _nnf_negated(nnf(concept))

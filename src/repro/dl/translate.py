@@ -1,0 +1,112 @@
+"""Translation of Property Graph schemas into ALCQI TBoxes (Theorem 3).
+
+Following the proof of Theorem 3, the translation first *restricts* the
+schema: ``@key``, ``@noLoops``, ``@distinct`` and all scalar-valued fields
+and arguments are dropped, because none of them affects object-type
+satisfiability (keys can always be satisfied by picking fresh values, loops
+can be unfolded into a doubled model, @distinct constraints disappear once
+edges are identified by their endpoints, and scalar values can always be
+chosen well-typed).
+
+The remaining schema becomes a TBox over one concept name per object /
+interface / union type and one role per relationship field name:
+
+* ``ut ≡ t1 ⊔ … ⊔ tn`` for every union type and every interface type
+  (with its member / implementing object types; an interface nobody
+  implements becomes ``≡ ⊥``);
+* ``∃f⁻.t ⊑ tt`` for every relationship declaration (t, f) with basetype
+  tt -- targets of justified f-edges have the declared type (WS3 + SS4);
+* ``t ⊑ ≤1 f.⊤`` when an *object* type t declares f at a non-list type
+  (WS4; only object types label nodes, so only their declarations bound
+  edge counts);
+* ``t ⊑ ∃f.tt`` for ``@required`` on a relationship (DS6 + WS3) -- here t
+  may be an interface, matching the rule's λ(v) ⊑ t quantification;
+* ``tt ⊑ ∃f⁻.t`` for ``@requiredForTarget`` (DS4);
+* ``tt ⊑ ≤1 f⁻.t`` for ``@uniqueForTarget`` (DS3);
+* ``ot ⊑ ≤0 f.⊤`` for every object type that does *not* declare the
+  relationship field f -- edges must be justified (SS4), so a model may
+  not invent f-edges out of undeclared types;
+* exactly-one-label: ``ot1 ⊓ ot2 ⊑ ⊥`` for distinct object types and
+  ``⊤ ⊑ ot1 ⊔ … ⊔ otn`` (SS1 plus λ being a function).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..schema.directives import REQUIRED, REQUIRED_FOR_TARGET, UNIQUE_FOR_TARGET
+from .concepts import AtMost, Bottom, Exists, Forall, Name, Role, Top, disj
+from .tbox import TBox
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..schema.model import GraphQLSchema
+
+
+def schema_to_tbox(schema: "GraphQLSchema") -> TBox:
+    """Translate *schema* into the ALCQI TBox of the Theorem-3 proof."""
+    tbox = TBox()
+    object_types = sorted(schema.object_types)
+
+    # union and interface types are *defined* concepts over their object
+    # types; registered as definitions so the tableau lazily unfolds them
+    for union_name in sorted(schema.union_types):
+        tbox.define(
+            union_name,
+            disj(Name(member) for member in sorted(schema.union(union_name))),
+        )
+    for interface_name in sorted(schema.interface_types):
+        implementors = sorted(schema.implementation(interface_name))
+        tbox.define(
+            interface_name,
+            disj(Name(member) for member in implementors) if implementors else Bottom(),
+        )
+
+    relationship_roles = sorted(
+        {
+            field_name
+            for _type, field_name, field_def in schema.field_declarations()
+            if field_def.is_relationship
+        }
+    )
+
+    for type_name, field_name, field_def in schema.field_declarations():
+        if not field_def.is_relationship:
+            continue  # scalar fields never affect satisfiability
+        declaring = Name(type_name)
+        target = Name(field_def.type.base)
+        role = Role(field_name)
+        # WS3 + SS4: targets of f-edges out of this type have the field's
+        # type.  (Stated in the paper as ∃f⁻.t ⊑ tt; the equivalent
+        # name-guarded form t ⊑ ∀f.tt lets the tableau apply it lazily.)
+        tbox.include(declaring, Forall(role, target))
+        # WS4: object types with a non-list declaration allow at most one edge
+        if type_name in schema.object_types and not field_def.type.is_list:
+            tbox.include(declaring, AtMost(1, role, Top()))
+        if field_def.has_directive(REQUIRED):
+            tbox.include(declaring, Exists(role, target))
+        if field_def.has_directive(REQUIRED_FOR_TARGET):
+            tbox.include(target, Exists(role.inv(), declaring))
+        if field_def.has_directive(UNIQUE_FOR_TARGET):
+            tbox.include(target, AtMost(1, role.inv(), declaring))
+
+    # SS4: object types may only emit relationship edges they declare
+    for object_name, object_type in sorted(schema.object_types.items()):
+        declared = {
+            field_def.name
+            for field_def in object_type.fields
+            if field_def.is_relationship
+        }
+        for field_name in relationship_roles:
+            if field_name not in declared:
+                tbox.include(Name(object_name), AtMost(0, Role(field_name), Top()))
+
+    # λ assigns one label: object types are pairwise disjoint.  (Declared as
+    # a native disjointness group rather than O(|OT|²) axioms; the tableau
+    # checks it directly.)  An exhaustiveness axiom ⊤ ⊑ ⊔OT is deliberately
+    # omitted: every individual a tableau run ever creates is typed (the
+    # root carries the queried type and every generated successor carries a
+    # type concept from its ∃/≥ trigger), so untyped "junk" individuals
+    # cannot arise, and omitting the axiom does not change any
+    # satisfiability verdict while removing the single biggest disjunction.
+    tbox.declare_disjoint(object_types)
+    return tbox

@@ -1,0 +1,54 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class.  Subsystems refine it:
+
+* :class:`GraphError` -- malformed Property Graphs (Definition 2.1 violations
+  such as reusing an identifier for both a node and an edge).
+* :class:`SDLSyntaxError` -- lexer/parser failures, carrying a source position.
+* :class:`SchemaError` -- a schema that cannot be built (unknown types,
+  inadmissible wrapping shapes, duplicate definitions).
+* :class:`ConsistencyError` -- a schema that violates interface or directives
+  consistency (Definitions 4.3/4.4); such schemas are rejected before
+  validation, because the paper assumes all schemas are consistent.
+* :class:`QueryError` -- errors in the GraphQL-API extension (Section 3.6).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """A Property Graph violates the structural rules of Definition 2.1."""
+
+
+class SDLSyntaxError(ReproError):
+    """A syntax error in a GraphQL SDL (or query) document.
+
+    Attributes:
+        message: Human-readable description of the problem.
+        line: 1-based line of the offending token.
+        column: 1-based column of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class SchemaError(ReproError):
+    """A schema definition cannot be turned into a formal schema."""
+
+
+class ConsistencyError(SchemaError):
+    """A schema violates Definition 4.3 or 4.4 (interface/directives consistency)."""
+
+
+class QueryError(ReproError):
+    """A GraphQL query cannot be executed against the graph/API schema."""

@@ -1,0 +1,52 @@
+"""First-order substrate: the executable Theorem-1 proof machinery."""
+
+from .encode import encode
+from .evaluate import evaluate
+from .formulas import (
+    And,
+    Atom,
+    Const,
+    Eq,
+    Exists,
+    FalseF,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    TrueF,
+    Var,
+    conj,
+    disj,
+    exists,
+    forall,
+)
+from .sentences import SENTENCES
+from .structure import FOStructure, Relation
+from .validator import FOValidator
+
+__all__ = [
+    "And",
+    "Atom",
+    "Const",
+    "Eq",
+    "Exists",
+    "FOStructure",
+    "FOValidator",
+    "FalseF",
+    "ForAll",
+    "Formula",
+    "Implies",
+    "Not",
+    "Or",
+    "Relation",
+    "SENTENCES",
+    "TrueF",
+    "Var",
+    "conj",
+    "disj",
+    "encode",
+    "evaluate",
+    "exists",
+    "forall",
+]

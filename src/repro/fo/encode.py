@@ -1,0 +1,211 @@
+"""Encoding of a (schema, Property Graph) pair as a first-order structure.
+
+This is the encoding from the proof of Theorem 1: the finite sets and the
+schema components become relations over a fixed (schema-sized) part of the
+domain, the Property Graph becomes the ``V``/``E``/``edge``/``label``/``val``
+relations, and the two derived predicates the proof discusses -- the subtype
+relation ``⊑_S`` and membership in ``values_W`` -- are precomputed as
+relations (``subtype``, ``valOK_F``, ``valOK_AF``) exactly as the proof's
+AC0-circuit argument precomputes them.
+
+Sorts:
+
+* ``node``, ``edge`` -- the graph elements (the only sorts whose size grows
+  with the data, hence the only quantifiers that count for data complexity);
+* ``value`` -- the (type-strict) signatures of property values in the graph;
+* ``symbol`` -- labels, type/field/argument names, base types and key ids
+  (fixed once the schema is fixed, up to the graph's label set).
+
+Vocabulary (relation name -- meaning):
+
+====================  =====================================================
+``V(v)``              v is a node
+``E(e)``              e is an edge
+``edge(e, v1, v2)``   ρ(e) = (v1, v2)
+``src(e, v)``         ρ(e) = (v, _)
+``tgt(e, v)``         ρ(e) = (_, v)
+``label(x, l)``       λ(x) = l
+``val(x, p, s)``      σ(x, p) has value signature s
+``OT(t)``             t is an object type
+``subtype(l, t)``     l ⊑_S t (named types/labels)
+``attrdecl(t, f)``    (t, f) ∈ dom(type_F), type_F(t, f) ∈ S ∪ W_S
+``reldecl(t, f)``     (t, f) ∈ dom(type_F), type_F(t, f) ∉ S ∪ W_S
+``basedecl(t, f, b)`` (t, f) declared with basetype b
+``nonlist(t, f)``     (t, f) declared with a non-list type
+``listattr(t, f)``    attribute declaration with a list type
+``argdecl(t, f, a)``  a ∈ args(t, f)
+``valOK_F(t,f,s)``    signature s conforms to values_W(type_F(t, f))
+``valOK_AF(t,f,a,s)`` signature s conforms to values_W(type_AF((t,f), a))
+``emptyarr(s)``       s is the signature of the empty array
+``distinctdecl(t,f)`` @distinct on (t, f)       (DS1)
+``noloopsdecl(t,f)``  @noLoops on (t, f)        (DS2)
+``uniqueFT(t, f)``    @uniqueForTarget on (t,f) (DS3)
+``reqFT(t, f, b)``    @requiredForTarget on (t, f), basetype b (DS4)
+``reqattr(t, f)``     @required on attribute (t, f)  (DS5)
+``reqedge(t, f)``     @required on relationship (t, f) (DS6)
+``iskey(k)``          k is a @key declaration   (DS7)
+``keyon(k, t)``       key k is declared on type t
+``keyfield(k, f)``    f is a scalar-typed field of key k
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..pg.values import value_signature
+from ..schema.subtype import is_named_subtype
+from ..validation import sites
+from .structure import FOStructure
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pg.model import PropertyGraph
+    from ..schema.model import GraphQLSchema
+
+EMPTY_ARRAY_SIG = ("array",)
+
+
+def encode(schema: "GraphQLSchema", graph: "PropertyGraph") -> FOStructure:
+    """Encode the validation-problem input as a first-order structure."""
+    structure = FOStructure()
+    raw_values = _encode_graph(structure, graph)
+    _encode_schema(structure, schema, graph, raw_values)
+    return structure
+
+
+def _encode_graph(structure: FOStructure, graph: "PropertyGraph") -> dict[tuple, object]:
+    """Add the graph facts; return signature -> representative raw value."""
+    structure.add_sort("node", graph.nodes)
+    structure.add_sort("edge", graph.edges)
+    structure.add_sort("value")
+    structure.add_sort("symbol")
+    for name, arity in (
+        ("V", 1),
+        ("E", 1),
+        ("edge", 3),
+        ("src", 2),
+        ("tgt", 2),
+        ("label", 2),
+        ("val", 3),
+    ):
+        structure.declare_relation(name, arity)
+    for node in graph.nodes:
+        structure.add_fact("V", node)
+        structure.add_fact("label", node, graph.label(node))
+        structure.add_to_sort("symbol", graph.label(node))
+    for edge in graph.edges:
+        source, target = graph.endpoints(edge)
+        structure.add_fact("E", edge)
+        structure.add_fact("edge", edge, source, target)
+        structure.add_fact("src", edge, source)
+        structure.add_fact("tgt", edge, target)
+        structure.add_fact("label", edge, graph.label(edge))
+        structure.add_to_sort("symbol", graph.label(edge))
+    raw_values: dict[tuple, object] = {}
+    for element, name, value in graph.property_items():
+        signature = value_signature(value)
+        raw_values[signature] = value
+        structure.add_fact("val", element, name, signature)
+        structure.add_to_sort("value", signature)
+        structure.add_to_sort("symbol", name)
+    return raw_values
+
+
+def _encode_schema(
+    structure: FOStructure,
+    schema: "GraphQLSchema",
+    graph: "PropertyGraph",
+    raw_values: dict[tuple, object],
+) -> None:
+    for name, arity in (
+        ("OT", 1),
+        ("subtype", 2),
+        ("attrdecl", 2),
+        ("reldecl", 2),
+        ("basedecl", 3),
+        ("nonlist", 2),
+        ("listattr", 2),
+        ("argdecl", 3),
+        ("valOK_F", 3),
+        ("valOK_AF", 4),
+        ("emptyarr", 1),
+        ("distinctdecl", 2),
+        ("noloopsdecl", 2),
+        ("uniqueFT", 2),
+        ("reqFT", 3),
+        ("reqattr", 2),
+        ("reqedge", 2),
+        ("iskey", 1),
+        ("keyon", 2),
+        ("keyfield", 2),
+    ):
+        structure.declare_relation(name, arity)
+
+    for object_name in schema.object_types:
+        structure.add_fact("OT", object_name)
+        structure.add_to_sort("symbol", object_name)
+    for type_name in schema.type_names:
+        structure.add_to_sort("symbol", type_name)
+
+    # subtype(l, t): l over graph labels + type names, t over type names
+    label_candidates = {graph.label(node) for node in graph.nodes} | set(
+        schema.type_names
+    )
+    named_types = (
+        set(schema.object_types) | set(schema.interface_types) | set(schema.union_types)
+    )
+    for label in label_candidates:
+        for type_name in named_types:
+            if is_named_subtype(schema, label, type_name):
+                structure.add_fact("subtype", label, type_name)
+        if label not in named_types:
+            structure.add_fact("subtype", label, label)  # rule 1 outside T
+
+    structure.add_fact("emptyarr", EMPTY_ARRAY_SIG)
+    structure.add_to_sort("value", EMPTY_ARRAY_SIG)
+
+    for type_name, field_name, field_def in schema.field_declarations():
+        structure.add_to_sort("symbol", field_name)
+        structure.add_fact("basedecl", type_name, field_name, field_def.type.base)
+        structure.add_to_sort("symbol", field_def.type.base)
+        if not field_def.type.is_list:
+            structure.add_fact("nonlist", type_name, field_name)
+        if field_def.is_attribute:
+            structure.add_fact("attrdecl", type_name, field_name)
+            if field_def.type.is_list:
+                structure.add_fact("listattr", type_name, field_name)
+            for signature, raw in raw_values.items():
+                if schema.scalars.in_values_w(raw, field_def.type):
+                    structure.add_fact("valOK_F", type_name, field_name, signature)
+        else:
+            structure.add_fact("reldecl", type_name, field_name)
+        for argument in field_def.arguments:
+            structure.add_fact("argdecl", type_name, field_name, argument.name)
+            structure.add_to_sort("symbol", argument.name)
+            for signature, raw in raw_values.items():
+                if schema.scalars.in_values_w(raw, argument.type):
+                    structure.add_fact(
+                        "valOK_AF", type_name, field_name, argument.name, signature
+                    )
+
+    for site in sites.distinct_sites(schema):
+        structure.add_fact("distinctdecl", site.type_name, site.field_name)
+    for site in sites.no_loops_sites(schema):
+        structure.add_fact("noloopsdecl", site.type_name, site.field_name)
+    for site in sites.unique_for_target_sites(schema):
+        structure.add_fact("uniqueFT", site.type_name, site.field_name)
+    for site in sites.required_for_target_sites(schema):
+        structure.add_fact("reqFT", site.type_name, site.field_name, site.field.type.base)
+    for site in sites.required_attribute_sites(schema):
+        structure.add_fact("reqattr", site.type_name, site.field_name)
+    for site in sites.required_edge_sites(schema):
+        structure.add_fact("reqedge", site.type_name, site.field_name)
+    for index, site in enumerate(sites.key_sites(schema)):
+        key_id = f"@key#{index}"
+        structure.add_to_sort("symbol", key_id)
+        structure.add_fact("iskey", key_id)
+        structure.add_fact("keyon", key_id, site.type_name)
+        for field_name in site.fields:
+            ref = schema.type_f(site.type_name, field_name)
+            if ref is not None and schema.is_scalar_type(ref.base):
+                structure.add_fact("keyfield", key_id, field_name)

@@ -1,0 +1,194 @@
+"""First-order formula AST.
+
+A small many-sorted first-order logic: terms are variables or constants,
+formulas are relation atoms, equality, boolean connectives and sorted
+quantifiers.  The proof of Theorem 1 encodes schema validation as boolean
+queries in this logic; :mod:`repro.fo.sentences` contains those queries and
+:mod:`repro.fo.evaluate` evaluates them over the structure built by
+:mod:`repro.fo.encode`.
+
+Sorts matter for the complexity story: quantifiers over *schema* sorts range
+over a fixed-size domain once the schema is fixed, so only the quantifiers
+over the ``node``/``edge``/``value`` sorts contribute to data complexity --
+the observation behind the O(n²) bound discussed after Theorem 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable, e.g. ``Var("e1")``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant denoting a domain element."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Var, Const]
+
+
+class Formula:
+    """Base class for formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    def __str__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    def __str__(self) -> str:
+        return "⊥"
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A relation atom R(t1, …, tk)."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(term) for term in self.terms)
+        return f"{self.relation}({args})"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"¬({self.body})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    parts: tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        return "(" + " ∧ ".join(str(part) for part in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    parts: tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(str(part) for part in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    premise: Formula
+    conclusion: Formula
+
+    def __str__(self) -> str:
+        return f"({self.premise} → {self.conclusion})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """∃ var : sort . body"""
+
+    var: Var
+    sort: str
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"∃{self.var}:{self.sort}. {self.body}"
+
+
+@dataclass(frozen=True)
+class ForAll(Formula):
+    """∀ var : sort . body"""
+
+    var: Var
+    sort: str
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"∀{self.var}:{self.sort}. {self.body}"
+
+
+def conj(*parts: Formula) -> Formula:
+    """n-ary conjunction (flattening nested And nodes)."""
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, And):
+            flat.extend(part.parts)
+        elif not isinstance(part, TrueF):
+            flat.append(part)
+    if not flat:
+        return TrueF()
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*parts: Formula) -> Formula:
+    """n-ary disjunction (flattening nested Or nodes)."""
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, Or):
+            flat.extend(part.parts)
+        elif not isinstance(part, FalseF):
+            flat.append(part)
+    if not flat:
+        return FalseF()
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def forall(variables: list[tuple[str, str]], body: Formula) -> Formula:
+    """∀ over several (name, sort) pairs, outermost first."""
+    for name, sort in reversed(variables):
+        body = ForAll(Var(name), sort, body)
+    return body
+
+
+def exists(variables: list[tuple[str, str]], body: Formula) -> Formula:
+    """∃ over several (name, sort) pairs, outermost first."""
+    for name, sort in reversed(variables):
+        body = Exists(Var(name), sort, body)
+    return body

@@ -1,0 +1,353 @@
+"""The satisfaction rules of Section 5 as first-order sentences.
+
+Each of WS1-WS4, DS1-DS7 and SS1-SS4 is written as a closed formula over the
+vocabulary of :mod:`repro.fo.encode`.  The sentences are *schema-independent*
+-- the schema enters purely through the encoded structure -- which is exactly
+how the Theorem-1 proof separates the fixed boolean queries from the encoded
+input.
+
+Quantifiers are written in guarded form, ``∀x (guard(x, bound…) → …)``, so
+the generic evaluator can narrow candidates from the guard relation; this is
+a pure evaluation optimisation and does not change the sentences' meaning.
+Only the ``node``/``edge``/``value`` quantifiers grow with the data, and no
+rule nests more than two of them -- the observation behind the O(n²) data
+complexity discussed after Theorem 1.
+"""
+
+from __future__ import annotations
+
+from .formulas import (
+    Atom,
+    Eq,
+    Exists,
+    FalseF,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    Var,
+    conj,
+    disj,
+)
+
+Spec = tuple[str, str, Formula | None]
+
+
+def _atom(relation: str, *names: str) -> Atom:
+    return Atom(relation, tuple(Var(name) for name in names))
+
+
+def _forall(specs: list[Spec], conclusion: Formula) -> Formula:
+    """Nested guarded universals: ∀x:sort. (guard → …)."""
+    body = conclusion
+    for name, sort, guard in reversed(specs):
+        if guard is not None:
+            body = Implies(guard, body)
+        body = ForAll(Var(name), sort, body)
+    return body
+
+
+def _exists(specs: list[Spec], body: Formula) -> Formula:
+    """Nested guarded existentials: ∃x:sort. (guard ∧ …)."""
+    for name, sort, guard in reversed(specs):
+        if guard is not None:
+            body = conj(guard, body)
+        body = Exists(Var(name), sort, body)
+    return body
+
+
+# --------------------------------------------------------------------------- #
+# weak satisfaction
+# --------------------------------------------------------------------------- #
+
+
+def ws1() -> Formula:
+    """Node properties must be of the required type."""
+    return _forall(
+        [
+            ("v", "node", _atom("V", "v")),
+            ("l", "symbol", _atom("label", "v", "l")),
+            ("p", "symbol", _atom("attrdecl", "l", "p")),
+            ("x", "value", _atom("val", "v", "p", "x")),
+        ],
+        _atom("valOK_F", "l", "p", "x"),
+    )
+
+
+def ws2() -> Formula:
+    """Edge properties must be of the required type."""
+    return _forall(
+        [
+            ("e", "edge", _atom("E", "e")),
+            ("v1", "node", _atom("src", "e", "v1")),
+            ("t", "symbol", _atom("label", "v1", "t")),
+            ("f", "symbol", _atom("label", "e", "f")),
+            ("a", "symbol", _atom("argdecl", "t", "f", "a")),
+            ("x", "value", _atom("val", "e", "a", "x")),
+        ],
+        _atom("valOK_AF", "t", "f", "a", "x"),
+    )
+
+
+def ws3() -> Formula:
+    """Target nodes must be of the required type."""
+    return _forall(
+        [
+            ("e", "edge", _atom("E", "e")),
+            ("v1", "node", _atom("src", "e", "v1")),
+            ("v2", "node", _atom("tgt", "e", "v2")),
+            ("t", "symbol", _atom("label", "v1", "t")),
+            ("f", "symbol", _atom("label", "e", "f")),
+            ("b", "symbol", _atom("basedecl", "t", "f", "b")),
+            ("l2", "symbol", _atom("label", "v2", "l2")),
+        ],
+        _atom("subtype", "l2", "b"),
+    )
+
+
+def ws4() -> Formula:
+    """Non-list fields contain at most one edge."""
+    return _forall(
+        [
+            ("e1", "edge", _atom("E", "e1")),
+            ("e2", "edge", _atom("E", "e2")),
+            ("v1", "node", _atom("src", "e1", "v1")),
+            ("f", "symbol", _atom("label", "e1", "f")),
+            ("t", "symbol", _atom("label", "v1", "t")),
+        ],
+        Implies(
+            conj(_atom("src", "e2", "v1"), _atom("label", "e2", "f"), _atom("nonlist", "t", "f")),
+            Eq(Var("e1"), Var("e2")),
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# directives satisfaction
+# --------------------------------------------------------------------------- #
+
+
+def ds1() -> Formula:
+    """@distinct: edges identified by endpoints and label."""
+    return _forall(
+        [
+            ("t", "symbol", None),
+            ("f", "symbol", _atom("distinctdecl", "t", "f")),
+            ("e1", "edge", _atom("label", "e1", "f")),
+            ("e2", "edge", _atom("label", "e2", "f")),
+            ("v1", "node", _atom("src", "e1", "v1")),
+            ("v2", "node", _atom("tgt", "e1", "v2")),
+            ("l", "symbol", _atom("label", "v1", "l")),
+        ],
+        Implies(
+            conj(
+                _atom("subtype", "l", "t"),
+                _atom("src", "e2", "v1"),
+                _atom("tgt", "e2", "v2"),
+            ),
+            Eq(Var("e1"), Var("e2")),
+        ),
+    )
+
+
+def ds2() -> Formula:
+    """@noLoops: no self-loop edges."""
+    return _forall(
+        [
+            ("t", "symbol", None),
+            ("f", "symbol", _atom("noloopsdecl", "t", "f")),
+            ("e", "edge", _atom("label", "e", "f")),
+            ("v", "node", _atom("src", "e", "v")),
+            ("l", "symbol", _atom("label", "v", "l")),
+        ],
+        Implies(conj(_atom("tgt", "e", "v"), _atom("subtype", "l", "t")), FalseF()),
+    )
+
+
+def ds3() -> Formula:
+    """@uniqueForTarget: targets have at most one incoming edge."""
+    return _forall(
+        [
+            ("t", "symbol", None),
+            ("f", "symbol", _atom("uniqueFT", "t", "f")),
+            ("e1", "edge", _atom("label", "e1", "f")),
+            ("e2", "edge", _atom("label", "e2", "f")),
+            ("v3", "node", _atom("tgt", "e1", "v3")),
+            ("v1", "node", _atom("src", "e1", "v1")),
+            ("v2", "node", _atom("src", "e2", "v2")),
+            ("l1", "symbol", _atom("label", "v1", "l1")),
+            ("l2", "symbol", _atom("label", "v2", "l2")),
+        ],
+        Implies(
+            conj(
+                _atom("tgt", "e2", "v3"),
+                _atom("subtype", "l1", "t"),
+                _atom("subtype", "l2", "t"),
+            ),
+            Eq(Var("e1"), Var("e2")),
+        ),
+    )
+
+
+def ds4() -> Formula:
+    """@requiredForTarget: targets have at least one incoming edge."""
+    incoming = _exists(
+        [
+            ("e", "edge", _atom("tgt", "e", "v2")),
+            ("v1", "node", _atom("src", "e", "v1")),
+            ("l1", "symbol", _atom("label", "v1", "l1")),
+        ],
+        conj(_atom("label", "e", "f"), _atom("subtype", "l1", "t")),
+    )
+    return _forall(
+        [
+            ("t", "symbol", None),
+            ("f", "symbol", None),
+            ("b", "symbol", _atom("reqFT", "t", "f", "b")),
+            ("v2", "node", _atom("V", "v2")),
+            ("l2", "symbol", _atom("label", "v2", "l2")),
+        ],
+        Implies(_atom("subtype", "l2", "b"), incoming),
+    )
+
+
+def ds5() -> Formula:
+    """@required on an attribute: property present (nonempty when a list)."""
+    present = Exists(
+        Var("x"),
+        "value",
+        conj(
+            _atom("val", "v", "f", "x"),
+            Not(conj(_atom("listattr", "t", "f"), _atom("emptyarr", "x"))),
+        ),
+    )
+    return _forall(
+        [
+            ("t", "symbol", None),
+            ("f", "symbol", _atom("reqattr", "t", "f")),
+            ("v", "node", _atom("V", "v")),
+            ("l", "symbol", _atom("label", "v", "l")),
+        ],
+        Implies(_atom("subtype", "l", "t"), present),
+    )
+
+
+def ds6() -> Formula:
+    """@required on a relationship: outgoing edge present."""
+    outgoing = Exists(
+        Var("e"), "edge", conj(_atom("src", "e", "v"), _atom("label", "e", "f"))
+    )
+    return _forall(
+        [
+            ("t", "symbol", None),
+            ("f", "symbol", _atom("reqedge", "t", "f")),
+            ("v", "node", _atom("V", "v")),
+            ("l", "symbol", _atom("label", "v", "l")),
+        ],
+        Implies(_atom("subtype", "l", "t"), outgoing),
+    )
+
+
+def ds7() -> Formula:
+    """@key: nodes agreeing on all key fields are identical."""
+    both_absent = conj(
+        Not(Exists(Var("x1"), "value", _atom("val", "v1", "f", "x1"))),
+        Not(Exists(Var("x2"), "value", _atom("val", "v2", "f", "x2"))),
+    )
+    shared_value = Exists(
+        Var("x"),
+        "value",
+        conj(_atom("val", "v1", "f", "x"), _atom("val", "v2", "f", "x")),
+    )
+    agree_on_f = disj(both_absent, shared_value)
+    agree_on_all = ForAll(
+        Var("f"), "symbol", Implies(_atom("keyfield", "k", "f"), agree_on_f)
+    )
+    return _forall(
+        [
+            ("k", "symbol", _atom("iskey", "k")),
+            ("t", "symbol", _atom("keyon", "k", "t")),
+            ("v1", "node", _atom("V", "v1")),
+            ("v2", "node", _atom("V", "v2")),
+            ("l1", "symbol", _atom("label", "v1", "l1")),
+            ("l2", "symbol", _atom("label", "v2", "l2")),
+        ],
+        Implies(
+            conj(_atom("subtype", "l1", "t"), _atom("subtype", "l2", "t"), agree_on_all),
+            Eq(Var("v1"), Var("v2")),
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# strong satisfaction
+# --------------------------------------------------------------------------- #
+
+
+def ss1() -> Formula:
+    """All nodes are justified: labels are object types."""
+    return _forall(
+        [("v", "node", _atom("V", "v")), ("l", "symbol", _atom("label", "v", "l"))],
+        _atom("OT", "l"),
+    )
+
+
+def ss2() -> Formula:
+    """All node properties are justified."""
+    return _forall(
+        [
+            ("v", "node", _atom("V", "v")),
+            ("l", "symbol", _atom("label", "v", "l")),
+            ("p", "symbol", None),
+            ("x", "value", _atom("val", "v", "p", "x")),
+        ],
+        _atom("attrdecl", "l", "p"),
+    )
+
+
+def ss3() -> Formula:
+    """All edge properties are justified."""
+    return _forall(
+        [
+            ("e", "edge", _atom("E", "e")),
+            ("v1", "node", _atom("src", "e", "v1")),
+            ("t", "symbol", _atom("label", "v1", "t")),
+            ("f", "symbol", _atom("label", "e", "f")),
+            ("a", "symbol", None),
+            ("x", "value", _atom("val", "e", "a", "x")),
+        ],
+        _atom("argdecl", "t", "f", "a"),
+    )
+
+
+def ss4() -> Formula:
+    """All edges are justified."""
+    return _forall(
+        [
+            ("e", "edge", _atom("E", "e")),
+            ("v1", "node", _atom("src", "e", "v1")),
+            ("t", "symbol", _atom("label", "v1", "t")),
+            ("f", "symbol", _atom("label", "e", "f")),
+        ],
+        _atom("reldecl", "t", "f"),
+    )
+
+
+#: Rule id -> sentence constructor, mirroring repro.validation.RULES.
+SENTENCES: dict[str, Formula] = {
+    "WS1": ws1(),
+    "WS2": ws2(),
+    "WS3": ws3(),
+    "WS4": ws4(),
+    "DS1": ds1(),
+    "DS2": ds2(),
+    "DS3": ds3(),
+    "DS4": ds4(),
+    "DS5": ds5(),
+    "DS6": ds6(),
+    "DS7": ds7(),
+    "SS1": ss1(),
+    "SS2": ss2(),
+    "SS3": ss3(),
+    "SS4": ss4(),
+}

@@ -1,0 +1,135 @@
+"""Many-sorted first-order structures: finite domains plus relations.
+
+The Theorem-1 proof encodes a (schema, graph) pair as such a structure; the
+evaluator in :mod:`repro.fo.evaluate` computes boolean queries over it.
+Relations additionally keep per-position indexes so the evaluator can
+enumerate only matching tuples (sideways information passing), which is what
+keeps the FO validator usable on non-toy graphs while remaining a generic
+relational-calculus engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class Relation:
+    """A finite relation: a set of tuples with per-position hash indexes."""
+
+    def __init__(self, name: str, arity: int) -> None:
+        self.name = name
+        self.arity = arity
+        self.tuples: set[tuple] = set()
+        # position -> value -> set of tuples having that value there
+        self._indexes: list[dict[object, set[tuple]]] = [dict() for _ in range(arity)]
+
+    def add(self, row: tuple) -> None:
+        if len(row) != self.arity:
+            raise ValueError(
+                f"relation {self.name} has arity {self.arity}, got row {row!r}"
+            )
+        if row in self.tuples:
+            return
+        self.tuples.add(row)
+        for position, value in enumerate(row):
+            self._indexes[position].setdefault(value, set()).add(row)
+
+    def __contains__(self, row: tuple) -> bool:
+        return row in self.tuples
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def matching(self, pattern: tuple) -> Iterable[tuple]:
+        """All tuples matching *pattern*, where None means "any value".
+
+        Uses the index of the most selective bound position.
+        """
+        best: set[tuple] | None = None
+        for position, value in enumerate(pattern):
+            if value is None:
+                continue
+            candidates = self._indexes[position].get(value, set())
+            if best is None or len(candidates) < len(best):
+                best = candidates
+            if best is not None and not best:
+                return ()
+        rows = self.tuples if best is None else best
+        return (
+            row
+            for row in rows
+            if all(
+                value is None or row[position] == value
+                for position, value in enumerate(pattern)
+            )
+        )
+
+
+class FOStructure:
+    """A many-sorted structure: named sorts (sub-domains) and named relations."""
+
+    def __init__(self) -> None:
+        self._sorts: dict[str, set[object]] = {}
+        self._relations: dict[str, Relation] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_sort(self, sort: str, elements: Iterable[object] = ()) -> None:
+        self._sorts.setdefault(sort, set()).update(elements)
+
+    def add_to_sort(self, sort: str, element: object) -> None:
+        self._sorts.setdefault(sort, set()).add(element)
+
+    def declare_relation(self, name: str, arity: int) -> Relation:
+        if name in self._relations:
+            if self._relations[name].arity != arity:
+                raise ValueError(f"relation {name} redeclared with different arity")
+            return self._relations[name]
+        relation = Relation(name, arity)
+        self._relations[name] = relation
+        return relation
+
+    def add_fact(self, name: str, *row: object) -> None:
+        relation = self._relations.get(name)
+        if relation is None:
+            relation = self.declare_relation(name, len(row))
+        relation.add(tuple(row))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def sort(self, name: str) -> set[object]:
+        try:
+            return self._sorts[name]
+        except KeyError:
+            raise KeyError(f"unknown sort: {name}") from None
+
+    def relation(self, name: str) -> Relation:
+        relation = self._relations.get(name)
+        if relation is None:
+            # an undeclared relation is the empty relation of unknown arity;
+            # give it arity 0 lazily only via declare_relation
+            raise KeyError(f"unknown relation: {name}")
+        return relation
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def holds(self, name: str, row: tuple) -> bool:
+        relation = self._relations.get(name)
+        return relation is not None and row in relation
+
+    @property
+    def sort_names(self) -> tuple[str, ...]:
+        return tuple(self._sorts)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{name}:{len(rel)}" for name, rel in self._relations.items())
+        return f"FOStructure({sizes})"

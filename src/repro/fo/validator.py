@@ -1,0 +1,44 @@
+"""A validator that literally evaluates the first-order sentences.
+
+:class:`FOValidator` decides each satisfaction rule by encoding the
+(schema, graph) pair as a first-order structure and evaluating the fixed
+boolean queries of :mod:`repro.fo.sentences`.  It returns booleans only (no
+violation witnesses), and it exists for two purposes:
+
+* as an *independent third implementation* of the Section-5 semantics that
+  the differential tests compare against the two rule engines, and
+* as the measured subject of experiment E3 (the Theorem-1 proof made
+  executable).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..validation.violations import rules_for_mode
+from .encode import encode
+from .evaluate import evaluate
+from .sentences import SENTENCES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pg.model import PropertyGraph
+    from ..schema.model import GraphQLSchema
+
+
+class FOValidator:
+    """Validation by direct first-order model checking."""
+
+    def __init__(self, schema: "GraphQLSchema") -> None:
+        self.schema = schema
+
+    def check_rules(
+        self, graph: "PropertyGraph", mode: str = "strong"
+    ) -> dict[str, bool]:
+        """Evaluate each rule sentence; True means the rule is satisfied."""
+        rules = tuple(rule for rule in rules_for_mode(mode) if rule in SENTENCES)
+        structure = encode(self.schema, graph)
+        return {rule: evaluate(structure, SENTENCES[rule]) for rule in rules}
+
+    def validate(self, graph: "PropertyGraph", mode: str = "strong") -> bool:
+        """Does the graph satisfy the schema (per *mode*)?"""
+        return all(self.check_rules(graph, mode).values())

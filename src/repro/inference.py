@@ -1,0 +1,242 @@
+"""Schema inference: induce a GraphQL-SDL schema from an example graph.
+
+The paper maps schemas to graphs; this module walks the other way.  Given a
+Property Graph assumed to be a representative instance, it produces the
+tightest schema (in the paper's language) that the instance strongly
+satisfies:
+
+* every node label becomes an object type;
+* every node property becomes an attribute field, typed by the least
+  general built-in scalar covering the observed values (or a list type when
+  all observed values are arrays), marked ``@required`` when every node of
+  the label carries it;
+* every edge label becomes a relationship field on its source types; the
+  field type is the single target type, or a generated union when edges of
+  one (source, label) pair reach several types; non-list when no source
+  node ever has two such edges;
+* edge properties become field arguments (non-null when present on every
+  observed edge);
+* ``@distinct`` / ``@noLoops`` / ``@uniqueForTarget`` / ``@requiredForTarget``
+  are emitted when the instance satisfies the corresponding invariant
+  non-vacuously;
+* single properties whose values are unique across a label are offered as
+  ``@key`` candidates (the lexicographically first one is emitted).
+
+The guarantee, tested property-style: ``graph`` strongly satisfies
+``infer_schema(graph)`` for every well-formed input graph whose labels and
+property names are valid GraphQL names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .pg.values import is_property_value, value_signature
+from .schema.build import parse_schema
+from .schema.model import GraphQLSchema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pg.model import PropertyGraph
+
+_SCALAR_ORDER = ("Boolean", "Int", "Float", "String")
+
+
+def _scalar_of(value: object) -> str:
+    if isinstance(value, bool):
+        return "Boolean"
+    if isinstance(value, int):
+        return "Int" if -(2**31) <= value <= 2**31 - 1 else "Float"
+    if isinstance(value, float):
+        return "Float"
+    return "String"
+
+
+def _join_scalars(left: str | None, right: str) -> str:
+    """Least general scalar covering both observed kinds.
+
+    Int widens into Float (Float's GraphQL domain includes ints); any other
+    mixture falls back to the permissive ``Any`` scalar the inferred schema
+    declares (its value domain is every property value).
+    """
+    if left is None or left == right:
+        return right
+    if {left, right} <= {"Int", "Float"}:
+        return "Float"
+    return "Any"
+
+
+@dataclass
+class _AttributeFacts:
+    scalar: str | None = None
+    is_list: bool = True  # refuted by the first atomic value
+    is_atom: bool = True  # refuted by the first array value
+    count: int = 0
+    signatures: set = field(default_factory=set)
+    duplicated: bool = False
+
+    def observe(self, value: object) -> None:
+        self.count += 1
+        signature = value_signature(value)
+        if signature in self.signatures:
+            self.duplicated = True
+        self.signatures.add(signature)
+        if isinstance(value, tuple):
+            self.is_atom = False
+            for item in value:
+                self.scalar = _join_scalars(self.scalar, _scalar_of(item))
+        else:
+            self.is_list = False
+            self.scalar = _join_scalars(self.scalar, _scalar_of(value))
+
+    def render_type(self) -> str:
+        scalar = self.scalar or "String"
+        if not self.is_atom and not self.is_list:
+            return "Any"  # both atoms and arrays observed
+        if not self.is_atom:  # arrays only
+            return f"[{scalar}]"
+        return scalar
+
+
+@dataclass
+class _RelationshipFacts:
+    targets: set[str] = field(default_factory=set)
+    sources_with_edge: set = field(default_factory=set)
+    max_out_degree: int = 0
+    has_parallel: bool = False
+    has_loop: bool = False
+    target_in_degree: dict = field(default_factory=dict)
+    argument_facts: dict[str, "_AttributeFacts"] = field(default_factory=dict)
+    edge_count: int = 0
+    arguments_seen_everywhere: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class InferenceResult:
+    """An inferred schema: the SDL text plus the built formal schema."""
+
+    sdl: str
+    schema: GraphQLSchema
+    key_candidates: dict[str, list[str]]
+
+
+def infer_schema(graph: "PropertyGraph") -> InferenceResult:
+    """Infer the tightest schema the instance strongly satisfies."""
+    labels = sorted({graph.label(node) for node in graph.nodes})
+    attributes: dict[str, dict[str, _AttributeFacts]] = {l: {} for l in labels}
+    node_counts: dict[str, int] = {l: 0 for l in labels}
+    relationships: dict[tuple[str, str], _RelationshipFacts] = {}
+
+    for node in graph.nodes:
+        label = graph.label(node)
+        node_counts[label] += 1
+        for name, value in graph.properties(node).items():
+            attributes[label].setdefault(name, _AttributeFacts()).observe(value)
+
+    for edge in graph.edges:
+        source, target = graph.endpoints(edge)
+        source_label, edge_label = graph.label(source), graph.label(edge)
+        facts = relationships.setdefault(
+            (source_label, edge_label), _RelationshipFacts()
+        )
+        facts.edge_count += 1
+        facts.targets.add(graph.label(target))
+        facts.sources_with_edge.add(source)
+        if source == target:
+            facts.has_loop = True
+        out_here = [
+            e for e in graph.out_edges(source, edge_label)
+        ]
+        facts.max_out_degree = max(facts.max_out_degree, len(out_here))
+        parallel = [
+            e for e in out_here if graph.endpoints(e)[1] == target
+        ]
+        if len(parallel) > 1:
+            facts.has_parallel = True
+        facts.target_in_degree[target] = facts.target_in_degree.get(target, 0) + 1
+        for name, value in graph.properties(edge).items():
+            facts.argument_facts.setdefault(name, _AttributeFacts()).observe(value)
+            facts.arguments_seen_everywhere[name] = (
+                facts.arguments_seen_everywhere.get(name, 0) + 1
+            )
+
+    unions: dict[frozenset, str] = {}
+    lines: list[str] = []
+    key_candidates: dict[str, list[str]] = {}
+
+    def union_name_for(targets: frozenset) -> str:
+        found = unions.get(targets)
+        if found is None:
+            found = "Or".join(sorted(targets))
+            while found in labels or found in unions.values():
+                found = "U" + found
+            unions[targets] = found
+        return found
+
+    for label in labels:
+        keys = sorted(
+            name
+            for name, facts in attributes[label].items()
+            if facts.count == node_counts[label]
+            and not facts.duplicated
+            and facts.is_atom
+        )
+        key_candidates[label] = keys
+        header = f"type {label}"
+        if keys:
+            header += f' @key(fields: ["{keys[0]}"])'
+        body: list[str] = []
+        for name in sorted(attributes[label]):
+            facts = attributes[label][name]
+            required = " @required" if facts.count == node_counts[label] else ""
+            body.append(f"  {name}: {facts.render_type()}{required}")
+        for (source_label, edge_label), facts in sorted(relationships.items()):
+            if source_label != label:
+                continue
+            target = (
+                next(iter(facts.targets))
+                if len(facts.targets) == 1
+                else union_name_for(frozenset(facts.targets))
+            )
+            is_list = facts.max_out_degree > 1
+            rendered = f"[{target}]" if is_list else target
+            arguments = ""
+            if facts.argument_facts:
+                rendered_args = []
+                for name in sorted(facts.argument_facts):
+                    arg_facts = facts.argument_facts[name]
+                    bang = (
+                        "!"
+                        if facts.arguments_seen_everywhere[name] == facts.edge_count
+                        and not arg_facts.render_type().startswith("[")
+                        else ""
+                    )
+                    rendered_args.append(f"{name}: {arg_facts.render_type()}{bang}")
+                arguments = "(" + " ".join(rendered_args) + ")"
+            directives: list[str] = []
+            if len(facts.sources_with_edge) == node_counts[label]:
+                directives.append("@required")
+            if is_list and not facts.has_parallel:
+                directives.append("@distinct")
+            if not facts.has_loop and label in facts.targets:
+                directives.append("@noLoops")
+            if facts.target_in_degree and max(facts.target_in_degree.values()) == 1:
+                directives.append("@uniqueForTarget")
+            suffix = (" " + " ".join(directives)) if directives else ""
+            body.append(f"  {edge_label}{arguments}: {rendered}{suffix}")
+        lines.append(header + " {")
+        lines.extend(body)
+        lines.append("}")
+        lines.append("")
+
+    for targets, name in sorted(unions.items(), key=lambda item: item[1]):
+        lines.append(f"union {name} = " + " | ".join(sorted(targets)))
+        lines.append("")
+
+    sdl = "\n".join(lines) if lines else "type Empty {\n}\n"
+    if "Any" in sdl.split() or ": Any" in sdl or "[Any]" in sdl:
+        sdl = "scalar Any\n\n" + sdl
+        schema = parse_schema(sdl, scalar_predicates={"Any": is_property_value})
+    else:
+        schema = parse_schema(sdl)
+    return InferenceResult(sdl=sdl, schema=schema, key_candidates=key_candidates)

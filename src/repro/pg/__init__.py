@@ -1,0 +1,47 @@
+"""Property Graph substrate (Definition 2.1 of the paper)."""
+
+from .build import GraphBuilder
+from .generate import chain_graph, random_graph, star_graph
+from .io import (
+    dump_graph,
+    dumps_graph,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    loads_graph,
+)
+from .model import ElementId, PropertyGraph
+from .stats import GraphProfile, profile_graph
+from .values import (
+    PropertyValue,
+    is_array_value,
+    is_atomic_value,
+    is_property_value,
+    normalize_value,
+    value_signature,
+    values_equal,
+)
+
+__all__ = [
+    "ElementId",
+    "GraphBuilder",
+    "GraphProfile",
+    "PropertyGraph",
+    "PropertyValue",
+    "chain_graph",
+    "dump_graph",
+    "dumps_graph",
+    "graph_from_dict",
+    "graph_to_dict",
+    "is_array_value",
+    "is_atomic_value",
+    "is_property_value",
+    "load_graph",
+    "loads_graph",
+    "normalize_value",
+    "profile_graph",
+    "random_graph",
+    "star_graph",
+    "value_signature",
+    "values_equal",
+]

@@ -1,0 +1,70 @@
+"""A fluent builder for Property Graphs.
+
+:class:`GraphBuilder` removes the boilerplate of inventing edge identifiers
+and lets graphs be written down in roughly the shape the paper's examples
+use.  It never adds semantics beyond :class:`~repro.pg.model.PropertyGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .model import ElementId, PropertyGraph
+
+
+class GraphBuilder:
+    """Build a :class:`PropertyGraph` with auto-generated edge ids.
+
+    Example:
+        >>> g = (
+        ...     GraphBuilder()
+        ...     .node("b1", "Book", title="Dune")
+        ...     .node("a1", "Author")
+        ...     .edge("b1", "author", "a1")
+        ...     .graph()
+        ... )
+        >>> g.num_edges
+        1
+    """
+
+    def __init__(self) -> None:
+        self._graph = PropertyGraph()
+        self._edge_counter = 0
+
+    def node(self, node_id: ElementId, label: str, **properties: object) -> "GraphBuilder":
+        """Add a node; properties are given as keyword arguments."""
+        self._graph.add_node(node_id, label, properties or None)
+        return self
+
+    def nodes(self, label: str, *node_ids: ElementId) -> "GraphBuilder":
+        """Add several property-less nodes sharing one label."""
+        for node_id in node_ids:
+            self._graph.add_node(node_id, label)
+        return self
+
+    def edge(
+        self,
+        source: ElementId,
+        label: str,
+        target: ElementId,
+        properties: Mapping[str, object] | None = None,
+        edge_id: ElementId | None = None,
+    ) -> "GraphBuilder":
+        """Add an edge; the edge id is generated unless given explicitly."""
+        if edge_id is None:
+            self._edge_counter += 1
+            edge_id = f"_e{self._edge_counter}"
+            while edge_id in self._graph:
+                self._edge_counter += 1
+                edge_id = f"_e{self._edge_counter}"
+        self._graph.add_edge(edge_id, source, target, label, properties)
+        return self
+
+    def prop(self, element_id: ElementId, name: str, value: object) -> "GraphBuilder":
+        """Set a property on an existing node or edge."""
+        self._graph.set_property(element_id, name, value)
+        return self
+
+    def graph(self) -> PropertyGraph:
+        """Return the built graph (the builder can keep extending it afterwards)."""
+        return self._graph

@@ -1,0 +1,81 @@
+"""Random Property Graph generation (schema-agnostic).
+
+These generators produce *unconstrained* random Property Graphs, useful for
+stress-testing the structural layer and for negative validation workloads.
+Schema-*conformant* generation lives in :mod:`repro.workloads.graphs`, where
+it can consult a schema.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .model import PropertyGraph
+
+_DEFAULT_LABELS = ("A", "B", "C")
+_DEFAULT_EDGE_LABELS = ("r", "s")
+_DEFAULT_PROP_NAMES = ("p", "q")
+
+
+def random_graph(
+    num_nodes: int,
+    num_edges: int,
+    node_labels: Sequence[str] = _DEFAULT_LABELS,
+    edge_labels: Sequence[str] = _DEFAULT_EDGE_LABELS,
+    prop_names: Sequence[str] = _DEFAULT_PROP_NAMES,
+    prop_probability: float = 0.5,
+    seed: int | None = None,
+) -> PropertyGraph:
+    """A uniform random multigraph with random labels and scalar properties.
+
+    Nodes are ``n0 … n{num_nodes-1}``; each edge picks uniform random
+    endpoints (self-loops allowed, parallel edges allowed -- Property Graphs
+    are directed multigraphs).  Each node independently receives each
+    property name with probability *prop_probability*.
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    if num_nodes <= 0:
+        return graph
+    node_ids = [f"n{i}" for i in range(num_nodes)]
+    for node_id in node_ids:
+        props = {
+            name: rng.randrange(1000)
+            for name in prop_names
+            if rng.random() < prop_probability
+        }
+        graph.add_node(node_id, rng.choice(tuple(node_labels)), props or None)
+    for i in range(num_edges):
+        graph.add_edge(
+            f"e{i}",
+            rng.choice(node_ids),
+            rng.choice(node_ids),
+            rng.choice(tuple(edge_labels)),
+        )
+    return graph
+
+
+def chain_graph(length: int, node_label: str = "A", edge_label: str = "r") -> PropertyGraph:
+    """A simple directed path: n0 -r-> n1 -r-> ... of *length* edges."""
+    graph = PropertyGraph()
+    graph.add_node("n0", node_label)
+    for i in range(length):
+        graph.add_node(f"n{i + 1}", node_label)
+        graph.add_edge(f"e{i}", f"n{i}", f"n{i + 1}", edge_label)
+    return graph
+
+
+def star_graph(
+    num_leaves: int,
+    center_label: str = "A",
+    leaf_label: str = "B",
+    edge_label: str = "r",
+) -> PropertyGraph:
+    """A star: one center with *num_leaves* outgoing edges to distinct leaves."""
+    graph = PropertyGraph()
+    graph.add_node("center", center_label)
+    for i in range(num_leaves):
+        graph.add_node(f"leaf{i}", leaf_label)
+        graph.add_edge(f"e{i}", "center", f"leaf{i}", edge_label)
+    return graph

@@ -1,0 +1,88 @@
+"""JSON serialisation of Property Graphs.
+
+The on-disk format is a small, explicit JSON document::
+
+    {
+      "nodes": [{"id": "u1", "label": "User", "properties": {"login": "alice"}}],
+      "edges": [{"id": "e1", "source": "s1", "target": "u1",
+                 "label": "user", "properties": {"certainty": 0.9}}]
+    }
+
+Array-valued properties serialise as JSON arrays.  Because JSON has no
+tuple/list distinction and no non-string keys, identifiers round-trip as
+strings or numbers only; that covers every workload in this repository.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from ..errors import GraphError
+from .model import PropertyGraph
+
+
+def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
+    """Encode *graph* as a JSON-serialisable dictionary."""
+
+    def encode_props(element: Any) -> dict[str, Any]:
+        return {
+            name: list(value) if isinstance(value, tuple) else value
+            for name, value in graph.properties(element).items()
+        }
+
+    return {
+        "nodes": [
+            {"id": node, "label": graph.label(node), "properties": encode_props(node)}
+            for node in graph.nodes
+        ],
+        "edges": [
+            {
+                "id": edge,
+                "source": graph.endpoints(edge)[0],
+                "target": graph.endpoints(edge)[1],
+                "label": graph.label(edge),
+                "properties": encode_props(edge),
+            }
+            for edge in graph.edges
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> PropertyGraph:
+    """Decode a dictionary produced by :func:`graph_to_dict`."""
+    graph = PropertyGraph()
+    try:
+        for node in data.get("nodes", []):
+            graph.add_node(node["id"], node["label"], node.get("properties") or None)
+        for edge in data.get("edges", []):
+            graph.add_edge(
+                edge["id"],
+                edge["source"],
+                edge["target"],
+                edge["label"],
+                edge.get("properties") or None,
+            )
+    except KeyError as missing:
+        raise GraphError(f"missing required field in graph document: {missing}") from None
+    return graph
+
+
+def dump_graph(graph: PropertyGraph, fp: IO[str], indent: int | None = 2) -> None:
+    """Write *graph* as JSON to an open text file."""
+    json.dump(graph_to_dict(graph), fp, indent=indent)
+
+
+def dumps_graph(graph: PropertyGraph, indent: int | None = 2) -> str:
+    """Return *graph* as a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def load_graph(fp: IO[str]) -> PropertyGraph:
+    """Read a graph from an open JSON text file."""
+    return graph_from_dict(json.load(fp))
+
+
+def loads_graph(text: str) -> PropertyGraph:
+    """Read a graph from a JSON string."""
+    return graph_from_dict(json.loads(text))

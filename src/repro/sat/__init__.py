@@ -1,0 +1,21 @@
+"""Propositional SAT substrate (ground truth for the Theorem-2 reduction)."""
+
+from .cnf import CNF, Clause, Literal
+from .dimacs import parse_dimacs, to_dimacs
+from .generate import pigeonhole, random_3sat_at_ratio, random_ksat
+from .solver import SolverResult, SolverStats, is_satisfiable, solve
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "Literal",
+    "SolverResult",
+    "SolverStats",
+    "is_satisfiable",
+    "parse_dimacs",
+    "pigeonhole",
+    "random_3sat_at_ratio",
+    "random_ksat",
+    "solve",
+    "to_dimacs",
+]

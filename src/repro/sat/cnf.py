@@ -1,0 +1,72 @@
+"""Propositional CNF formulas.
+
+The Theorem-2 reduction maps CNF satisfiability to object-type
+satisfiability, so this module provides the source representation: variables
+are positive integers, literals are non-zero integers (negative = negated),
+clauses are tuples of literals, and a formula is a tuple of clauses -- the
+DIMACS convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+Literal = int
+Clause = tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A propositional formula in conjunctive normal form."""
+
+    num_vars: int
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            for literal in clause:
+                if literal == 0:
+                    raise ValueError("0 is not a literal")
+                if abs(literal) > self.num_vars:
+                    raise ValueError(
+                        f"literal {literal} exceeds num_vars={self.num_vars}"
+                    )
+
+    @staticmethod
+    def of(clauses: Iterable[Iterable[int]], num_vars: int | None = None) -> "CNF":
+        """Build a CNF from any iterable of literal iterables."""
+        normalised = tuple(tuple(clause) for clause in clauses)
+        if num_vars is None:
+            num_vars = max(
+                (abs(literal) for clause in normalised for literal in clause),
+                default=0,
+            )
+        return CNF(num_vars, normalised)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def variables(self) -> range:
+        return range(1, self.num_vars + 1)
+
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Does *assignment* (variable -> truth value) satisfy the formula?"""
+        return all(
+            any(
+                assignment.get(abs(literal), False) == (literal > 0)
+                for literal in clause
+            )
+            for clause in self.clauses
+        )
+
+    def __str__(self) -> str:
+        def lit(literal: int) -> str:
+            return f"¬x{-literal}" if literal < 0 else f"x{literal}"
+
+        return " ∧ ".join(
+            "(" + " ∨ ".join(lit(literal) for literal in clause) + ")"
+            for clause in self.clauses
+        ) or "⊤"

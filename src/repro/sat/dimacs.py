@@ -1,0 +1,57 @@
+"""DIMACS CNF reading and writing.
+
+The standard interchange format for SAT: a header line ``p cnf <vars>
+<clauses>`` followed by zero-terminated clause lines; ``c`` lines are
+comments.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from .cnf import CNF
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse a DIMACS CNF document."""
+    num_vars: int | None = None
+    declared_clauses: int | None = None
+    clauses: list[tuple[int, ...]] = []
+    pending: list[int] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ReproError(f"malformed DIMACS header at line {line_number}: {raw!r}")
+            num_vars, declared_clauses = int(parts[2]), int(parts[3])
+            continue
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                clauses.append(tuple(pending))
+                pending = []
+            else:
+                pending.append(literal)
+    if pending:
+        clauses.append(tuple(pending))
+    if num_vars is None:
+        return CNF.of(clauses)
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        raise ReproError(
+            f"DIMACS header declares {declared_clauses} clauses, found {len(clauses)}"
+        )
+    return CNF(num_vars, tuple(clauses))
+
+
+def to_dimacs(cnf: CNF, comment: str | None = None) -> str:
+    """Render a CNF as a DIMACS document."""
+    lines = []
+    if comment:
+        lines.extend(f"c {text}" for text in comment.splitlines())
+    lines.append(f"p cnf {cnf.num_vars} {cnf.num_clauses}")
+    lines.extend(
+        " ".join(str(literal) for literal in clause) + " 0" for clause in cnf.clauses
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,60 @@
+"""Random CNF generation for the Theorem-2 experiments.
+
+Uniform random k-SAT: each clause picks k distinct variables and random
+polarities.  At clause/variable ratio ≈ 4.26 (for k = 3) instances sit at
+the classic satisfiability phase transition, which is where experiment E5
+samples to exhibit NP-hard behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .cnf import CNF
+
+
+def random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int = 3,
+    seed: int | None = None,
+) -> CNF:
+    """A uniform random k-SAT instance."""
+    if k > num_vars:
+        raise ValueError(f"k={k} exceeds num_vars={num_vars}")
+    rng = random.Random(seed)
+    variables = list(range(1, num_vars + 1))
+    clauses = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(variables, k)
+        clauses.append(
+            tuple(var if rng.random() < 0.5 else -var for var in chosen)
+        )
+    return CNF(num_vars, tuple(clauses))
+
+
+def random_3sat_at_ratio(
+    num_vars: int, ratio: float = 4.26, seed: int | None = None
+) -> CNF:
+    """Random 3-SAT at a given clause/variable ratio (default: the phase
+    transition)."""
+    return random_ksat(num_vars, max(1, round(ratio * num_vars)), k=3, seed=seed)
+
+
+def pigeonhole(holes: int) -> CNF:
+    """The pigeonhole principle PHP(holes+1, holes): provably unsatisfiable
+    and exponentially hard for resolution-based solvers -- a classic
+    worst-case family for the E5 runtime plots."""
+    pigeons = holes + 1
+
+    def var(pigeon: int, hole: int) -> int:
+        return pigeon * holes + hole + 1
+
+    clauses: list[tuple[int, ...]] = []
+    for pigeon in range(pigeons):
+        clauses.append(tuple(var(pigeon, hole) for hole in range(holes)))
+    for hole in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append((-var(p1, hole), -var(p2, hole)))
+    return CNF(pigeons * holes, tuple(clauses))

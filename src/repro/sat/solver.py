@@ -1,0 +1,154 @@
+"""A DPLL SAT solver.
+
+Iterative DPLL with unit propagation, pure-literal elimination and a
+most-frequent-literal branching heuristic.  It is deliberately a classic
+solver (no clause learning): its role is to provide ground truth for the
+Theorem-2 reduction experiments, where instances stay small enough (tens of
+variables) that DPLL is entirely adequate -- and its visible exponential
+growth *is* the NP-hardness story experiment E5 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cnf import CNF, Clause
+
+
+@dataclass
+class SolverStats:
+    """Search statistics of one solve call."""
+
+    decisions: int = 0
+    propagations: int = 0
+    backtracks: int = 0
+
+
+@dataclass
+class SolverResult:
+    """The outcome of a solve call.
+
+    ``satisfiable`` is the decision; ``assignment`` maps every variable to a
+    truth value when satisfiable (unconstrained variables default to False).
+    """
+
+    satisfiable: bool
+    assignment: dict[int, bool] | None = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+
+def solve(cnf: CNF) -> SolverResult:
+    """Decide satisfiability of *cnf* and produce a model when satisfiable."""
+    return _DPLL(cnf).run()
+
+
+def is_satisfiable(cnf: CNF) -> bool:
+    """Convenience wrapper: just the boolean answer."""
+    return solve(cnf).satisfiable
+
+
+class _DPLL:
+    def __init__(self, cnf: CNF) -> None:
+        self.cnf = cnf
+        self.stats = SolverStats()
+
+    def run(self) -> SolverResult:
+        if any(not clause for clause in self.cnf.clauses):
+            return SolverResult(False, stats=self.stats)
+        assignment = self._search(list(self.cnf.clauses), {})
+        if assignment is None:
+            return SolverResult(False, stats=self.stats)
+        full = {var: assignment.get(var, False) for var in self.cnf.variables}
+        return SolverResult(True, full, self.stats)
+
+    # ------------------------------------------------------------------ #
+
+    def _search(
+        self, clauses: list[Clause], assignment: dict[int, bool]
+    ) -> dict[int, bool] | None:
+        clauses, assignment, conflict = self._propagate(clauses, dict(assignment))
+        if conflict:
+            return None
+        clauses, assignment = self._pure_literals(clauses, assignment)
+        if not clauses:
+            return assignment
+        literal = self._choose_literal(clauses)
+        self.stats.decisions += 1
+        for chosen in (literal, -literal):
+            branch = dict(assignment)
+            branch[abs(chosen)] = chosen > 0
+            reduced = _reduce(clauses, chosen)
+            if reduced is not None:
+                result = self._search(reduced, branch)
+                if result is not None:
+                    return result
+            self.stats.backtracks += 1
+        return None
+
+    def _propagate(
+        self, clauses: list[Clause], assignment: dict[int, bool]
+    ) -> tuple[list[Clause], dict[int, bool], bool]:
+        """Unit propagation to a fixpoint; returns (clauses, assignment, conflict)."""
+        while True:
+            unit = next((clause[0] for clause in clauses if len(clause) == 1), None)
+            if unit is None:
+                return clauses, assignment, False
+            self.stats.propagations += 1
+            assignment[abs(unit)] = unit > 0
+            reduced = _reduce(clauses, unit)
+            if reduced is None:
+                return clauses, assignment, True
+            clauses = reduced
+
+    def _pure_literals(
+        self, clauses: list[Clause], assignment: dict[int, bool]
+    ) -> tuple[list[Clause], dict[int, bool]]:
+        """Assign variables that occur with a single polarity."""
+        while True:
+            polarity: dict[int, int] = {}
+            for clause in clauses:
+                for literal in clause:
+                    var = abs(literal)
+                    seen = polarity.get(var, 0)
+                    polarity[var] = seen | (1 if literal > 0 else 2)
+            pure = [
+                var if seen == 1 else -var
+                for var, seen in polarity.items()
+                if seen in (1, 2)
+            ]
+            if not pure:
+                return clauses, assignment
+            for literal in pure:
+                assignment[abs(literal)] = literal > 0
+                reduced = _reduce(clauses, literal)
+                assert reduced is not None  # a pure literal cannot conflict
+                clauses = reduced
+
+    @staticmethod
+    def _choose_literal(clauses: list[Clause]) -> int:
+        """Branch on the most frequent literal (ties broken by magnitude)."""
+        counts: dict[int, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                counts[literal] = counts.get(literal, 0) + 1
+        return max(counts, key=lambda literal: (counts[literal], -abs(literal)))
+
+
+def _reduce(clauses: list[Clause], literal: int) -> list[Clause] | None:
+    """Condition the clause set on *literal* being true.
+
+    Satisfied clauses are dropped and the complementary literal is removed;
+    returns None when an empty clause (conflict) arises.
+    """
+    reduced: list[Clause] = []
+    for clause in clauses:
+        if literal in clause:
+            continue
+        if -literal in clause:
+            shrunk = tuple(item for item in clause if item != -literal)
+            if not shrunk:
+                return None
+            reduced.append(shrunk)
+        else:
+            reduced.append(clause)
+    return reduced

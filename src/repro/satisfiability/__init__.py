@@ -1,0 +1,30 @@
+"""Schema satisfiability: Theorems 2 and 3 made executable."""
+
+from .bounded import BoundedModelFinder, BoundedSearchResult
+from .engine import (
+    SatisfiabilityChecker,
+    SchemaSatisfiabilityReport,
+    TypeSatisfiability,
+)
+from .sat_encoding import SATModelFinder
+from .reduction import (
+    ANCHOR_TYPE,
+    Reduction,
+    assignment_from_graph,
+    graph_from_assignment,
+    reduce_cnf_to_schema,
+)
+
+__all__ = [
+    "ANCHOR_TYPE",
+    "BoundedModelFinder",
+    "BoundedSearchResult",
+    "Reduction",
+    "SATModelFinder",
+    "SatisfiabilityChecker",
+    "SchemaSatisfiabilityReport",
+    "TypeSatisfiability",
+    "assignment_from_graph",
+    "graph_from_assignment",
+    "reduce_cnf_to_schema",
+]

@@ -1,0 +1,318 @@
+"""Bounded (finite) model search for object-type satisfiability.
+
+Property Graphs are finite by definition, so satisfiability in the paper's
+sense is *finite* satisfiability.  This engine searches exhaustively for a
+strongly-satisfying Property Graph with at most ``max_nodes`` nodes that
+populates a given object type, and returns the witness graph when it finds
+one.
+
+It complements the ALCQI tableau of :mod:`repro.dl`:
+
+* when the bounded search finds a model, the type is satisfiable (and the
+  tableau must agree, since finite models are models);
+* when the tableau reports UNSAT, no model of any size exists, so the
+  bounded search must fail at every bound;
+* when the tableau reports SAT but the bounded search keeps failing, the
+  schema may require an infinite model -- ALCQI lacks the finite model
+  property, and the paper's Example 6.1 diagram (b) is exactly such a case
+  (see EXPERIMENTS.md).
+
+Search strategy: enumerate label multisets of size 1..max_nodes containing
+the target type; for each, collect the required-edge obligations (DS6 per
+node and field, DS4 per node and @requiredForTarget site) and satisfy them
+one at a time by adding justified edges, backtracking across target/source
+choices; cardinality constraints (WS4/DS3/DS2) are checked on the fly, and
+every candidate is confirmed with the real validator (with required scalar
+properties filled in with fresh distinct values) before being returned.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from ..pg.model import PropertyGraph
+from ..schema.subtype import is_named_subtype
+from ..validation import sites
+from ..validation.indexed import IndexedValidator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..schema.model import GraphQLSchema
+
+
+@dataclass
+class BoundedSearchResult:
+    """Outcome of a bounded model search."""
+
+    satisfiable: bool
+    witness: PropertyGraph | None = None
+    nodes_tried: int = 0
+    assignments_tried: int = 0
+    bound: int = 0
+
+
+@dataclass(frozen=True)
+class _Obligation:
+    """One required edge: ``kind`` is "out" (DS6: node needs an outgoing
+    f-edge) or "in" (DS4: node needs an incoming f-edge from a source
+    below the declaring type)."""
+
+    kind: str
+    node: int
+    field_name: str
+    declaring_type: str
+
+
+class BoundedModelFinder:
+    """Exhaustive finite-model search up to a node bound."""
+
+    def __init__(self, schema: "GraphQLSchema", max_assignments: int = 20000) -> None:
+        self.schema = schema
+        self.max_assignments = max_assignments
+        self._validator = IndexedValidator(schema)
+        self._required_edge = sites.required_edge_sites(schema)
+        self._required_ft = sites.required_for_target_sites(schema)
+        self._no_loops = {
+            (site.type_name, site.field_name) for site in sites.no_loops_sites(schema)
+        }
+
+    def find_model(self, object_type: str, max_nodes: int = 4) -> BoundedSearchResult:
+        """Search for a strongly-satisfying graph with a node of *object_type*."""
+        result = BoundedSearchResult(satisfiable=False, bound=max_nodes)
+        if object_type not in self.schema.object_types:
+            return result
+        other_types = sorted(self.schema.object_types)
+        for size in range(1, max_nodes + 1):
+            for extra in itertools.combinations_with_replacement(
+                other_types, size - 1
+            ):
+                result.assignments_tried += 1
+                if result.assignments_tried > self.max_assignments:
+                    return result
+                labels = (object_type,) + extra
+                witness = self._try_labels(labels)
+                if witness is not None:
+                    result.satisfiable = True
+                    result.witness = witness
+                    return result
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _try_labels(self, labels: tuple[str, ...]) -> PropertyGraph | None:
+        obligations = self._collect_obligations(labels)
+        edges = self._search_edges(labels, frozenset(), obligations, 0)
+        if edges is None:
+            return None
+        graph = self._materialise(labels, edges)
+        report = self._validator.validate(graph, mode="strong")
+        return graph if report.conforms else None
+
+    def _collect_obligations(self, labels: tuple[str, ...]) -> list[_Obligation]:
+        obligations: list[_Obligation] = []
+        for node, label in enumerate(labels):
+            for site in self._required_edge:
+                if is_named_subtype(self.schema, label, site.type_name):
+                    obligations.append(
+                        _Obligation("out", node, site.field_name, site.type_name)
+                    )
+            for site in self._required_ft:
+                if is_named_subtype(self.schema, label, site.field.type.base):
+                    obligations.append(
+                        _Obligation("in", node, site.field_name, site.type_name)
+                    )
+        return obligations
+
+    def _search_edges(
+        self,
+        labels: tuple[str, ...],
+        edges: frozenset[tuple[int, str, int]],
+        obligations: list[_Obligation],
+        depth: int,
+    ) -> frozenset[tuple[int, str, int]] | None:
+        pending = [
+            obligation
+            for obligation in obligations
+            if not self._met(labels, edges, obligation)
+        ]
+        if not pending:
+            return edges
+        if depth > len(labels) * len(obligations) + 8:
+            return None
+        obligation = pending[0]
+        for candidate in self._candidate_edges(labels, edges, obligation):
+            extended = edges | {candidate}
+            if not self._edges_admissible(labels, extended, candidate):
+                continue
+            found = self._search_edges(labels, extended, obligations, depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def _met(
+        self,
+        labels: tuple[str, ...],
+        edges: frozenset[tuple[int, str, int]],
+        obligation: _Obligation,
+    ) -> bool:
+        if obligation.kind == "out":
+            return any(
+                source == obligation.node and label == obligation.field_name
+                for source, label, _target in edges
+            )
+        return any(
+            target == obligation.node
+            and label == obligation.field_name
+            and is_named_subtype(
+                self.schema, labels[source], obligation.declaring_type
+            )
+            for source, label, target in edges
+        )
+
+    def _candidate_edges(
+        self,
+        labels: tuple[str, ...],
+        edges: frozenset[tuple[int, str, int]],
+        obligation: _Obligation,
+    ) -> Iterable[tuple[int, str, int]]:
+        field_name = obligation.field_name
+        if obligation.kind == "out":
+            source = obligation.node
+            declaration = self.schema.field(labels[source], field_name)
+            if declaration is None or declaration.is_attribute:
+                return
+            for target, target_label in enumerate(labels):
+                if is_named_subtype(self.schema, target_label, declaration.type.base):
+                    candidate = (source, field_name, target)
+                    if candidate not in edges:
+                        yield candidate
+        else:
+            target = obligation.node
+            for source, source_label in enumerate(labels):
+                if not is_named_subtype(
+                    self.schema, source_label, obligation.declaring_type
+                ):
+                    continue
+                declaration = self.schema.field(source_label, field_name)
+                if declaration is None or declaration.is_attribute:
+                    continue
+                if not is_named_subtype(
+                    self.schema, labels[target], declaration.type.base
+                ):
+                    continue
+                candidate = (source, field_name, target)
+                if candidate not in edges:
+                    yield candidate
+
+    def _edges_admissible(
+        self,
+        labels: tuple[str, ...],
+        edges: frozenset[tuple[int, str, int]],
+        added: tuple[int, str, int],
+    ) -> bool:
+        """Quick rejection of the newly added edge against WS4/DS2/DS3."""
+        source, field_name, target = added
+        declaration = self.schema.field(labels[source], field_name)
+        if declaration is None or declaration.is_attribute:
+            return False
+        # WS4: non-list declarations allow at most one outgoing edge
+        if not declaration.type.is_list:
+            count = sum(
+                1
+                for other_source, other_label, _t in edges
+                if other_source == source and other_label == field_name
+            )
+            if count > 1:
+                return False
+        # DS2: @noLoops forbids self-loops for sources below the declaring type
+        if source == target:
+            for declaring, loop_field in self._no_loops:
+                if loop_field == field_name and is_named_subtype(
+                    self.schema, labels[source], declaring
+                ):
+                    return False
+        # DS3: @uniqueForTarget bounds incoming edges per declaring type
+        for site in sites.unique_for_target_sites(self.schema):
+            if site.field_name != field_name:
+                continue
+            count = sum(
+                1
+                for other_source, other_label, other_target in edges
+                if other_target == target
+                and other_label == field_name
+                and is_named_subtype(
+                    self.schema, labels[other_source], site.type_name
+                )
+            )
+            if count > 1:
+                return False
+        return True
+
+    def _materialise(
+        self, labels: tuple[str, ...], edges: frozenset[tuple[int, str, int]]
+    ) -> PropertyGraph:
+        return materialise_graph(self.schema, labels, edges)
+
+
+def fresh_value(schema: "GraphQLSchema", type_ref, seed: int) -> object:
+    """A well-typed value for *type_ref*, distinct per *seed* where the
+    domain allows (Theorem 3's argument: scalar values can always be chosen)."""
+    base = type_ref.base
+    scalars = schema.scalars
+    if scalars.is_enum(base):
+        value: object = sorted(scalars.enum_values(base))[0]
+    elif base == "Int":
+        value = seed
+    elif base == "Float":
+        value = float(seed)
+    elif base == "Boolean":
+        value = True
+    else:  # String, ID, custom scalars
+        value = f"value-{seed}"
+    if type_ref.is_list:
+        return (value,)
+    return value
+
+
+def materialise_graph(
+    schema: "GraphQLSchema",
+    labels: tuple[str, ...],
+    edges: frozenset[tuple[int, str, int]],
+) -> PropertyGraph:
+    """Build the Property Graph for a label assignment plus edge set,
+    filling required scalar node properties and mandatory edge properties
+    with fresh, distinct, well-typed values."""
+    graph = PropertyGraph()
+    counter = itertools.count(1)
+    for node, label in enumerate(labels):
+        properties: dict[str, object] = {}
+        object_type = schema.object_types[label]
+        for field_def in object_type.fields:
+            if field_def.is_attribute and field_def.has_directive("required"):
+                properties[field_def.name] = fresh_value(
+                    schema, field_def.type, next(counter)
+                )
+        # interface-declared required attributes apply to implementors too
+        for interface_name in object_type.interfaces:
+            for field_def in schema.interface_types[interface_name].fields:
+                if (
+                    field_def.is_attribute
+                    and field_def.has_directive("required")
+                    and field_def.name not in properties
+                ):
+                    properties[field_def.name] = fresh_value(
+                        schema, field_def.type, next(counter)
+                    )
+        graph.add_node(node, label, properties or None)
+    for index, (source, field_name, target) in enumerate(sorted(edges)):
+        field_def = schema.field(labels[source], field_name)
+        properties = {}
+        if field_def is not None:
+            properties = {
+                argument.name: fresh_value(schema, argument.type, next(counter))
+                for argument in field_def.arguments
+                if argument.type.non_null and not argument.has_default
+            }
+        graph.add_edge(f"e{index}", source, target, field_name, properties or None)
+    return graph

@@ -1,0 +1,167 @@
+"""Object-type satisfiability: the decision engines of Section 6.2.
+
+:class:`SatisfiabilityChecker` offers:
+
+* ``check_type`` -- the paper's procedure (Theorem 3): translate the schema
+  to an ALCQI TBox and run the tableau.  This decides satisfiability over
+  *unrestricted* (possibly infinite) models.
+* ``check_type_finite`` -- bounded search for an actual witness Property
+  Graph.  Property Graphs are finite, so this is the semantics the paper's
+  Definition of satisfiability literally asks for; ALCQI lacks the finite
+  model property, and the two engines can diverge on schemas that force
+  infinite models (the paper's diagram (b); see EXPERIMENTS.md).
+* ``check_field`` -- edge-definition satisfiability via the paper's §6.2
+  reduction: an edge definition (t, f) is populatable iff the concept
+  ``t ⊓ ∃f.basetype(type_S(t, f))`` is satisfiable.
+* ``check_schema`` -- the whole-schema soundness report the paper motivates
+  ("every part of the schema can be populated").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..dl.concepts import And, Exists, Name, Role
+from ..dl.tableau import Tableau
+from ..dl.translate import schema_to_tbox
+from .bounded import BoundedModelFinder, BoundedSearchResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pg.model import PropertyGraph
+    from ..schema.model import GraphQLSchema
+
+
+@dataclass
+class TypeSatisfiability:
+    """The verdicts for one object type."""
+
+    type_name: str
+    tableau_satisfiable: bool
+    bounded: BoundedSearchResult | None = None
+
+    @property
+    def witness(self) -> "PropertyGraph | None":
+        return self.bounded.witness if self.bounded else None
+
+    @property
+    def finitely_satisfiable(self) -> bool | None:
+        """True when a finite witness exists, None when unknown (the bounded
+        search failed but the tableau says satisfiable -- either the bound
+        was too small or only infinite models exist), False when the
+        tableau proves unsatisfiability (no models at all)."""
+        if self.bounded is not None and self.bounded.satisfiable:
+            return True
+        if not self.tableau_satisfiable:
+            return False
+        return None
+
+
+@dataclass
+class SchemaSatisfiabilityReport:
+    """Per-element satisfiability of a whole schema (§6.2's soundness check)."""
+
+    types: dict[str, TypeSatisfiability] = field(default_factory=dict)
+    fields: dict[tuple[str, str], bool] = field(default_factory=dict)
+
+    @property
+    def unsatisfiable_types(self) -> list[str]:
+        return sorted(
+            name
+            for name, verdict in self.types.items()
+            if not verdict.tableau_satisfiable
+        )
+
+    @property
+    def unsatisfiable_fields(self) -> list[tuple[str, str]]:
+        return sorted(key for key, ok in self.fields.items() if not ok)
+
+    @property
+    def sound(self) -> bool:
+        """Every object type and every relationship definition is populatable."""
+        return not self.unsatisfiable_types and not self.unsatisfiable_fields
+
+    def summary(self) -> str:
+        if self.sound:
+            return f"sound: all {len(self.types)} object types populatable"
+        parts = []
+        if self.unsatisfiable_types:
+            parts.append("unsatisfiable types: " + ", ".join(self.unsatisfiable_types))
+        if self.unsatisfiable_fields:
+            parts.append(
+                "unpopulatable edges: "
+                + ", ".join(f"{t}.{f}" for t, f in self.unsatisfiable_fields)
+            )
+        return "; ".join(parts)
+
+
+class SatisfiabilityChecker:
+    """Object-type satisfiability over one (possibly inconsistent) schema."""
+
+    def __init__(
+        self,
+        schema: "GraphQLSchema",
+        max_nodes: int = 5000,
+        bounded_max_nodes: int = 4,
+    ) -> None:
+        self.schema = schema
+        self.tbox = schema_to_tbox(schema)
+        self.tableau = Tableau(self.tbox, max_nodes=max_nodes)
+        self.bounded_max_nodes = bounded_max_nodes
+        self._finder = BoundedModelFinder(schema)
+
+    # ------------------------------------------------------------------ #
+
+    def is_satisfiable(self, object_type: str) -> bool:
+        """The Theorem-3 decision: tableau over the ALCQI translation."""
+        return self.tableau.is_satisfiable(Name(object_type))
+
+    def check_type(
+        self, object_type: str, find_witness: bool = True
+    ) -> TypeSatisfiability:
+        """Both verdicts for one object type (tableau + bounded witness search)."""
+        tableau_verdict = self.is_satisfiable(object_type)
+        bounded = None
+        if find_witness and tableau_verdict:
+            bounded = self._finder.find_model(object_type, self.bounded_max_nodes)
+        return TypeSatisfiability(object_type, tableau_verdict, bounded)
+
+    def check_type_finite(
+        self, object_type: str, max_nodes: int | None = None
+    ) -> BoundedSearchResult:
+        """Finite-model search only (the paper's literal semantics)."""
+        return self._finder.find_model(
+            object_type, max_nodes or self.bounded_max_nodes
+        )
+
+    def check_field(self, type_name: str, field_name: str) -> bool:
+        """§6.2: is the edge definition (t, f) populatable?
+
+        Equivalent to adding ``@required`` to the field and asking whether
+        the declaring type remains satisfiable: the concept
+        ``t ⊓ ∃f.basetype`` must be satisfiable.
+        """
+        field_def = self.schema.field(type_name, field_name)
+        if field_def is None or field_def.is_attribute:
+            raise ValueError(f"{type_name}.{field_name} is not a relationship definition")
+        concept = And(
+            (
+                Name(type_name),
+                Exists(Role(field_name), Name(field_def.type.base)),
+            )
+        )
+        return self.tableau.is_satisfiable(concept)
+
+    def check_schema(self, find_witnesses: bool = False) -> SchemaSatisfiabilityReport:
+        """Check every object type and every relationship definition."""
+        report = SchemaSatisfiabilityReport()
+        for type_name in sorted(self.schema.object_types):
+            report.types[type_name] = self.check_type(
+                type_name, find_witness=find_witnesses
+            )
+        for type_name, field_name, field_def in self.schema.field_declarations():
+            if field_def.is_relationship:
+                report.fields[(type_name, field_name)] = self.check_field(
+                    type_name, field_name
+                )
+        return report

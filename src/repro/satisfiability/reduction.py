@@ -1,0 +1,160 @@
+"""The CNF-SAT → object-type satisfiability reduction (Theorem 2).
+
+Given a CNF φ = ψ1 ∧ … ∧ ψn, the proof of Theorem 2 constructs a schema
+with a distinguished object type ``ot`` such that ``ot`` is satisfiable iff
+φ is:
+
+1. the object type ``ot`` (the "assignment anchor");
+2. an interface type ``Clause_j`` per clause, declaring
+   ``f: [ot] @requiredForTarget`` -- so every ``ot`` node needs an incoming
+   ``f``-edge from *some* implementor of every clause interface (= every
+   clause has a true literal);
+3. an object type ``Lit_j_i`` per literal occurrence, implementing its
+   clause's interface (= the literal's occurrence can be the clause's
+   witness);
+4. an interface type ``Conflict_…`` per pair of complementary literal
+   occurrences, implemented by both, declaring ``f: [ot] @uniqueForTarget``
+   -- so an ``ot`` node cannot receive ``f``-edges from both a literal and
+   its negation (= the induced truth assignment is consistent).
+
+:func:`reduce_cnf_to_schema` builds the schema; :func:`assignment_from_graph`
+extracts the truth assignment back out of a witness Property Graph, and
+:func:`graph_from_assignment` builds the canonical witness graph from a
+satisfying assignment (used to cross-validate the reduction end-to-end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pg.model import PropertyGraph
+from ..sat.cnf import CNF
+from ..schema.build import parse_schema
+from ..schema.model import GraphQLSchema
+
+#: The distinguished object type whose satisfiability encodes φ's.
+ANCHOR_TYPE = "OTphi"
+#: The single relationship field name the construction uses.
+FIELD = "f"
+
+
+def literal_type_name(clause_index: int, position: int) -> str:
+    """The object type encoding occurrence *position* of clause *clause_index*."""
+    return f"Lit_{clause_index}_{position}"
+
+
+def clause_interface_name(clause_index: int) -> str:
+    return f"Clause_{clause_index}"
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """The output of the Theorem-2 construction."""
+
+    cnf: CNF
+    schema: GraphQLSchema
+    sdl: str
+    #: literal occurrence (clause index, position) -> signed variable
+    occurrences: dict[tuple[int, int], int]
+
+    @property
+    def anchor(self) -> str:
+        return ANCHOR_TYPE
+
+
+def reduce_cnf_to_schema(cnf: CNF) -> Reduction:
+    """Run the Theorem-2 construction on *cnf*."""
+    lines: list[str] = [f"type {ANCHOR_TYPE} {{ }}", ""]
+    occurrences: dict[tuple[int, int], int] = {}
+
+    for clause_index, clause in enumerate(cnf.clauses):
+        interface = clause_interface_name(clause_index)
+        lines.append(f"interface {interface} {{")
+        lines.append(f"  {FIELD}: [{ANCHOR_TYPE}] @requiredForTarget")
+        lines.append("}")
+        for position, literal in enumerate(clause):
+            occurrences[(clause_index, position)] = literal
+
+    conflict_interfaces: dict[tuple[tuple[int, int], tuple[int, int]], str] = {}
+    occurrence_list = sorted(occurrences)
+    for index, first in enumerate(occurrence_list):
+        for second in occurrence_list[index + 1 :]:
+            if occurrences[first] == -occurrences[second]:
+                name = (
+                    f"Conflict_{first[0]}_{first[1]}__{second[0]}_{second[1]}"
+                )
+                conflict_interfaces[(first, second)] = name
+                lines.append(f"interface {name} {{")
+                lines.append(f"  {FIELD}: [{ANCHOR_TYPE}] @uniqueForTarget")
+                lines.append("}")
+
+    for clause_index, position in occurrence_list:
+        implemented = [clause_interface_name(clause_index)]
+        for (first, second), name in conflict_interfaces.items():
+            if (clause_index, position) in (first, second):
+                implemented.append(name)
+        lines.append(
+            f"type {literal_type_name(clause_index, position)} "
+            f"implements {' & '.join(implemented)} {{"
+        )
+        lines.append(f"  {FIELD}: [{ANCHOR_TYPE}]")
+        lines.append("}")
+
+    sdl = "\n".join(lines) + "\n"
+    schema = parse_schema(sdl)
+    return Reduction(cnf=cnf, schema=schema, sdl=sdl, occurrences=occurrences)
+
+
+def graph_from_assignment(
+    reduction: Reduction, assignment: dict[int, bool]
+) -> PropertyGraph:
+    """The canonical witness graph for a satisfying *assignment*.
+
+    One ``ot`` node, plus one literal node per *true* literal occurrence,
+    each with an ``f``-edge to the anchor.  (False occurrences get a node
+    but no edge -- nodes without edges are always allowed.)  If the
+    assignment satisfies the CNF, the result strongly satisfies the schema.
+    """
+    graph = PropertyGraph()
+    anchor = graph.add_node("phi", ANCHOR_TYPE)
+    edge_count = 0
+    for (clause_index, position), literal in sorted(reduction.occurrences.items()):
+        node = graph.add_node(
+            f"lit_{clause_index}_{position}",
+            literal_type_name(clause_index, position),
+        )
+        literal_true = assignment.get(abs(literal), False) == (literal > 0)
+        if literal_true:
+            graph.add_edge(f"edge_{edge_count}", node, anchor, FIELD)
+            edge_count += 1
+    return graph
+
+
+def assignment_from_graph(
+    reduction: Reduction, graph: PropertyGraph
+) -> dict[int, bool]:
+    """Extract the truth assignment a witness graph induces.
+
+    Every ``f``-edge into an anchor node marks its source's literal
+    occurrence as true.  The schema's conflict interfaces guarantee the
+    marks are consistent, and the clause interfaces guarantee every clause
+    is covered, so the result satisfies the CNF whenever the graph strongly
+    satisfies the schema.  Unconstrained variables default to True.
+    """
+    assignment: dict[int, bool] = {}
+    name_to_occurrence = {
+        literal_type_name(clause_index, position): literal
+        for (clause_index, position), literal in reduction.occurrences.items()
+    }
+    for edge in graph.edges:
+        if graph.label(edge) != FIELD:
+            continue
+        source, target = graph.endpoints(edge)
+        if graph.label(target) != ANCHOR_TYPE:
+            continue
+        literal = name_to_occurrence.get(graph.label(source))
+        if literal is not None:
+            assignment[abs(literal)] = literal > 0
+    for variable in reduction.cnf.variables:
+        assignment.setdefault(variable, True)
+    return assignment

@@ -1,0 +1,72 @@
+"""The formal GraphQL schema model and its Property Graph interpretation."""
+
+from .build import build_schema, parse_schema, value_to_python
+from .consistency import (
+    check_consistency,
+    consistency_errors,
+    directives_consistency_errors,
+    interface_consistency_errors,
+    is_consistent,
+)
+from .directives import (
+    DISTINCT,
+    KEY,
+    NO_LOOPS,
+    REQUIRED,
+    REQUIRED_FOR_TARGET,
+    STANDARD_DIRECTIVES,
+    UNIQUE_FOR_TARGET,
+    canonical_directive_name,
+)
+from .model import (
+    AppliedDirective,
+    ArgumentDefinition,
+    DirectiveDefinition,
+    FieldDefinition,
+    FieldKind,
+    GraphQLSchema,
+    InterfaceType,
+    ObjectType,
+    UnionType,
+)
+from .printer import print_schema, schema_to_document
+from .scalars import BUILTIN_SCALARS, ScalarRegistry
+from .subtype import is_named_subtype, is_subtype, label_conforms
+from .typerefs import TypeRef, all_wrappings
+
+__all__ = [
+    "AppliedDirective",
+    "ArgumentDefinition",
+    "BUILTIN_SCALARS",
+    "DISTINCT",
+    "DirectiveDefinition",
+    "FieldDefinition",
+    "FieldKind",
+    "GraphQLSchema",
+    "InterfaceType",
+    "KEY",
+    "NO_LOOPS",
+    "ObjectType",
+    "REQUIRED",
+    "REQUIRED_FOR_TARGET",
+    "STANDARD_DIRECTIVES",
+    "ScalarRegistry",
+    "TypeRef",
+    "UNIQUE_FOR_TARGET",
+    "UnionType",
+    "all_wrappings",
+    "build_schema",
+    "canonical_directive_name",
+    "check_consistency",
+    "consistency_errors",
+    "directives_consistency_errors",
+    "interface_consistency_errors",
+    "is_consistent",
+    "is_named_subtype",
+    "is_subtype",
+    "label_conforms",
+    "parse_schema",
+    "print_schema",
+    "schema_to_document",
+    "value_to_python",
+]

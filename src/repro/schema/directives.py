@@ -1,0 +1,59 @@
+"""The six constraint directives the paper introduces (Sections 3 and 4.3).
+
+Definition 4.5's closing assumption: ``D`` contains ``@distinct``,
+``@noLoops``, ``@required``, ``@requiredForTarget``, ``@uniqueForTarget``
+and ``@key``; all take no arguments except ``@key``, whose ``fields``
+argument has type ``[String!]!``.
+
+Section 3 spells the no-loops directive ``@noloops`` while Definition 5.2
+spells it ``@noLoops``; both spellings are accepted on input and canonicalised
+to ``noLoops``.
+"""
+
+from __future__ import annotations
+
+from .typerefs import TypeRef
+
+REQUIRED = "required"
+KEY = "key"
+DISTINCT = "distinct"
+NO_LOOPS = "noLoops"
+UNIQUE_FOR_TARGET = "uniqueForTarget"
+REQUIRED_FOR_TARGET = "requiredForTarget"
+
+#: Canonical names of the paper's standard directives.
+STANDARD_DIRECTIVES = (
+    REQUIRED,
+    KEY,
+    DISTINCT,
+    NO_LOOPS,
+    UNIQUE_FOR_TARGET,
+    REQUIRED_FOR_TARGET,
+)
+
+#: Alternative spellings accepted on input, mapped to canonical names.
+DIRECTIVE_ALIASES = {
+    "noloops": NO_LOOPS,
+    "noLoops": NO_LOOPS,
+}
+
+#: Argument signatures: directive name -> {argument name: type}.
+STANDARD_DIRECTIVE_ARGS: dict[str, dict[str, TypeRef]] = {
+    REQUIRED: {},
+    KEY: {"fields": TypeRef.list_of("String", inner_non_null=True, non_null=True)},
+    DISTINCT: {},
+    NO_LOOPS: {},
+    UNIQUE_FOR_TARGET: {},
+    REQUIRED_FOR_TARGET: {},
+}
+
+#: Where each standard directive may legally appear.
+OBJECT_LEVEL_DIRECTIVES = frozenset({KEY})
+FIELD_LEVEL_DIRECTIVES = frozenset(
+    {REQUIRED, DISTINCT, NO_LOOPS, UNIQUE_FOR_TARGET, REQUIRED_FOR_TARGET}
+)
+
+
+def canonical_directive_name(name: str) -> str:
+    """Map alias spellings (``noloops``) to the canonical directive name."""
+    return DIRECTIVE_ALIASES.get(name, name)

@@ -1,0 +1,137 @@
+"""Print a formal :class:`GraphQLSchema` back to SDL source text.
+
+``parse_schema(print_schema(schema))`` reproduces the schema (up to ordering
+and the features the builder ignores), which the round-trip tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sdl import ast
+from ..sdl.printer import print_document
+from .directives import STANDARD_DIRECTIVE_ARGS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .model import (
+        AppliedDirective,
+        ArgumentDefinition,
+        FieldDefinition,
+        GraphQLSchema,
+    )
+
+
+def schema_to_document(schema: "GraphQLSchema") -> ast.Document:
+    """Render the schema as an SDL AST document."""
+    definitions: list[ast.Definition] = []
+    for name, arguments in sorted(schema.directive_definitions.items()):
+        if name in STANDARD_DIRECTIVE_ARGS:
+            continue  # the paper's standard directives are implicit
+        definitions.append(
+            ast.DirectiveDefinition(
+                name=name,
+                arguments=tuple(
+                    ast.InputValueDefinition(arg_name, ref.to_ast())
+                    for arg_name, ref in arguments.arguments.items()
+                ),
+                locations=arguments.locations or ("FIELD_DEFINITION",),
+            )
+        )
+    for name in sorted(schema.scalars.custom_names):
+        if schema.scalars.is_enum(name):
+            definitions.append(
+                ast.EnumTypeDefinition(
+                    name=name,
+                    values=tuple(
+                        ast.EnumValueDefinition(value)
+                        for value in sorted(schema.scalars.enum_values(name))
+                    ),
+                )
+            )
+        else:
+            definitions.append(ast.ScalarTypeDefinition(name))
+    for interface in schema.interface_types.values():
+        definitions.append(
+            ast.InterfaceTypeDefinition(
+                name=interface.name,
+                fields=tuple(_field_to_ast(f) for f in interface.fields),
+                directives=_directives_to_ast(interface.directives),
+                description=interface.description,
+            )
+        )
+    for union in schema.union_types.values():
+        definitions.append(
+            ast.UnionTypeDefinition(
+                name=union.name,
+                types=tuple(sorted(union.members)),
+                directives=_directives_to_ast(union.directives),
+                description=union.description,
+            )
+        )
+    for object_type in schema.object_types.values():
+        definitions.append(
+            ast.ObjectTypeDefinition(
+                name=object_type.name,
+                fields=tuple(_field_to_ast(f) for f in object_type.fields),
+                interfaces=object_type.interfaces,
+                directives=_directives_to_ast(object_type.directives),
+                description=object_type.description,
+            )
+        )
+    return ast.Document(tuple(definitions))
+
+
+def print_schema(schema: "GraphQLSchema") -> str:
+    """Render the schema as SDL source text."""
+    return print_document(schema_to_document(schema))
+
+
+def _field_to_ast(field_def: "FieldDefinition") -> ast.FieldDefinition:
+    return ast.FieldDefinition(
+        name=field_def.name,
+        type=field_def.type.to_ast(),
+        arguments=tuple(_argument_to_ast(arg) for arg in field_def.arguments),
+        directives=_directives_to_ast(field_def.directives),
+        description=field_def.description,
+    )
+
+
+def _argument_to_ast(argument: "ArgumentDefinition") -> ast.InputValueDefinition:
+    default = _value_to_ast(argument.default) if argument.has_default else None
+    return ast.InputValueDefinition(
+        name=argument.name,
+        type=argument.type.to_ast(),
+        default_value=default,
+        directives=_directives_to_ast(argument.directives),
+    )
+
+
+def _directives_to_ast(
+    directives: tuple["AppliedDirective", ...],
+) -> tuple[ast.DirectiveNode, ...]:
+    return tuple(
+        ast.DirectiveNode(
+            directive.name,
+            tuple(
+                ast.ArgumentNode(arg_name, _value_to_ast(value))
+                for arg_name, value in directive.arguments
+            ),
+        )
+        for directive in directives
+    )
+
+
+def _value_to_ast(value: object) -> ast.ValueNode:
+    if value is None:
+        return ast.NullValue()
+    if isinstance(value, bool):
+        return ast.BooleanValue(value)
+    if isinstance(value, int):
+        return ast.IntValue(value)
+    if isinstance(value, float):
+        return ast.FloatValue(value)
+    if isinstance(value, str):
+        return ast.StringValue(value)
+    if isinstance(value, tuple):
+        return ast.ListValue(tuple(_value_to_ast(item) for item in value))
+    raise TypeError(f"cannot render value {value!r} as SDL")

@@ -1,0 +1,100 @@
+"""The subtype relation ``⊑_S`` (Section 4.3 of the paper).
+
+``⊑_S`` is the smallest relation over ``T ∪ W_T`` closed under:
+
+    (1) t ⊑ t
+    (2) t ∈ implementation(s)  ⟹  t ⊑ s
+    (3) t ∈ union(s)           ⟹  t ⊑ s
+    (4) t ⊑ s                  ⟹  [t] ⊑ [s]
+    (5) t ⊑ s                  ⟹  t ⊑ [s]
+    (6) t ⊑ s                  ⟹  t! ⊑ s
+    (7) t ⊑ s                  ⟹  t! ⊑ s!
+
+:func:`is_subtype` implements the relation exactly as stated, on both named
+types and :class:`~repro.schema.typerefs.TypeRef` wrappings.
+
+Note one consequence the validation rules must work around: no rule derives
+``t ⊑ s!`` for unwrapped ``t``, so a node label is never a subtype of a
+non-null-wrapped field type.  Rules DS3/DS4 of the paper compare node labels
+against ``type_S(t, f)`` directly, which would render them vacuous for
+non-null field types; following the paper's examples, the validators compare
+labels against ``basetype(type_S(t, f))`` instead (see
+:mod:`repro.validation.rules_directives`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+from .typerefs import TypeRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .model import GraphQLSchema
+
+TypeOrRef = Union[str, TypeRef]
+
+# internal structural form: ("named", n) | ("list", inner) | ("nonnull", inner)
+_Struct = tuple
+
+
+def _structure(type_or_ref: TypeOrRef) -> _Struct:
+    if isinstance(type_or_ref, str):
+        return ("named", type_or_ref)
+    ref = type_or_ref
+    node: _Struct = ("named", ref.base)
+    if ref.is_list:
+        if ref.inner_non_null:
+            node = ("nonnull", node)
+        node = ("list", node)
+    if ref.non_null:
+        node = ("nonnull", node)
+    return node
+
+
+def is_named_subtype(schema: "GraphQLSchema", sub: str, sup: str) -> bool:
+    """``sub ⊑_S sup`` for two named types (rules 1-3)."""
+    if sub == sup:
+        return True
+    if schema.is_interface_type(sup):
+        return sub in schema.implementation(sup)
+    if schema.is_union_type(sup):
+        return sub in schema.union(sup)
+    return False
+
+
+def is_subtype(schema: "GraphQLSchema", sub: TypeOrRef, sup: TypeOrRef) -> bool:
+    """``sub ⊑_S sup`` over ``T ∪ W_T`` (rules 1-7), faithfully."""
+    return _subtype(schema, _structure(sub), _structure(sup))
+
+
+def _subtype(schema: "GraphQLSchema", sub: _Struct, sup: _Struct) -> bool:
+    if sub == sup:  # rule 1 (extended to identical wrapped shapes)
+        return True
+    sub_kind, sub_inner = sub
+    sup_kind, sup_inner = sup
+    if sub_kind == "named" and sup_kind == "named":  # rules 2, 3
+        return is_named_subtype(schema, sub_inner, sup_inner)
+    if sub_kind == "nonnull":
+        if _subtype(schema, sub_inner, sup):  # rule 6
+            return True
+        if sup_kind == "nonnull" and _subtype(schema, sub_inner, sup_inner):  # rule 7
+            return True
+        # fall through: rule 5 may still wrap the non-null sub into a list
+    if sup_kind == "list":
+        if sub_kind == "list" and _subtype(schema, sub_inner, sup_inner):  # rule 4
+            return True
+        return _subtype(schema, sub, sup_inner)  # rule 5
+    return False
+
+
+def label_conforms(schema: "GraphQLSchema", label: str, declared: TypeOrRef) -> bool:
+    """Does a node label conform to a declared edge-target type?
+
+    This is the comparison rules WS3/DS3/DS4 need: the label (an object type
+    name) against the *base type* of the field's declared type.  WS3 already
+    phrases it that way; DS3/DS4 are phrased against the wrapped type, which
+    the module docstring explains would make them vacuous for non-null
+    shapes, so all three use the base type here.
+    """
+    base = declared if isinstance(declared, str) else declared.base
+    return is_named_subtype(schema, label, base)

@@ -1,0 +1,21 @@
+"""GraphQL SDL front end: lexer, AST, parser, printer (June 2018 edition)."""
+
+from . import ast
+from .lexer import tokenize
+from .parser import parse_document, parse_type, parse_value
+from .printer import print_definition, print_document, print_type, print_value
+from .tokens import Token, TokenKind
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "ast",
+    "parse_document",
+    "parse_type",
+    "parse_value",
+    "print_definition",
+    "print_document",
+    "print_type",
+    "print_value",
+    "tokenize",
+]

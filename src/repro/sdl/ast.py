@@ -1,0 +1,229 @@
+"""Abstract syntax tree for GraphQL SDL documents (June 2018 spec, §3).
+
+All nodes are immutable dataclasses.  The AST is deliberately close to the
+grammar; interpretation (which fields are attributes vs relationships, what
+the directives mean, ...) happens in :mod:`repro.schema.build`, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------- #
+# value literals (§2.9)
+# --------------------------------------------------------------------------- #
+
+
+class ValueNode:
+    """Base class for GraphQL value literals."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class IntValue(ValueNode):
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatValue(ValueNode):
+    value: float
+
+
+@dataclass(frozen=True)
+class StringValue(ValueNode):
+    value: str
+    block: bool = False
+
+
+@dataclass(frozen=True)
+class BooleanValue(ValueNode):
+    value: bool
+
+
+@dataclass(frozen=True)
+class NullValue(ValueNode):
+    pass
+
+
+@dataclass(frozen=True)
+class EnumValue(ValueNode):
+    name: str
+
+
+@dataclass(frozen=True)
+class ListValue(ValueNode):
+    values: tuple[ValueNode, ...]
+
+
+@dataclass(frozen=True)
+class ObjectValue(ValueNode):
+    fields: tuple[tuple[str, ValueNode], ...]
+
+
+@dataclass(frozen=True)
+class Variable(ValueNode):
+    """A ``$name`` reference; only legal inside executable documents."""
+
+    name: str
+
+
+# --------------------------------------------------------------------------- #
+# type references (§3.4.1)
+# --------------------------------------------------------------------------- #
+
+
+class TypeNode:
+    """Base class for type references."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NamedTypeNode(TypeNode):
+    name: str
+
+
+@dataclass(frozen=True)
+class ListTypeNode(TypeNode):
+    of_type: TypeNode
+
+
+@dataclass(frozen=True)
+class NonNullTypeNode(TypeNode):
+    of_type: TypeNode
+
+
+# --------------------------------------------------------------------------- #
+# directives in use (§2.12)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ArgumentNode:
+    name: str
+    value: ValueNode
+
+
+@dataclass(frozen=True)
+class DirectiveNode:
+    name: str
+    arguments: tuple[ArgumentNode, ...] = ()
+
+
+# --------------------------------------------------------------------------- #
+# type system definitions (§3)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class InputValueDefinition:
+    """An argument definition (of a field or a directive) or an input field."""
+
+    name: str
+    type: TypeNode
+    default_value: ValueNode | None = None
+    directives: tuple[DirectiveNode, ...] = ()
+    description: str | None = None
+
+
+@dataclass(frozen=True)
+class FieldDefinition:
+    name: str
+    type: TypeNode
+    arguments: tuple[InputValueDefinition, ...] = ()
+    directives: tuple[DirectiveNode, ...] = ()
+    description: str | None = None
+
+
+class Definition:
+    """Base class for top-level SDL definitions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SchemaDefinition(Definition):
+    """``schema { query: ... }`` -- parsed but ignored by the Property Graph
+    interpretation (Section 3.6 of the paper)."""
+
+    operation_types: tuple[tuple[str, str], ...]
+    directives: tuple[DirectiveNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class ScalarTypeDefinition(Definition):
+    name: str
+    directives: tuple[DirectiveNode, ...] = ()
+    description: str | None = None
+
+
+@dataclass(frozen=True)
+class ObjectTypeDefinition(Definition):
+    name: str
+    fields: tuple[FieldDefinition, ...] = ()
+    interfaces: tuple[str, ...] = ()
+    directives: tuple[DirectiveNode, ...] = ()
+    description: str | None = None
+
+
+@dataclass(frozen=True)
+class InterfaceTypeDefinition(Definition):
+    name: str
+    fields: tuple[FieldDefinition, ...] = ()
+    directives: tuple[DirectiveNode, ...] = ()
+    description: str | None = None
+
+
+@dataclass(frozen=True)
+class UnionTypeDefinition(Definition):
+    name: str
+    types: tuple[str, ...] = ()
+    directives: tuple[DirectiveNode, ...] = ()
+    description: str | None = None
+
+
+@dataclass(frozen=True)
+class EnumValueDefinition:
+    name: str
+    directives: tuple[DirectiveNode, ...] = ()
+    description: str | None = None
+
+
+@dataclass(frozen=True)
+class EnumTypeDefinition(Definition):
+    name: str
+    values: tuple[EnumValueDefinition, ...] = ()
+    directives: tuple[DirectiveNode, ...] = ()
+    description: str | None = None
+
+
+@dataclass(frozen=True)
+class InputObjectTypeDefinition(Definition):
+    """``input`` types -- parsed for completeness, ignored by the Property
+    Graph interpretation (the paper's formalization omits input types)."""
+
+    name: str
+    fields: tuple[InputValueDefinition, ...] = ()
+    directives: tuple[DirectiveNode, ...] = ()
+    description: str | None = None
+
+
+@dataclass(frozen=True)
+class DirectiveDefinition(Definition):
+    name: str
+    arguments: tuple[InputValueDefinition, ...] = ()
+    locations: tuple[str, ...] = ()
+    description: str | None = None
+
+
+@dataclass(frozen=True)
+class Document:
+    """A parsed SDL document: a sequence of top-level definitions."""
+
+    definitions: tuple[Definition, ...] = field(default_factory=tuple)
+
+    def definitions_of(self, kind: type) -> list:
+        """All definitions of one node class, in document order."""
+        return [defn for defn in self.definitions if isinstance(defn, kind)]

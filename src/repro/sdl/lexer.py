@@ -1,0 +1,233 @@
+"""Lexer for the GraphQL lexical grammar (June 2018 specification, §2).
+
+Implements names, integers, floats, single-line strings with escapes, block
+strings (``\"\"\" ... \"\"\"`` with the spec's common-indentation stripping),
+punctuators, the spread token, comments, and the ignored tokens (whitespace,
+commas, BOM).
+"""
+
+from __future__ import annotations
+
+from ..errors import SDLSyntaxError
+from .tokens import PUNCTUATORS, Token, TokenKind
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CONTINUE = _NAME_START | set("0123456789")
+_DIGITS = set("0123456789")
+_ESCAPES = {
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+    "b": "\b",
+    "f": "\f",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise *source*, returning the token list terminated by an EOF token.
+
+    Raises :class:`SDLSyntaxError` on any lexically invalid input.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+
+    def column(at: int) -> int:
+        return at - line_start + 1
+
+    while pos < length:
+        char = source[pos]
+
+        # --- ignored tokens -------------------------------------------- #
+        if char in " \t,﻿":
+            pos += 1
+            continue
+        if char == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            continue
+        if char == "\r":
+            pos += 1
+            if pos < length and source[pos] == "\n":
+                pos += 1
+            line += 1
+            line_start = pos
+            continue
+        if char == "#":
+            while pos < length and source[pos] not in "\r\n":
+                pos += 1
+            continue
+
+        start = pos
+        start_column = column(pos)
+
+        # --- punctuators ------------------------------------------------ #
+        if char == ".":
+            if source[pos : pos + 3] == "...":
+                tokens.append(Token(TokenKind.SPREAD, "...", line, start_column))
+                pos += 3
+                continue
+            raise SDLSyntaxError("unexpected character '.'", line, start_column)
+        if char in PUNCTUATORS:
+            tokens.append(Token(PUNCTUATORS[char], char, line, start_column))
+            pos += 1
+            continue
+
+        # --- names ------------------------------------------------------ #
+        if char in _NAME_START:
+            pos += 1
+            while pos < length and source[pos] in _NAME_CONTINUE:
+                pos += 1
+            tokens.append(Token(TokenKind.NAME, source[start:pos], line, start_column))
+            continue
+
+        # --- numbers ----------------------------------------------------- #
+        if char in _DIGITS or char == "-":
+            pos, token = _read_number(source, pos, line, start_column)
+            tokens.append(token)
+            continue
+
+        # --- strings ------------------------------------------------------ #
+        if char == '"':
+            if source[pos : pos + 3] == '"""':
+                pos, line, line_start, token = _read_block_string(
+                    source, pos, line, line_start
+                )
+            else:
+                pos, token = _read_string(source, pos, line, start_column)
+            tokens.append(token)
+            continue
+
+        raise SDLSyntaxError(f"unexpected character {char!r}", line, start_column)
+
+    tokens.append(Token(TokenKind.EOF, "", line, column(pos)))
+    return tokens
+
+
+def _read_number(source: str, pos: int, line: int, start_column: int) -> tuple[int, Token]:
+    """Read an IntValue or FloatValue starting at *pos*."""
+    start = pos
+    length = len(source)
+    if source[pos] == "-":
+        pos += 1
+    if pos >= length or source[pos] not in _DIGITS:
+        raise SDLSyntaxError("invalid number: expected a digit", line, start_column)
+    if source[pos] == "0":
+        pos += 1
+        if pos < length and source[pos] in _DIGITS:
+            raise SDLSyntaxError("invalid number: leading zero", line, start_column)
+    else:
+        while pos < length and source[pos] in _DIGITS:
+            pos += 1
+    is_float = False
+    if pos < length and source[pos] == ".":
+        is_float = True
+        pos += 1
+        if pos >= length or source[pos] not in _DIGITS:
+            raise SDLSyntaxError("invalid number: expected digits after '.'", line, start_column)
+        while pos < length and source[pos] in _DIGITS:
+            pos += 1
+    if pos < length and source[pos] in "eE":
+        is_float = True
+        pos += 1
+        if pos < length and source[pos] in "+-":
+            pos += 1
+        if pos >= length or source[pos] not in _DIGITS:
+            raise SDLSyntaxError("invalid number: malformed exponent", line, start_column)
+        while pos < length and source[pos] in _DIGITS:
+            pos += 1
+    kind = TokenKind.FLOAT if is_float else TokenKind.INT
+    return pos, Token(kind, source[start:pos], line, start_column)
+
+
+def _read_string(source: str, pos: int, line: int, start_column: int) -> tuple[int, Token]:
+    """Read a single-line StringValue starting at the opening quote."""
+    length = len(source)
+    pos += 1  # opening quote
+    chunks: list[str] = []
+    while pos < length:
+        char = source[pos]
+        if char == '"':
+            return pos + 1, Token(TokenKind.STRING, "".join(chunks), line, start_column)
+        if char in "\r\n":
+            break
+        if char == "\\":
+            pos += 1
+            if pos >= length:
+                break
+            escape = source[pos]
+            if escape in _ESCAPES:
+                chunks.append(_ESCAPES[escape])
+                pos += 1
+                continue
+            if escape == "u":
+                hex_digits = source[pos + 1 : pos + 5]
+                if len(hex_digits) != 4:
+                    raise SDLSyntaxError("invalid unicode escape", line, start_column)
+                try:
+                    chunks.append(chr(int(hex_digits, 16)))
+                except ValueError:
+                    raise SDLSyntaxError("invalid unicode escape", line, start_column) from None
+                pos += 5
+                continue
+            raise SDLSyntaxError(f"invalid escape \\{escape}", line, start_column)
+        chunks.append(char)
+        pos += 1
+    raise SDLSyntaxError("unterminated string", line, start_column)
+
+
+def _read_block_string(
+    source: str, pos: int, line: int, line_start: int
+) -> tuple[int, int, int, Token]:
+    """Read a BlockString starting at the opening triple quote.
+
+    Returns (new position, new line number, new line-start offset, token).
+    """
+    start_line = line
+    start_column = pos - line_start + 1
+    length = len(source)
+    pos += 3  # opening triple quote
+    raw: list[str] = []
+    while pos < length:
+        if source[pos : pos + 3] == '"""':
+            value = _dedent_block_string("".join(raw))
+            return pos + 3, line, line_start, Token(
+                TokenKind.BLOCK_STRING, value, start_line, start_column
+            )
+        if source[pos : pos + 4] == '\\"""':
+            raw.append('"""')
+            pos += 4
+            continue
+        char = source[pos]
+        if char == "\n":
+            line += 1
+            line_start = pos + 1
+        raw.append(char)
+        pos += 1
+    raise SDLSyntaxError("unterminated block string", start_line, start_column)
+
+
+def _dedent_block_string(raw: str) -> str:
+    """Apply the spec's BlockStringValue() semantics (§2.9.4): strip the
+    common indentation and leading/trailing blank lines."""
+    lines = raw.split("\n")
+    common_indent: int | None = None
+    for text in lines[1:]:
+        stripped = text.lstrip(" \t")
+        if stripped:
+            indent = len(text) - len(stripped)
+            if common_indent is None or indent < common_indent:
+                common_indent = indent
+    if common_indent:
+        lines = [lines[0]] + [text[common_indent:] for text in lines[1:]]
+    while lines and not lines[0].strip(" \t"):
+        lines.pop(0)
+    while lines and not lines[-1].strip(" \t"):
+        lines.pop()
+    return "\n".join(lines)

@@ -1,0 +1,365 @@
+"""Recursive-descent parser for GraphQL SDL documents (June 2018 spec, §3).
+
+Covers everything the paper's proposal touches: schema definitions, scalar /
+object / interface / union / enum / input-object type definitions, directive
+definitions, field definitions with argument definitions, default values,
+wrapping types, applied directives, and descriptions.
+
+One deliberate relaxation: the GraphQL grammar requires at least one field in
+a ``FieldsDefinition``, but the paper's Example 6.1 uses ``type OT1 { }``, so
+empty field blocks are accepted.
+"""
+
+from __future__ import annotations
+
+from ..errors import SDLSyntaxError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+
+def parse_document(source: str) -> ast.Document:
+    """Parse an SDL document from source text."""
+    return _Parser(tokenize(source)).parse_document()
+
+
+def parse_type(source: str) -> ast.TypeNode:
+    """Parse a single type reference such as ``[String!]!`` (for tests/tools)."""
+    parser = _Parser(tokenize(source))
+    node = parser.parse_type_reference()
+    parser.expect(TokenKind.EOF)
+    return node
+
+
+def parse_value(source: str) -> ast.ValueNode:
+    """Parse a single constant value literal such as ``["id", 3]``."""
+    parser = _Parser(tokenize(source))
+    node = parser.parse_value_literal(const=True)
+    parser.expect(TokenKind.EOF)
+    return node
+
+
+class _Parser:
+    """Token-stream parser; also reused by the query parser in repro.api."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------ #
+    # token helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def expect(self, kind: TokenKind) -> Token:
+        token = self.current
+        if token.kind is not kind:
+            raise SDLSyntaxError(
+                f"expected {kind.value}, found {token.kind.value} {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.NAME or token.value != keyword:
+            raise SDLSyntaxError(
+                f"expected keyword {keyword!r}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def peek(self, kind: TokenKind) -> bool:
+        return self.current.kind is kind
+
+    def peek_keyword(self, keyword: str) -> bool:
+        return self.current.kind is TokenKind.NAME and self.current.value == keyword
+
+    def skip(self, kind: TokenKind) -> bool:
+        if self.peek(kind):
+            self.advance()
+            return True
+        return False
+
+    def parse_name(self) -> str:
+        return self.expect(TokenKind.NAME).value
+
+    # ------------------------------------------------------------------ #
+    # document structure
+    # ------------------------------------------------------------------ #
+
+    def parse_document(self) -> ast.Document:
+        definitions: list[ast.Definition] = []
+        while not self.peek(TokenKind.EOF):
+            definitions.append(self.parse_definition())
+        return ast.Document(tuple(definitions))
+
+    def parse_definition(self) -> ast.Definition:
+        description = self.parse_description()
+        token = self.current
+        if token.kind is not TokenKind.NAME:
+            raise SDLSyntaxError(
+                f"expected a definition, found {token.kind.value} {token.value!r}",
+                token.line,
+                token.column,
+            )
+        keyword = token.value
+        if keyword == "schema":
+            if description is not None:
+                raise SDLSyntaxError(
+                    "schema definitions take no description", token.line, token.column
+                )
+            return self.parse_schema_definition()
+        if keyword == "scalar":
+            return self.parse_scalar_definition(description)
+        if keyword == "type":
+            return self.parse_object_definition(description)
+        if keyword == "interface":
+            return self.parse_interface_definition(description)
+        if keyword == "union":
+            return self.parse_union_definition(description)
+        if keyword == "enum":
+            return self.parse_enum_definition(description)
+        if keyword == "input":
+            return self.parse_input_object_definition(description)
+        if keyword == "directive":
+            return self.parse_directive_definition(description)
+        raise SDLSyntaxError(
+            f"unexpected keyword {keyword!r}", token.line, token.column
+        )
+
+    def parse_description(self) -> str | None:
+        if self.peek(TokenKind.STRING) or self.peek(TokenKind.BLOCK_STRING):
+            return self.advance().value
+        return None
+
+    def parse_schema_definition(self) -> ast.SchemaDefinition:
+        self.expect_keyword("schema")
+        directives = self.parse_directives()
+        self.expect(TokenKind.BRACE_L)
+        operations: list[tuple[str, str]] = []
+        while not self.skip(TokenKind.BRACE_R):
+            operation = self.parse_name()
+            self.expect(TokenKind.COLON)
+            operations.append((operation, self.parse_name()))
+        return ast.SchemaDefinition(tuple(operations), directives)
+
+    # ------------------------------------------------------------------ #
+    # type definitions
+    # ------------------------------------------------------------------ #
+
+    def parse_scalar_definition(self, description: str | None) -> ast.ScalarTypeDefinition:
+        self.expect_keyword("scalar")
+        name = self.parse_name()
+        return ast.ScalarTypeDefinition(name, self.parse_directives(), description)
+
+    def parse_object_definition(self, description: str | None) -> ast.ObjectTypeDefinition:
+        self.expect_keyword("type")
+        name = self.parse_name()
+        interfaces = self.parse_implements_interfaces()
+        directives = self.parse_directives()
+        fields = self.parse_fields_definition()
+        return ast.ObjectTypeDefinition(name, fields, interfaces, directives, description)
+
+    def parse_interface_definition(
+        self, description: str | None
+    ) -> ast.InterfaceTypeDefinition:
+        self.expect_keyword("interface")
+        name = self.parse_name()
+        directives = self.parse_directives()
+        fields = self.parse_fields_definition()
+        return ast.InterfaceTypeDefinition(name, fields, directives, description)
+
+    def parse_union_definition(self, description: str | None) -> ast.UnionTypeDefinition:
+        self.expect_keyword("union")
+        name = self.parse_name()
+        directives = self.parse_directives()
+        members: list[str] = []
+        if self.skip(TokenKind.EQUALS):
+            self.skip(TokenKind.PIPE)
+            members.append(self.parse_name())
+            while self.skip(TokenKind.PIPE):
+                members.append(self.parse_name())
+        return ast.UnionTypeDefinition(name, tuple(members), directives, description)
+
+    def parse_enum_definition(self, description: str | None) -> ast.EnumTypeDefinition:
+        self.expect_keyword("enum")
+        name = self.parse_name()
+        directives = self.parse_directives()
+        values: list[ast.EnumValueDefinition] = []
+        if self.skip(TokenKind.BRACE_L):
+            while not self.skip(TokenKind.BRACE_R):
+                value_description = self.parse_description()
+                value_name = self.parse_name()
+                if value_name in ("true", "false", "null"):
+                    token = self.current
+                    raise SDLSyntaxError(
+                        f"enum value must not be {value_name!r}", token.line, token.column
+                    )
+                values.append(
+                    ast.EnumValueDefinition(
+                        value_name, self.parse_directives(), value_description
+                    )
+                )
+        return ast.EnumTypeDefinition(name, tuple(values), directives, description)
+
+    def parse_input_object_definition(
+        self, description: str | None
+    ) -> ast.InputObjectTypeDefinition:
+        self.expect_keyword("input")
+        name = self.parse_name()
+        directives = self.parse_directives()
+        fields: list[ast.InputValueDefinition] = []
+        if self.skip(TokenKind.BRACE_L):
+            while not self.skip(TokenKind.BRACE_R):
+                fields.append(self.parse_input_value_definition())
+        return ast.InputObjectTypeDefinition(name, tuple(fields), directives, description)
+
+    def parse_directive_definition(
+        self, description: str | None
+    ) -> ast.DirectiveDefinition:
+        self.expect_keyword("directive")
+        self.expect(TokenKind.AT)
+        name = self.parse_name()
+        arguments = self.parse_arguments_definition()
+        self.expect_keyword("on")
+        self.skip(TokenKind.PIPE)
+        locations = [self.parse_name()]
+        while self.skip(TokenKind.PIPE):
+            locations.append(self.parse_name())
+        return ast.DirectiveDefinition(name, arguments, tuple(locations), description)
+
+    def parse_implements_interfaces(self) -> tuple[str, ...]:
+        interfaces: list[str] = []
+        if self.peek_keyword("implements"):
+            self.advance()
+            self.skip(TokenKind.AMP)
+            interfaces.append(self.parse_name())
+            # both `implements A & B` (June 2018) and the legacy
+            # space-separated `implements A B` are accepted
+            while self.skip(TokenKind.AMP) or self.peek(TokenKind.NAME):
+                interfaces.append(self.parse_name())
+        return tuple(interfaces)
+
+    def parse_fields_definition(self) -> tuple[ast.FieldDefinition, ...]:
+        fields: list[ast.FieldDefinition] = []
+        if self.skip(TokenKind.BRACE_L):
+            while not self.skip(TokenKind.BRACE_R):
+                fields.append(self.parse_field_definition())
+        return tuple(fields)
+
+    def parse_field_definition(self) -> ast.FieldDefinition:
+        description = self.parse_description()
+        name = self.parse_name()
+        arguments = self.parse_arguments_definition()
+        self.expect(TokenKind.COLON)
+        field_type = self.parse_type_reference()
+        directives = self.parse_directives()
+        return ast.FieldDefinition(name, field_type, arguments, directives, description)
+
+    def parse_arguments_definition(self) -> tuple[ast.InputValueDefinition, ...]:
+        arguments: list[ast.InputValueDefinition] = []
+        if self.skip(TokenKind.PAREN_L):
+            while not self.skip(TokenKind.PAREN_R):
+                arguments.append(self.parse_input_value_definition())
+        return tuple(arguments)
+
+    def parse_input_value_definition(self) -> ast.InputValueDefinition:
+        description = self.parse_description()
+        name = self.parse_name()
+        self.expect(TokenKind.COLON)
+        value_type = self.parse_type_reference()
+        default: ast.ValueNode | None = None
+        if self.skip(TokenKind.EQUALS):
+            default = self.parse_value_literal(const=True)
+        directives = self.parse_directives()
+        return ast.InputValueDefinition(name, value_type, default, directives, description)
+
+    # ------------------------------------------------------------------ #
+    # types, values, directives
+    # ------------------------------------------------------------------ #
+
+    def parse_type_reference(self) -> ast.TypeNode:
+        node: ast.TypeNode
+        if self.skip(TokenKind.BRACKET_L):
+            inner = self.parse_type_reference()
+            self.expect(TokenKind.BRACKET_R)
+            node = ast.ListTypeNode(inner)
+        else:
+            node = ast.NamedTypeNode(self.parse_name())
+        if self.skip(TokenKind.BANG):
+            node = ast.NonNullTypeNode(node)
+        return node
+
+    def parse_value_literal(self, const: bool) -> ast.ValueNode:
+        token = self.current
+        if token.kind is TokenKind.INT:
+            self.advance()
+            return ast.IntValue(int(token.value))
+        if token.kind is TokenKind.FLOAT:
+            self.advance()
+            return ast.FloatValue(float(token.value))
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return ast.StringValue(token.value)
+        if token.kind is TokenKind.BLOCK_STRING:
+            self.advance()
+            return ast.StringValue(token.value, block=True)
+        if token.kind is TokenKind.NAME:
+            self.advance()
+            if token.value == "true":
+                return ast.BooleanValue(True)
+            if token.value == "false":
+                return ast.BooleanValue(False)
+            if token.value == "null":
+                return ast.NullValue()
+            return ast.EnumValue(token.value)
+        if token.kind is TokenKind.BRACKET_L:
+            self.advance()
+            values: list[ast.ValueNode] = []
+            while not self.skip(TokenKind.BRACKET_R):
+                values.append(self.parse_value_literal(const))
+            return ast.ListValue(tuple(values))
+        if token.kind is TokenKind.BRACE_L:
+            self.advance()
+            fields: list[tuple[str, ast.ValueNode]] = []
+            while not self.skip(TokenKind.BRACE_R):
+                field_name = self.parse_name()
+                self.expect(TokenKind.COLON)
+                fields.append((field_name, self.parse_value_literal(const)))
+            return ast.ObjectValue(tuple(fields))
+        if token.kind is TokenKind.DOLLAR and not const:
+            self.advance()
+            return ast.Variable(self.parse_name())
+        raise SDLSyntaxError(
+            f"unexpected token {token.kind.value} {token.value!r} in value position",
+            token.line,
+            token.column,
+        )
+
+    def parse_directives(self) -> tuple[ast.DirectiveNode, ...]:
+        directives: list[ast.DirectiveNode] = []
+        while self.skip(TokenKind.AT):
+            name = self.parse_name()
+            directives.append(ast.DirectiveNode(name, self.parse_arguments()))
+        return tuple(directives)
+
+    def parse_arguments(self) -> tuple[ast.ArgumentNode, ...]:
+        arguments: list[ast.ArgumentNode] = []
+        if self.skip(TokenKind.PAREN_L):
+            while not self.skip(TokenKind.PAREN_R):
+                name = self.parse_name()
+                self.expect(TokenKind.COLON)
+                arguments.append(ast.ArgumentNode(name, self.parse_value_literal(const=True)))
+        return tuple(arguments)

@@ -1,0 +1,188 @@
+"""Printer turning SDL AST nodes back into GraphQL SDL source text.
+
+``parse_document(print_document(doc))`` is the identity on ASTs (modulo
+descriptions' block-string form), which the property-based round-trip tests
+exercise.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from . import ast
+
+
+def print_document(document: ast.Document) -> str:
+    """Render a document with one blank line between top-level definitions."""
+    return "\n\n".join(print_definition(defn) for defn in document.definitions) + "\n"
+
+
+def print_definition(definition: ast.Definition) -> str:
+    if isinstance(definition, ast.SchemaDefinition):
+        operations = "\n".join(
+            f"  {operation}: {type_name}"
+            for operation, type_name in definition.operation_types
+        )
+        return f"schema{_directives(definition.directives)} {{\n{operations}\n}}"
+    if isinstance(definition, ast.ScalarTypeDefinition):
+        return (
+            _description(definition.description)
+            + f"scalar {definition.name}{_directives(definition.directives)}"
+        )
+    if isinstance(definition, ast.ObjectTypeDefinition):
+        implements = (
+            " implements " + " & ".join(definition.interfaces)
+            if definition.interfaces
+            else ""
+        )
+        return (
+            _description(definition.description)
+            + f"type {definition.name}{implements}{_directives(definition.directives)}"
+            + _fields_block(definition.fields)
+        )
+    if isinstance(definition, ast.InterfaceTypeDefinition):
+        return (
+            _description(definition.description)
+            + f"interface {definition.name}{_directives(definition.directives)}"
+            + _fields_block(definition.fields)
+        )
+    if isinstance(definition, ast.UnionTypeDefinition):
+        members = " = " + " | ".join(definition.types) if definition.types else ""
+        return (
+            _description(definition.description)
+            + f"union {definition.name}{_directives(definition.directives)}{members}"
+        )
+    if isinstance(definition, ast.EnumTypeDefinition):
+        body = "\n".join(
+            _description(value.description, indent="  ")
+            + f"  {value.name}{_directives(value.directives)}"
+            for value in definition.values
+        )
+        block = f" {{\n{body}\n}}" if definition.values else ""
+        return (
+            _description(definition.description)
+            + f"enum {definition.name}{_directives(definition.directives)}{block}"
+        )
+    if isinstance(definition, ast.InputObjectTypeDefinition):
+        body = "\n".join(
+            "  " + _input_value(field_def) for field_def in definition.fields
+        )
+        block = f" {{\n{body}\n}}" if definition.fields else ""
+        return (
+            _description(definition.description)
+            + f"input {definition.name}{_directives(definition.directives)}{block}"
+        )
+    if isinstance(definition, ast.DirectiveDefinition):
+        arguments = (
+            "(" + ", ".join(_input_value(arg) for arg in definition.arguments) + ")"
+            if definition.arguments
+            else ""
+        )
+        locations = " | ".join(definition.locations)
+        return (
+            _description(definition.description)
+            + f"directive @{definition.name}{arguments} on {locations}"
+        )
+    raise ReproError(f"cannot print definition node: {definition!r}")
+
+
+def print_type(node: ast.TypeNode) -> str:
+    if isinstance(node, ast.NamedTypeNode):
+        return node.name
+    if isinstance(node, ast.ListTypeNode):
+        return f"[{print_type(node.of_type)}]"
+    if isinstance(node, ast.NonNullTypeNode):
+        return f"{print_type(node.of_type)}!"
+    raise ReproError(f"cannot print type node: {node!r}")
+
+
+def print_value(node: ast.ValueNode) -> str:
+    if isinstance(node, ast.IntValue):
+        return str(node.value)
+    if isinstance(node, ast.FloatValue):
+        return repr(node.value)
+    if isinstance(node, ast.StringValue):
+        return _quote(node.value)
+    if isinstance(node, ast.BooleanValue):
+        return "true" if node.value else "false"
+    if isinstance(node, ast.NullValue):
+        return "null"
+    if isinstance(node, ast.EnumValue):
+        return node.name
+    if isinstance(node, ast.ListValue):
+        return "[" + ", ".join(print_value(value) for value in node.values) + "]"
+    if isinstance(node, ast.ObjectValue):
+        inner = ", ".join(f"{name}: {print_value(value)}" for name, value in node.fields)
+        return "{" + inner + "}"
+    if isinstance(node, ast.Variable):
+        return f"${node.name}"
+    raise ReproError(f"cannot print value node: {node!r}")
+
+
+def _fields_block(fields: tuple[ast.FieldDefinition, ...]) -> str:
+    if not fields:
+        return " {\n}"
+    lines = []
+    for field_def in fields:
+        arguments = (
+            "("
+            + ", ".join(_input_value(arg) for arg in field_def.arguments)
+            + ")"
+            if field_def.arguments
+            else ""
+        )
+        lines.append(
+            _description(field_def.description, indent="  ")
+            + f"  {field_def.name}{arguments}: "
+            + print_type(field_def.type)
+            + _directives(field_def.directives)
+        )
+    return " {\n" + "\n".join(lines) + "\n}"
+
+
+def _input_value(definition: ast.InputValueDefinition) -> str:
+    default = (
+        f" = {print_value(definition.default_value)}"
+        if definition.default_value is not None
+        else ""
+    )
+    description = (
+        _quote(definition.description) + " " if definition.description else ""
+    )
+    return (
+        description
+        + f"{definition.name}: {print_type(definition.type)}{default}"
+        + _directives(definition.directives)
+    )
+
+
+def _directives(directives: tuple[ast.DirectiveNode, ...]) -> str:
+    parts = []
+    for directive in directives:
+        arguments = (
+            "("
+            + ", ".join(f"{arg.name}: {print_value(arg.value)}" for arg in directive.arguments)
+            + ")"
+            if directive.arguments
+            else ""
+        )
+        parts.append(f"@{directive.name}{arguments}")
+    return (" " + " ".join(parts)) if parts else ""
+
+
+def _description(description: str | None, indent: str = "") -> str:
+    if description is None:
+        return ""
+    return f"{indent}{_quote(description)}\n"
+
+
+def _quote(text: str) -> str:
+    escaped = (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+        .replace("\t", "\\t")
+        .replace("\b", "\\b")
+        .replace("\f", "\\f")
+    )
+    return f'"{escaped}"'

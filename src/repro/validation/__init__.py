@@ -1,0 +1,41 @@
+"""Schema validation: the satisfaction semantics of Section 5."""
+
+from .engine import (
+    make_validator,
+    satisfies_directives,
+    strongly_satisfies,
+    validate,
+    weakly_satisfies,
+)
+from .incremental import IncrementalValidator
+from .indexed import IndexedValidator
+from .naive import NaiveValidator
+from .violations import (
+    ALL_RULES,
+    DIRECTIVE_RULES,
+    EXTENSION_RULES,
+    RULES,
+    STRONG_RULES,
+    WEAK_RULES,
+    ValidationReport,
+    Violation,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "DIRECTIVE_RULES",
+    "EXTENSION_RULES",
+    "IncrementalValidator",
+    "IndexedValidator",
+    "NaiveValidator",
+    "RULES",
+    "STRONG_RULES",
+    "ValidationReport",
+    "Violation",
+    "WEAK_RULES",
+    "make_validator",
+    "satisfies_directives",
+    "strongly_satisfies",
+    "validate",
+    "weakly_satisfies",
+]

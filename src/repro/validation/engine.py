@@ -1,0 +1,61 @@
+"""Facade over the validation engines.
+
+:func:`validate` decides the Schema Validation Problem of Section 6.1 for
+one (schema, graph) pair; the convenience predicates mirror the paper's
+three satisfaction notions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .indexed import IndexedValidator
+from .naive import NaiveValidator
+from .violations import ValidationReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pg.model import PropertyGraph
+    from ..schema.model import GraphQLSchema
+
+_ENGINES = {"indexed": IndexedValidator, "naive": NaiveValidator}
+
+
+def make_validator(schema: "GraphQLSchema", engine: str = "indexed"):
+    """Instantiate a validator by engine name ("indexed" or "naive")."""
+    try:
+        return _ENGINES[engine](schema)
+    except KeyError:
+        raise ValueError(f"unknown validation engine: {engine!r}") from None
+
+
+def validate(
+    schema: "GraphQLSchema",
+    graph: "PropertyGraph",
+    mode: str = "strong",
+    engine: str = "indexed",
+) -> ValidationReport:
+    """Validate *graph* against *schema*.
+
+    Args:
+        mode: ``"weak"`` (Definition 5.1), ``"directives"`` (Definition 5.2)
+            or ``"strong"`` (Definition 5.3, the default -- this is the
+            Schema Validation Problem).
+        engine: ``"indexed"`` (near-linear; default) or ``"naive"``
+            (quantifier-faithful baseline).
+    """
+    return make_validator(schema, engine).validate(graph, mode)
+
+
+def weakly_satisfies(schema: "GraphQLSchema", graph: "PropertyGraph") -> bool:
+    """Definition 5.1: does the graph weakly satisfy the schema?"""
+    return validate(schema, graph, mode="weak").conforms
+
+
+def satisfies_directives(schema: "GraphQLSchema", graph: "PropertyGraph") -> bool:
+    """Definition 5.2: does the graph satisfy the schema's directives?"""
+    return validate(schema, graph, mode="directives").conforms
+
+
+def strongly_satisfies(schema: "GraphQLSchema", graph: "PropertyGraph") -> bool:
+    """Definition 5.3: does the graph strongly satisfy the schema?"""
+    return validate(schema, graph, mode="strong").conforms

@@ -1,0 +1,408 @@
+"""Incremental re-validation after graph mutations (an extension feature).
+
+:class:`IncrementalValidator` owns a Property Graph, keeps it strongly
+validated, and updates the violation set after each mutation by re-checking
+only the affected *scopes* instead of the whole graph:
+
+* per-element scopes -- WS1/SS1/SS2/DS4/DS5/DS6 for one node, and
+  WS2/WS3/SS3/SS4/DS2 for one edge;
+* edge-group scopes -- WS4/DS1 for one (source, label) group and DS3 for one
+  (target, label) group;
+* key scopes -- DS7 for one (key site, key-value signature) group, with the
+  signature index maintained incrementally.
+
+After any sequence of mutations, ``report()`` equals a from-scratch strong
+validation of the current graph (the differential tests enforce this).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from ..pg.values import value_signature
+from ..schema.subtype import is_named_subtype
+from . import sites
+from .indexed import IndexedValidator, _GraphIndex, _ordered_pairs
+from .violations import ValidationReport, Violation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pg.model import ElementId, PropertyGraph
+    from ..schema.model import GraphQLSchema
+
+_MISSING = ("<missing>",)
+
+ScopeKey = tuple
+
+
+class IncrementalValidator:
+    """Keeps a graph's strong-validation report current across mutations."""
+
+    def __init__(self, schema: "GraphQLSchema", graph: "PropertyGraph") -> None:
+        self.schema = schema
+        self.graph = graph
+        self._engine = IndexedValidator(schema)
+        self._key_sites = sites.key_sites(schema)
+        # scope key -> violations found in that scope
+        self._violations: dict[ScopeKey, list[Violation]] = {}
+        # key-site index -> signature -> set of nodes
+        self._signatures: list[dict[tuple, set["ElementId"]]] = [
+            {} for _ in self._key_sites
+        ]
+        self._node_signatures: dict["ElementId", list[tuple | None]] = {}
+        self._full_rebuild()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def report(self) -> ValidationReport:
+        """The current strong-validation report."""
+        report = ValidationReport(mode="strong")
+        for violations in self._violations.values():
+            report.extend(violations)
+        return report
+
+    @property
+    def conforms(self) -> bool:
+        return all(not violations for violations in self._violations.values())
+
+    def add_node(
+        self,
+        node_id: "ElementId",
+        label: str,
+        properties: Mapping[str, object] | None = None,
+    ) -> None:
+        self.graph.add_node(node_id, label, properties)
+        self._index_node_signatures(node_id)
+        self._recheck_node(node_id)
+        self._recheck_key_scopes_of(node_id)
+
+    def remove_node(self, node_id: "ElementId") -> None:
+        touched_edges = set(self.graph.out_edges(node_id)) | set(
+            self.graph.in_edges(node_id)
+        )
+        neighbour_scopes: set[ScopeKey] = set()
+        affected_nodes: set["ElementId"] = set()
+        for edge in touched_edges:
+            source, target = self.graph.endpoints(edge)
+            label = self.graph.label(edge)
+            neighbour_scopes.add(("out", source, label))
+            neighbour_scopes.add(("in", target, label))
+            affected_nodes.update((source, target))
+            self._violations.pop(("edge", edge), None)
+        self._unindex_node_signatures(node_id)
+        self.graph.remove_node(node_id)
+        self._violations.pop(("node", node_id), None)
+        affected_nodes.discard(node_id)
+        for scope in neighbour_scopes:
+            if scope[1] != node_id:
+                self._recheck_edge_group(scope)
+            else:
+                self._violations.pop(scope, None)
+        for node in affected_nodes:
+            self._recheck_node(node)
+        self._recheck_key_scopes_of(node_id, removed=True)
+
+    def add_edge(
+        self,
+        edge_id: "ElementId",
+        source: "ElementId",
+        target: "ElementId",
+        label: str,
+        properties: Mapping[str, object] | None = None,
+    ) -> None:
+        self.graph.add_edge(edge_id, source, target, label, properties)
+        self._recheck_edge(edge_id)
+        self._recheck_edge_group(("out", source, label))
+        self._recheck_edge_group(("in", target, label))
+        self._recheck_node(source)
+        self._recheck_node(target)
+
+    def remove_edge(self, edge_id: "ElementId") -> None:
+        source, target = self.graph.endpoints(edge_id)
+        label = self.graph.label(edge_id)
+        self.graph.remove_edge(edge_id)
+        self._violations.pop(("edge", edge_id), None)
+        self._recheck_edge_group(("out", source, label))
+        self._recheck_edge_group(("in", target, label))
+        self._recheck_node(source)
+        self._recheck_node(target)
+
+    def set_property(self, element_id: "ElementId", name: str, value: object) -> None:
+        self._change_property(element_id, lambda: self.graph.set_property(element_id, name, value))
+
+    def remove_property(self, element_id: "ElementId", name: str) -> None:
+        self._change_property(element_id, lambda: self.graph.remove_property(element_id, name))
+
+    def _change_property(self, element_id: "ElementId", mutate) -> None:
+        if not self.graph.is_node(element_id):
+            mutate()
+            self._recheck_edge(element_id)
+            return
+        old_signatures = list(self._node_signatures.get(element_id) or ())
+        self._unindex_node_signatures(element_id)
+        mutate()
+        self._index_node_signatures(element_id)
+        self._recheck_node(element_id)
+        # both the groups the node left and the groups it joined change
+        for site_index, signature in enumerate(old_signatures):
+            if signature is not None:
+                self._recheck_key_scope(site_index, signature)
+        self._recheck_key_scopes_of(element_id)
+
+    # ------------------------------------------------------------------ #
+    # scope recomputation
+    # ------------------------------------------------------------------ #
+
+    def _full_rebuild(self) -> None:
+        self._violations.clear()
+        for holder in self._signatures:
+            holder.clear()
+        self._node_signatures.clear()
+        for node in self.graph.nodes:
+            self._index_node_signatures(node)
+            self._recheck_node(node)
+        for edge in self.graph.edges:
+            self._recheck_edge(edge)
+        seen_groups: set[ScopeKey] = set()
+        for edge in self.graph.edges:
+            source, target = self.graph.endpoints(edge)
+            label = self.graph.label(edge)
+            for scope in (("out", source, label), ("in", target, label)):
+                if scope not in seen_groups:
+                    seen_groups.add(scope)
+                    self._recheck_edge_group(scope)
+        for site_index in range(len(self._key_sites)):
+            for signature in self._signatures[site_index]:
+                self._recheck_key_scope(site_index, signature)
+
+    def _recheck_node(self, node: "ElementId") -> None:
+        """Re-run the per-node rules (WS1/SS1/SS2/DS4/DS5/DS6) for one node."""
+        graph, engine = self.graph, self._engine
+        found: list[Violation] = []
+        single = _SingleNodeIndex(graph, node)
+        for checker in (engine._ws1, engine._ss1, engine._ss2):
+            found.extend(checker(graph, single))  # type: ignore[arg-type]
+        found.extend(
+            violation
+            for checker in (engine._ds4, engine._ds5, engine._ds6)
+            for violation in checker(graph, single)  # type: ignore[arg-type]
+        )
+        self._store(("node", node), found)
+
+    def _recheck_edge(self, edge: "ElementId") -> None:
+        """Re-run the per-edge rules (WS2/WS3/SS3/SS4/DS2) for one edge."""
+        graph, engine, schema = self.graph, self._engine, self.schema
+        single = _SingleEdgeIndex(graph, edge)
+        found: list[Violation] = []
+        # WS2 / SS3 / DS2 consume the restricted index directly
+        for checker in (engine._ws2, engine._ss3, engine._ds2):
+            found.extend(checker(graph, single))  # type: ignore[arg-type]
+        # WS3 / SS4 iterate graph.edges in the engine, so check inline here
+        source, target = graph.endpoints(edge)
+        type_name, field_name = graph.label(source), graph.label(edge)
+        ref = schema.type_f(type_name, field_name)
+        if ref is None:
+            found.append(
+                Violation(
+                    "SS4",
+                    f"{type_name}.{field_name}",
+                    (edge,),
+                    f"edge label {field_name} is not a field of {type_name}",
+                )
+            )
+        else:
+            if schema.is_scalar_type(ref.base):
+                found.append(
+                    Violation(
+                        "SS4",
+                        f"{type_name}.{field_name}",
+                        (edge,),
+                        f"edge label {field_name} corresponds to an attribute field",
+                    )
+                )
+            if not is_named_subtype(schema, graph.label(target), ref.base):
+                found.append(
+                    Violation(
+                        "WS3",
+                        f"{type_name}.{field_name}",
+                        (edge,),
+                        f"target label {graph.label(target)} is not a subtype of {ref.base}",
+                    )
+                )
+        self._store(("edge", edge), found)
+
+    def _recheck_edge_group(self, scope: ScopeKey) -> None:
+        """Re-run WS4/DS1 for one (source, label) group or DS3 for one
+        (target, label) group."""
+        direction, node, label = scope
+        graph, schema = self.graph, self.schema
+        found: list[Violation] = []
+        if not graph.is_node(node):
+            self._violations.pop(scope, None)
+            return
+        if direction == "out":
+            edges = graph.out_edges(node, label)
+            ref = schema.type_f(graph.label(node), label)
+            if ref is not None and not ref.is_list and len(edges) > 1:
+                for e1, e2 in _ordered_pairs(edges):
+                    found.append(
+                        Violation(
+                            "WS4",
+                            f"{graph.label(node)}.{label}",
+                            (e1, e2),
+                            f"two parallel edges for non-list field type {ref}",
+                        )
+                    )
+            by_endpoints: dict[tuple, list["ElementId"]] = {}
+            for edge in edges:
+                by_endpoints.setdefault(graph.endpoints(edge), []).append(edge)
+            for site in self._engine._distinct:
+                if site.field_name != label:
+                    continue
+                if not is_named_subtype(schema, graph.label(node), site.type_name):
+                    continue
+                for group in by_endpoints.values():
+                    for e1, e2 in _ordered_pairs(group):
+                        found.append(
+                            Violation(
+                                "DS1",
+                                site.location,
+                                (e1, e2),
+                                "two @distinct edges share both endpoints",
+                            )
+                        )
+        else:
+            edges = graph.in_edges(node, label)
+            for site in self._engine._unique_ft:
+                if site.field_name != label:
+                    continue
+                qualifying = [
+                    edge
+                    for edge in edges
+                    if is_named_subtype(
+                        schema, graph.label(graph.endpoints(edge)[0]), site.type_name
+                    )
+                ]
+                for e1, e2 in _ordered_pairs(qualifying):
+                    found.append(
+                        Violation(
+                            "DS3",
+                            site.location,
+                            (e1, e2),
+                            "target has two incoming @uniqueForTarget edges",
+                        )
+                    )
+        self._store(scope, found)
+
+    def _recheck_key_scopes_of(
+        self, node: "ElementId", removed: bool = False
+    ) -> None:
+        """Re-check the DS7 groups that contain (or contained) *node*."""
+        signatures = self._node_signatures.get(node)
+        if removed:
+            signatures = self._last_removed_signatures
+        if not signatures:
+            return
+        for site_index, signature in enumerate(signatures):
+            if signature is not None:
+                self._recheck_key_scope(site_index, signature)
+
+    def _recheck_key_scope(self, site_index: int, signature: tuple) -> None:
+        site = self._key_sites[site_index]
+        members = sorted(
+            self._signatures[site_index].get(signature, ()), key=str
+        )
+        found = [
+            Violation(
+                "DS7",
+                site.location,
+                (v1, v2),
+                "two distinct nodes agree on all key fields",
+            )
+            for v1, v2 in _ordered_pairs(members)
+        ]
+        self._store(("key", site_index, signature), found)
+
+    # ------------------------------------------------------------------ #
+    # signature index maintenance
+    # ------------------------------------------------------------------ #
+
+    def _signature_for(self, node: "ElementId", site: sites.KeySite) -> tuple | None:
+        graph, schema = self.graph, self.schema
+        if not is_named_subtype(schema, graph.label(node), site.type_name):
+            return None
+        scalar_fields = [
+            field_name
+            for field_name in site.fields
+            if (ref := schema.type_f(site.type_name, field_name)) is not None
+            and schema.is_scalar_type(ref.base)
+        ]
+        return tuple(
+            value_signature(graph.property_value(node, field_name))
+            if graph.has_property(node, field_name)
+            else _MISSING
+            for field_name in scalar_fields
+        )
+
+    def _index_node_signatures(self, node: "ElementId") -> None:
+        per_site: list[tuple | None] = []
+        for site_index, site in enumerate(self._key_sites):
+            signature = self._signature_for(node, site)
+            per_site.append(signature)
+            if signature is not None:
+                self._signatures[site_index].setdefault(signature, set()).add(node)
+        self._node_signatures[node] = per_site
+
+    def _unindex_node_signatures(self, node: "ElementId") -> None:
+        per_site = self._node_signatures.pop(node, None)
+        self._last_removed_signatures = per_site
+        if per_site is None:
+            return
+        for site_index, signature in enumerate(per_site):
+            if signature is not None:
+                group = self._signatures[site_index].get(signature)
+                if group is not None:
+                    group.discard(node)
+                    if not group:
+                        del self._signatures[site_index][signature]
+
+    _last_removed_signatures: list[tuple | None] | None = None
+
+    def _store(self, scope: ScopeKey, violations: list[Violation]) -> None:
+        if violations:
+            self._violations[scope] = violations
+        else:
+            self._violations.pop(scope, None)
+
+
+class _SingleNodeIndex:
+    """A _GraphIndex restricted to one node (for per-node rule reuse)."""
+
+    def __init__(self, graph: "PropertyGraph", node: "ElementId") -> None:
+        self.nodes_by_label = {graph.label(node): [node]}
+        self.node_properties = [
+            (node, name, value) for name, value in graph.properties(node).items()
+        ]
+        self.edge_properties: list = []
+        self.by_source_label: dict = {}
+        self.by_target_label: dict = {}
+        self.by_endpoints_label: dict = {}
+        self.loops_by_label: dict = {}
+
+
+class _SingleEdgeIndex:
+    """A _GraphIndex restricted to one edge (for per-edge rule reuse)."""
+
+    def __init__(self, graph: "PropertyGraph", edge: "ElementId") -> None:
+        source, target = graph.endpoints(edge)
+        label = graph.label(edge)
+        self.nodes_by_label: dict = {}
+        self.node_properties: list = []
+        self.edge_properties = [
+            (edge, name, value) for name, value in graph.properties(edge).items()
+        ]
+        self.by_source_label = {(source, label): [edge]}
+        self.by_target_label = {(target, label): [edge]}
+        self.by_endpoints_label = {(source, target, label): [edge]}
+        self.loops_by_label = {label: [edge]} if source == target else {}

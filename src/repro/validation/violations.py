@@ -1,0 +1,198 @@
+"""Violations and validation reports.
+
+Every satisfaction rule of Section 5 (WS1-WS4, DS1-DS7, SS1-SS4) reports its
+failures as :class:`Violation` objects carrying the rule id, the schema
+location that imposed the constraint, and the graph elements witnessing the
+failure.  Reports from the naive and the indexed validator are comparable as
+sets, which is how the differential tests establish engine agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Rule catalogue: id -> (title, statement from the paper).
+RULES: dict[str, tuple[str, str]] = {
+    "WS1": (
+        "Node properties must be of the required type",
+        "For all (v, f) ∈ dom(σ) with v ∈ V, f ∈ fields(λ(v)) and "
+        "t = type_F(λ(v), f) ∈ S ∪ W_S: σ(v, f) ∈ values_W(t).",
+    ),
+    "WS2": (
+        "Edge properties must be of the required type",
+        "For all (e, a) ∈ dom(σ) with e ∈ E, (v1, v2) = ρ(e), "
+        "f = (λ(v1), λ(e)) and a ∈ args(f): σ(e, a) ∈ values_W(type_AF(f, a)).",
+    ),
+    "WS3": (
+        "Target nodes must be of the required type",
+        "For every e ∈ E with ρ(e) = (v1, v2) and f = (λ(v1), λ(e)) ∈ "
+        "dom(type_F): λ(v2) ⊑ basetype(type_F(f)).",
+    ),
+    "WS4": (
+        "Non-list fields contain at most one edge",
+        "Edges e1, e2 with the same source and the same label f, where "
+        "type_F(λ(v1), f) is not a list type: e1 = e2.",
+    ),
+    "DS1": (
+        "Edges identified by nodes and label (@distinct)",
+        "If (@distinct, ∅) ∈ directives_F(t, f): edges e1, e2 with identical "
+        "endpoints, source label ⊑ t and label f coincide.",
+    ),
+    "DS2": (
+        "No loops (@noLoops)",
+        "If (@noLoops, ∅) ∈ directives_F(t, f): no edge e with ρ(e) = (v, v), "
+        "λ(v) ⊑ t and λ(e) = f.",
+    ),
+    "DS3": (
+        "Target has at most one incoming edge (@uniqueForTarget)",
+        "If (@uniqueForTarget, ∅) ∈ directives_F(t, f): edges e1, e2 with the "
+        "same target, source labels ⊑ t and label f coincide.",
+    ),
+    "DS4": (
+        "Target has at least one incoming edge (@requiredForTarget)",
+        "If (@requiredForTarget, ∅) ∈ directives_F(t, f): every node v2 with "
+        "λ(v2) ⊑ basetype(type_S(t, f)) has an incoming f-edge from a node "
+        "with label ⊑ t.",
+    ),
+    "DS5": (
+        "Property is required (@required on an attribute)",
+        "If (@required, ∅) ∈ directives_F(t, f) and type_S(t, f) ∈ S ∪ W_S: "
+        "every v with λ(v) ⊑ t has (v, f) ∈ dom(σ), with a nonempty list "
+        "value when type_S(t, f) is a list type.",
+    ),
+    "DS6": (
+        "Edge is required (@required on a relationship)",
+        "If (@required, ∅) ∈ directives_F(t, f) and type_S(t, f) ∉ S ∪ W_S: "
+        "every v1 with λ(v1) ⊑ t has at least one outgoing edge labelled f.",
+    ),
+    "DS7": (
+        "Keys (@key)",
+        "If (@key, {fields: [f1 … fn]}) ∈ directives_T(t): any two nodes with "
+        "labels ⊑ t that agree on every scalar-typed key field (both absent, "
+        "or both present and equal) are identical.",
+    ),
+    "SS1": (
+        "All nodes are justified",
+        "For all v ∈ V: λ(v) ∈ OT.",
+    ),
+    "SS2": (
+        "All node properties are justified",
+        "For all (v, f) ∈ dom(σ) with v ∈ V: f ∈ fields(λ(v)) and "
+        "type_F(λ(v), f) ∈ S ∪ W_S.",
+    ),
+    "SS3": (
+        "All edge properties are justified",
+        "For all (e, a) ∈ dom(σ) with e ∈ E: a ∈ args((λ(v1), λ(e))).",
+    ),
+    "SS4": (
+        "All edges are justified",
+        "For all e ∈ E with ρ(e) = (v1, v2): λ(e) ∈ fields(λ(v1)) and "
+        "type_F(λ(v1), λ(e)) ∉ S ∪ W_S.",
+    ),
+}
+
+RULES["EP1"] = (
+    "Non-null edge properties are mandatory (extension)",
+    "For every edge e with (λ(v1), λ(e)) ∈ dom(type_F) and every argument a "
+    "with non-null type_AF and no default value: (e, a) ∈ dom(σ).  Stated in "
+    "prose in §3.5/Example 3.12 but absent from Definitions 5.1-5.3; checked "
+    'only in the "extended" validation mode.',
+)
+
+WEAK_RULES = ("WS1", "WS2", "WS3", "WS4")
+DIRECTIVE_RULES = ("DS1", "DS2", "DS3", "DS4", "DS5", "DS6", "DS7")
+STRONG_RULES = ("SS1", "SS2", "SS3", "SS4")
+EXTENSION_RULES = ("EP1",)
+ALL_RULES = WEAK_RULES + DIRECTIVE_RULES + STRONG_RULES
+
+
+def rules_for_mode(mode: str) -> tuple[str, ...]:
+    """The rule set decided by each validation mode."""
+    if mode == "weak":
+        return WEAK_RULES
+    if mode == "directives":
+        return DIRECTIVE_RULES
+    if mode == "strong":
+        return ALL_RULES
+    if mode == "extended":
+        return ALL_RULES + EXTENSION_RULES
+    raise ValueError(f"unknown validation mode: {mode!r}")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One witnessed failure of a satisfaction rule.
+
+    Attributes:
+        rule: Rule id ("WS1" … "SS4").
+        location: Schema location imposing the constraint, e.g.
+            ``"Book.author"`` or ``"type User @key(id)"``; empty for the
+            purely structural SS rules.
+        elements: The graph elements witnessing the failure (node/edge ids,
+            in canonical order for pairwise rules).
+        detail: Human-readable explanation.
+    """
+
+    rule: str
+    location: str
+    elements: tuple
+    detail: str = ""
+
+    @property
+    def title(self) -> str:
+        return RULES[self.rule][0]
+
+    def __str__(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        subject = ", ".join(str(element) for element in self.elements)
+        detail = f": {self.detail}" if self.detail else ""
+        return f"{self.rule}{where} ({subject}){detail}"
+
+    def key(self) -> tuple:
+        """Identity ignoring the free-text detail (for engine comparison)."""
+        return (self.rule, self.location, self.elements)
+
+
+def canonical_pair(a: object, b: object) -> tuple:
+    """Order a pair of element ids canonically (for WS4/DS1/DS3/DS7 witnesses)."""
+    return (a, b) if str(a) <= str(b) else (b, a)
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating one Property Graph against one schema.
+
+    ``conforms`` is True iff no violations were found for the rules that were
+    checked.  ``mode`` records which satisfaction notion was decided:
+    ``"weak"`` (WS only), ``"directives"`` (DS only) or ``"strong"`` (all).
+    """
+
+    mode: str
+    violations: list[Violation] = field(default_factory=list)
+    rules_checked: tuple[str, ...] = ALL_RULES
+
+    @property
+    def conforms(self) -> bool:
+        return not self.violations
+
+    def by_rule(self) -> dict[str, list[Violation]]:
+        grouped: dict[str, list[Violation]] = {}
+        for violation in self.violations:
+            grouped.setdefault(violation.rule, []).append(violation)
+        return grouped
+
+    def keys(self) -> frozenset[tuple]:
+        """The set of violation identities (for engine-agreement checks)."""
+        return frozenset(violation.key() for violation in self.violations)
+
+    def summary(self) -> str:
+        if self.conforms:
+            return f"conforms ({self.mode} satisfaction)"
+        counts = ", ".join(
+            f"{rule}×{len(violations)}" for rule, violations in sorted(self.by_rule().items())
+        )
+        return f"{len(self.violations)} violation(s): {counts}"
+
+    def extend(self, violations: Iterable[Violation]) -> None:
+        self.violations.extend(violations)

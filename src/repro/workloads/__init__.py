@@ -1,0 +1,30 @@
+"""Workloads: the paper's schema corpus, random schemas, and graph generators."""
+
+from . import paper_schemas
+from .graphs import (
+    CARDINALITY_FIELDS,
+    cardinality_graph,
+    conformant_graph,
+    corrupt_graph,
+    food_graph,
+    library_graph,
+    user_session_graph,
+)
+from .paper_schemas import CORPUS, PaperSchema, load
+from .schemas import random_schema, random_schema_sdl
+
+__all__ = [
+    "CARDINALITY_FIELDS",
+    "CORPUS",
+    "PaperSchema",
+    "cardinality_graph",
+    "conformant_graph",
+    "corrupt_graph",
+    "food_graph",
+    "library_graph",
+    "load",
+    "paper_schemas",
+    "random_schema",
+    "random_schema_sdl",
+    "user_session_graph",
+]

@@ -1,0 +1,516 @@
+"""Workload graphs: conformant generators and violation injectors.
+
+The domain generators (:func:`user_session_graph`, :func:`library_graph`,
+:func:`food_graph`) produce Property Graphs that strongly satisfy the
+corresponding paper schemas at any requested scale -- they drive the
+validation-scaling experiments.  :func:`conformant_graph` is a best-effort
+generator for arbitrary schemas (used with the random schemas of E2).
+:func:`corrupt_graph` injects one violation of a chosen rule, giving the
+negative workloads their ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..pg.model import PropertyGraph
+from ..schema.model import GraphQLSchema
+from ..schema.subtype import is_named_subtype
+from ..validation import sites
+
+
+def user_session_graph(
+    num_users: int, sessions_per_user: int = 2, seed: int | None = None
+) -> PropertyGraph:
+    """Strongly satisfies the ``user_session*`` corpus schemas (Ex. 3.1/3.4/3.12)."""
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    edge_count = 0
+    for user_index in range(num_users):
+        user = f"u{user_index}"
+        properties = {
+            "id": f"user-{user_index}",
+            "login": f"login{user_index}",
+        }
+        if rng.random() < 0.5:
+            properties["nicknames"] = tuple(
+                f"nick{user_index}_{i}" for i in range(rng.randint(1, 3))
+            )
+        graph.add_node(user, "User", properties)
+        for session_index in range(sessions_per_user):
+            session = f"s{user_index}_{session_index}"
+            session_props = {
+                "id": f"sess-{user_index}-{session_index}",
+                "startTime": f"2019-06-30T{session_index:02d}:00",
+            }
+            if rng.random() < 0.5:
+                session_props["endTime"] = f"2019-06-30T{session_index:02d}:45"
+            graph.add_node(session, "UserSession", session_props)
+            graph.add_edge(
+                f"e{edge_count}",
+                session,
+                user,
+                "user",
+                {"certainty": round(rng.random(), 3)},
+            )
+            edge_count += 1
+    return graph
+
+
+def library_graph(
+    num_authors: int,
+    num_books: int,
+    num_series: int = 0,
+    num_publishers: int = 1,
+    seed: int | None = None,
+) -> PropertyGraph:
+    """Strongly satisfies the ``library`` corpus schema (Examples 3.6-3.8).
+
+    Constraints honoured: every Book has ≥1 distinct author edge; Author
+    favoriteBook ≤ 1; relatedAuthor edges are distinct and loop-free; each
+    Book has ≤1 incoming contains edge; each Book has exactly one incoming
+    published edge (@uniqueForTarget + @requiredForTarget on Publisher).
+    """
+    if num_publishers < 1 or num_authors < 1:
+        raise ValueError("library_graph needs at least one publisher and author")
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    edge_count = 0
+
+    def add_edge(source, target, label):
+        nonlocal edge_count
+        graph.add_edge(f"e{edge_count}", source, target, label)
+        edge_count += 1
+
+    authors = [graph.add_node(f"a{i}", "Author") for i in range(num_authors)]
+    books = [
+        graph.add_node(f"b{i}", "Book", {"title": f"Book #{i}"})
+        for i in range(num_books)
+    ]
+    publishers = [graph.add_node(f"p{i}", "Publisher") for i in range(num_publishers)]
+    series = [graph.add_node(f"series{i}", "BookSeries") for i in range(num_series)]
+
+    for book in books:
+        # @required @distinct author edges
+        for author in rng.sample(authors, rng.randint(1, min(2, num_authors))):
+            add_edge(book, author, "author")
+        # exactly one incoming published edge
+        add_edge(rng.choice(publishers), book, "published")
+
+    for index, author in enumerate(authors):
+        if books and rng.random() < 0.5:
+            add_edge(author, rng.choice(books), "favoriteBook")
+        others = [other for other in authors if other != author]
+        if others and rng.random() < 0.5:
+            for other in rng.sample(others, rng.randint(1, min(2, len(others)))):
+                add_edge(author, other, "relatedAuthor")
+
+    # each series contains some books, each book in at most one series
+    unassigned = list(books)
+    rng.shuffle(unassigned)
+    for series_node in series:
+        if not unassigned:
+            # @required: a BookSeries must contain something; avoid creating
+            # series we cannot feed
+            graph.remove_node(series_node)
+            continue
+        take = rng.randint(1, max(1, min(3, len(unassigned))))
+        for _ in range(take):
+            if unassigned:
+                add_edge(series_node, unassigned.pop(), "contains")
+    return graph
+
+
+def food_graph(num_people: int, seed: int | None = None) -> PropertyGraph:
+    """Strongly satisfies both food schemas (Examples 3.9/3.10)."""
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    pizza = graph.add_node("pizza0", "Pizza", {"name": "Margherita", "toppings": ("basil",)})
+    pasta = graph.add_node("pasta0", "Pasta", {"name": "Carbonara"})
+    edge_count = 0
+    for index in range(num_people):
+        person = graph.add_node(f"person{index}", "Person", {"name": f"P{index}"})
+        if rng.random() < 0.8:
+            graph.add_edge(
+                f"e{edge_count}", person, rng.choice((pizza, pasta)), "favoriteFood"
+            )
+            edge_count += 1
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# §3.3 cardinality patterns (experiment E4)
+# --------------------------------------------------------------------------- #
+
+#: field name per §3.3 table row in the ``cardinality_table`` corpus schema.
+CARDINALITY_FIELDS = {
+    "1:1": "relOneOne",
+    "1:N": "relOneN",
+    "N:1": "relNOne",
+    "N:M": "relNM",
+}
+
+
+def cardinality_graph(
+    field_name: str, fan_out: int, fan_in: int
+) -> PropertyGraph:
+    """A bipartite A/B graph where every A node has *fan_out* outgoing
+    ``field_name`` edges and every B node has *fan_in* incoming ones.
+
+    Built as a complete bipartite-ish pattern over ``fan_in`` A-nodes and
+    ``fan_out`` B-nodes, so (fan_out, fan_in) = (1, 1) is a perfect
+    matching, (2, 1) gives one-source-many-targets, etc.  Experiment E4
+    validates each pattern against each §3.3 table row.
+    """
+    graph = PropertyGraph()
+    a_nodes = [graph.add_node(f"a{i}", "A") for i in range(max(1, fan_in))]
+    b_nodes = [graph.add_node(f"b{i}", "B") for i in range(max(1, fan_out))]
+    edge_count = 0
+    for a_node in a_nodes:
+        for b_node in b_nodes:
+            graph.add_edge(f"e{edge_count}", a_node, b_node, field_name)
+            edge_count += 1
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# generic best-effort conformant generation
+# --------------------------------------------------------------------------- #
+
+
+def conformant_graph(
+    schema: GraphQLSchema,
+    nodes_per_type: int = 10,
+    extra_edge_probability: float = 0.3,
+    seed: int | None = None,
+) -> PropertyGraph:
+    """Best-effort strongly-satisfying graph for an arbitrary schema.
+
+    Creates ``nodes_per_type`` nodes per object type with all required (and
+    some optional) attributes, then adds edges to satisfy @required and
+    @requiredForTarget obligations plus optional extras, respecting
+    non-list cardinality, @distinct, @noLoops and @uniqueForTarget.  For
+    adversarial schemas the obligations may be unsatisfiable at this size;
+    callers that need guaranteed conformance should validate the result.
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    counter = [0]
+    nodes_by_type: dict[str, list] = {}
+
+    def fresh_value(ref) -> object:
+        counter[0] += 1
+        if schema.scalars.is_enum(ref.base):
+            value: object = sorted(schema.scalars.enum_values(ref.base))[0]
+        elif ref.base == "Int":
+            value = counter[0]
+        elif ref.base == "Float":
+            value = float(counter[0])
+        elif ref.base == "Boolean":
+            value = bool(counter[0] % 2)
+        else:
+            value = f"v{counter[0]}"
+        return (value,) if ref.is_list else value
+
+    for type_name, object_type in schema.object_types.items():
+        nodes_by_type[type_name] = []
+        for index in range(nodes_per_type):
+            properties: dict[str, object] = {}
+            for field_def in _all_fields(schema, object_type):
+                if not field_def.is_attribute:
+                    continue
+                if field_def.has_directive("required") or rng.random() < 0.5:
+                    properties[field_def.name] = fresh_value(field_def.type)
+            node = graph.add_node(f"{type_name}_{index}", type_name, properties or None)
+            nodes_by_type[type_name].append(node)
+
+    edge_count = [0]
+    # track incoming-per-(site, target) for @uniqueForTarget
+    unique_ft = sites.unique_for_target_sites(schema)
+
+    def incoming_from(node, field_name, declaring) -> int:
+        return sum(
+            1
+            for edge in graph.in_edges(node, field_name)
+            if is_named_subtype(
+                schema, graph.label(graph.endpoints(edge)[0]), declaring
+            )
+        )
+
+    def can_add(source, field_name, target) -> bool:
+        declaration = schema.field(graph.label(source), field_name)
+        if declaration is None or declaration.is_attribute:
+            return False
+        if not is_named_subtype(schema, graph.label(target), declaration.type.base):
+            return False
+        if not declaration.type.is_list and graph.out_edges(source, field_name):
+            return False
+        if source == target:
+            for site in sites.no_loops_sites(schema):
+                if site.field_name == field_name and is_named_subtype(
+                    schema, graph.label(source), site.type_name
+                ):
+                    return False
+        for edge in graph.out_edges(source, field_name):
+            if graph.endpoints(edge)[1] == target:
+                return False  # keep edges distinct
+        for site in unique_ft:
+            if site.field_name == field_name and is_named_subtype(
+                schema, graph.label(source), site.type_name
+            ):
+                if incoming_from(target, field_name, site.type_name) >= 1:
+                    return False
+        return True
+
+    def add_edge(source, field_name, target) -> None:
+        declaration = schema.field(graph.label(source), field_name)
+        properties = {
+            argument.name: fresh_value(argument.type)
+            for argument in declaration.arguments
+            if argument.type.non_null or rng.random() < 0.3
+        }
+        graph.add_edge(
+            f"e{edge_count[0]}", source, target, field_name, properties or None
+        )
+        edge_count[0] += 1
+
+    # obligations: @required relationships
+    for site in sites.required_edge_sites(schema):
+        for label in schema.object_types_below(site.type_name) | (
+            {site.type_name} if site.type_name in schema.object_types else set()
+        ):
+            for node in nodes_by_type.get(label, ()):
+                if graph.out_edges(node, site.field_name):
+                    continue
+                declaration = schema.field(label, site.field_name)
+                if declaration is None:
+                    continue
+                targets = _targets_below(schema, nodes_by_type, declaration.type.base)
+                rng.shuffle(targets)
+                for target in targets:
+                    if can_add(node, site.field_name, target):
+                        add_edge(node, site.field_name, target)
+                        break
+
+    # obligations: @requiredForTarget
+    for site in sites.required_for_target_sites(schema):
+        source_labels = sorted(
+            schema.object_types_below(site.type_name)
+            | ({site.type_name} if site.type_name in schema.object_types else set())
+        )
+        for target_label in sorted(schema.object_types_below(site.field.type.base)):
+            for node in nodes_by_type.get(target_label, ()):
+                if incoming_from(node, site.field_name, site.type_name):
+                    continue
+                candidates = [
+                    source
+                    for label in source_labels
+                    for source in nodes_by_type.get(label, ())
+                ]
+                rng.shuffle(candidates)
+                for source in candidates:
+                    if can_add(source, site.field_name, node):
+                        add_edge(source, site.field_name, node)
+                        break
+
+    # optional extra edges
+    for type_name, object_type in schema.object_types.items():
+        for field_def in _all_fields(schema, object_type):
+            if field_def.is_attribute:
+                continue
+            for node in nodes_by_type[type_name]:
+                if rng.random() >= extra_edge_probability:
+                    continue
+                targets = _targets_below(schema, nodes_by_type, field_def.type.base)
+                rng.shuffle(targets)
+                for target in targets:
+                    if can_add(node, field_def.name, target):
+                        add_edge(node, field_def.name, target)
+                        break
+    return graph
+
+
+def _all_fields(schema: GraphQLSchema, object_type):
+    """The object type's own fields (interface fields are repeated in them
+    by consistency, so no merging is needed for consistent schemas)."""
+    return object_type.fields
+
+
+def _targets_below(schema, nodes_by_type, base: str) -> list:
+    return [
+        node
+        for label in sorted(schema.object_types_below(base))
+        for node in nodes_by_type.get(label, ())
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# violation injection
+# --------------------------------------------------------------------------- #
+
+
+def corrupt_graph(
+    graph: PropertyGraph,
+    schema: GraphQLSchema,
+    rule: str,
+    seed: int | None = None,
+) -> PropertyGraph | None:
+    """A copy of *graph* with one injected violation of *rule*.
+
+    Returns None when the schema/graph offers no opportunity to violate the
+    rule (e.g. DS2 without any @noLoops site).  The injected element ids
+    start with ``bad`` so tests can locate them.
+    """
+    rng = random.Random(seed)
+    copy = graph.copy()
+    nodes = sorted(copy.nodes, key=str)
+    if not nodes:
+        return None
+
+    if rule == "SS1":
+        copy.add_node("bad_node", "NoSuchType")
+        return copy
+    if rule == "WS1":
+        # only the restrictive builtin domains admit an always-bad value
+        # (ID and custom scalars accept any atom)
+        bad_values = {"Int": "not-a-number", "Float": "not-a-number",
+                      "String": 12345, "Boolean": "yes"}
+        for type_name, field_name, field_def in schema.field_declarations():
+            if not field_def.is_attribute or field_def.type.base not in bad_values:
+                continue
+            if schema.scalars.is_enum(field_def.type.base):
+                continue
+            for node in nodes:
+                if copy.label(node) == type_name:
+                    copy.set_property(node, field_name, bad_values[field_def.type.base])
+                    return copy
+        return None
+    if rule == "SS2":
+        node = rng.choice(nodes)
+        copy.set_property(node, "undeclaredProperty", 1)
+        return copy
+    if rule == "SS4":
+        node = rng.choice(nodes)
+        copy.add_edge("bad_edge", node, node, "undeclaredEdgeLabel")
+        return copy
+    if rule == "WS3":
+        for type_name, field_name, field_def in schema.field_declarations():
+            if not field_def.is_relationship or type_name not in schema.object_types:
+                continue
+            source = next((n for n in nodes if copy.label(n) == type_name), None)
+            wrong = next(
+                (
+                    n
+                    for n in nodes
+                    if not is_named_subtype(schema, copy.label(n), field_def.type.base)
+                ),
+                None,
+            )
+            if source is not None and wrong is not None:
+                copy.add_edge("bad_edge", source, wrong, field_name)
+                return copy
+        return None
+    if rule == "WS4":
+        for type_name, field_name, field_def in schema.field_declarations():
+            if (
+                not field_def.is_relationship
+                or field_def.type.is_list
+                or type_name not in schema.object_types
+            ):
+                continue
+            source = next((n for n in nodes if copy.label(n) == type_name), None)
+            target = next(
+                (
+                    n
+                    for n in nodes
+                    if is_named_subtype(schema, copy.label(n), field_def.type.base)
+                ),
+                None,
+            )
+            if source is not None and target is not None:
+                copy.add_edge("bad_edge1", source, target, field_name)
+                copy.add_edge("bad_edge2", source, target, field_name)
+                return copy
+        return None
+    if rule == "DS1":
+        for site in sites.distinct_sites(schema):
+            source = next(
+                (
+                    n
+                    for n in nodes
+                    if is_named_subtype(schema, copy.label(n), site.type_name)
+                    and copy.label(n) in schema.object_types
+                ),
+                None,
+            )
+            if source is None:
+                continue
+            declaration = schema.field(copy.label(source), site.field_name)
+            if declaration is None:
+                continue
+            target = next(
+                (
+                    n
+                    for n in nodes
+                    if is_named_subtype(schema, copy.label(n), declaration.type.base)
+                ),
+                None,
+            )
+            if target is not None:
+                copy.add_edge("bad_edge1", source, target, site.field_name)
+                copy.add_edge("bad_edge2", source, target, site.field_name)
+                return copy
+        return None
+    if rule == "DS2":
+        for site in sites.no_loops_sites(schema):
+            node = next(
+                (
+                    n
+                    for n in nodes
+                    if is_named_subtype(schema, copy.label(n), site.type_name)
+                ),
+                None,
+            )
+            if node is not None:
+                copy.add_edge("bad_edge", node, node, site.field_name)
+                return copy
+        return None
+    if rule == "DS5":
+        for site in sites.required_attribute_sites(schema):
+            for node in nodes:
+                if is_named_subtype(
+                    schema, copy.label(node), site.type_name
+                ) and copy.has_property(node, site.field_name):
+                    copy.remove_property(node, site.field_name)
+                    return copy
+        return None
+    if rule == "DS6":
+        for site in sites.required_edge_sites(schema):
+            for node in nodes:
+                if not is_named_subtype(schema, copy.label(node), site.type_name):
+                    continue
+                out_edges = copy.out_edges(node, site.field_name)
+                if out_edges:
+                    for edge in out_edges:
+                        copy.remove_edge(edge)
+                    return copy
+        return None
+    if rule == "DS7":
+        for site in sites.key_sites(schema):
+            holders = [
+                n
+                for n in nodes
+                if is_named_subtype(schema, copy.label(n), site.type_name)
+            ]
+            if len(holders) >= 2:
+                first, second = holders[0], holders[1]
+                for field_name in site.fields:
+                    if copy.has_property(first, field_name):
+                        copy.set_property(
+                            second, field_name, copy.property_value(first, field_name)
+                        )
+                    else:
+                        copy.remove_property(second, field_name)
+                return copy
+        return None
+    raise ValueError(f"no corruption strategy for rule {rule!r}")

@@ -1,0 +1,298 @@
+"""The paper's example schemas, verbatim, as a named corpus.
+
+Every schema that appears in the paper is reproduced here so tests and
+benchmarks can exercise exactly the artifacts the paper discusses.  Two
+remarks recorded during reproduction:
+
+* ``EXAMPLE_6_1_A`` (the satisfiability conflict of Example 6.1) is
+  *interface-inconsistent* under the paper's own Definition 4.3: the
+  implementing types declare ``hasOT1: [OT1]`` while the interface declares
+  ``hasOT1: OT1``, and no subtype rule derives ``[OT1] ⊑ OT1``.  The corpus
+  therefore marks it ``check=False``; the satisfiability engines accept it.
+* Diagrams (b) and (c) of Example 6.1 are given only as figures; the ASCII
+  rendering in the source text is ambiguous, so ``DIAGRAM_B`` and
+  ``DIAGRAM_C`` are *reconstructions* that exhibit exactly the phenomena
+  the paper's prose describes: (b) every model of OT2 needs an infinite
+  alternating OT1/OT3 chain (finitely unsatisfiable, infinitely
+  satisfiable -- ALCQI lacks the finite model property), and (c) an OT2
+  node is forced to merge with an OT3 node, clashing with type
+  disjointness (unsatisfiable outright).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..schema.build import parse_schema
+from ..schema.model import GraphQLSchema
+
+#: Example 3.1 -- user sessions (the paper's running example).
+USER_SESSION = """\
+type UserSession {
+  id: ID! @required
+  user: User! @required
+  startTime: Time! @required
+  endTime: Time!
+}
+
+type User {
+  id: ID! @required
+  login: String! @required
+  nicknames: [String!]!
+}
+
+scalar Time
+"""
+
+#: Example 3.4 -- user sessions with key constraints on User.
+USER_SESSION_KEYED = USER_SESSION.replace(
+    "type User {", 'type User @key(fields: ["id"]) @key(fields: ["login"]) {'
+)
+
+#: Example 3.12 -- user sessions with edge properties on the user edge.
+USER_SESSION_EDGE_PROPS = USER_SESSION_KEYED.replace(
+    "  user: User! @required",
+    "  user(certainty: Float! comment: String): User! @required",
+)
+
+#: Examples 3.6-3.8 -- the books/authors/publishers schema with all four
+#: cardinality patterns and the target-side directives.
+LIBRARY = """\
+type Author {
+  favoriteBook: Book
+  relatedAuthor: [Author] @distinct @noloops
+}
+
+type Book {
+  title: String!
+  author: [Author] @required @distinct
+}
+
+type BookSeries {
+  contains: [Book] @required @uniqueForTarget
+}
+
+type Publisher {
+  published: [Book] @uniqueForTarget @requiredForTarget
+}
+"""
+
+#: Example 3.9 -- favourite food via a union type.
+FOOD_UNION = """\
+type Person {
+  name: String!
+  favoriteFood: Food
+}
+
+union Food = Pizza | Pasta
+
+type Pizza {
+  name: String!
+  toppings: [String!]!
+}
+
+type Pasta {
+  name: String!
+}
+"""
+
+#: Example 3.10 -- the same restrictions via an interface type.
+FOOD_INTERFACE = """\
+type Person {
+  name: String!
+  favoriteFood: Food
+}
+
+interface Food {
+  name: String!
+}
+
+type Pizza implements Food {
+  name: String!
+  toppings: [String!]!
+}
+
+type Pasta implements Food {
+  name: String!
+}
+"""
+
+#: Example 3.11 -- multiple source types for "owner" edges.
+VEHICLES = FOOD_INTERFACE + """
+type Car {
+  brand: String!
+  owner: Person
+}
+
+type Motorcycle {
+  brand: String!
+  owner: Person
+}
+"""
+
+#: §3.3's cardinality table: one relationship per row, A-to-B.
+CARDINALITY_TABLE = """\
+type A {
+  relOneOne: B @uniqueForTarget
+  relOneN: B
+  relNOne: [B] @uniqueForTarget
+  relNM: [B]
+}
+
+type B {
+  name: String
+}
+"""
+
+#: Figure 1 -- the Star-Wars GraphQL schema (Appendix A), incl. root type.
+FIGURE_1 = """\
+type Starship {
+  id: ID!
+  name: String
+  length(unit: LenUnit = METER): Float
+}
+
+enum LenUnit { METER FEET }
+
+interface Character {
+  id: ID!
+  name: String
+  friends: [Character]
+}
+
+type Human implements Character {
+  id: ID!
+  name: String
+  friends: [Character]
+  starships: [Starship]
+}
+
+type Droid implements Character {
+  id: ID!
+  name: String
+  friends: [Character]
+  primaryFunction: String!
+}
+
+type Query {
+  hero(episode: Episode): Character
+  search(text: String): [SearchResult]
+}
+
+enum Episode { NEWHOPE EMPIRE JEDI }
+
+union SearchResult = Human | Droid | Starship
+
+schema {
+  query: Query
+}
+"""
+
+#: Example 6.1, diagram (a) -- OT1 is unsatisfiable.  NOTE: interface-
+#: inconsistent under Definition 4.3 (see module docstring); load with
+#: check=False.
+EXAMPLE_6_1_A = """\
+type OT1 {
+}
+
+interface IT {
+  hasOT1: OT1 @uniqueForTarget
+}
+
+type OT2 implements IT {
+  hasOT1: [OT1] @requiredForTarget
+}
+
+type OT3 implements IT {
+  hasOT1: [OT1] @requiredForTarget
+}
+"""
+
+#: Reconstruction of diagram (b): OT2 forces an infinite alternating
+#: OT1/OT3 chain.  Every node reachable from an OT2 node must have an
+#: outgoing f-edge, every IT-node may receive at most one incoming f-edge
+#: from IT-nodes, and nothing may point back at OT2 -- so finite models are
+#: impossible while the infinite chain is a model.
+DIAGRAM_B = """\
+interface IT {
+  f: [IT] @uniqueForTarget
+}
+
+type OT2 implements IT {
+  f: [OT1] @required
+}
+
+type OT1 implements IT {
+  f: [OT3] @required
+}
+
+type OT3 implements IT {
+  f: [OT1] @required
+}
+"""
+
+#: Reconstruction of diagram (c): every OT2 node must be identical to an
+#: OT3 node (via the shared OT1 target's @uniqueForTarget/@requiredForTarget
+#: pair), clashing with type disjointness -- unsatisfiable outright.
+DIAGRAM_C = """\
+interface IT {
+  g: [OT1] @uniqueForTarget
+}
+
+type OT2 implements IT {
+  g: [OT1] @required
+}
+
+type OT3 implements IT {
+  g: [OT1] @requiredForTarget
+}
+
+type OT1 {
+  name: String
+}
+"""
+
+
+@dataclass(frozen=True)
+class PaperSchema:
+    """A corpus entry: the SDL text plus how to load it."""
+
+    name: str
+    sdl: str
+    consistent: bool = True
+    description: str = ""
+
+    def load(self) -> GraphQLSchema:
+        return parse_schema(self.sdl, check=self.consistent)
+
+
+#: The full corpus, keyed by a short name.
+CORPUS: dict[str, PaperSchema] = {
+    entry.name: entry
+    for entry in (
+        PaperSchema("user_session", USER_SESSION, True, "Example 3.1"),
+        PaperSchema("user_session_keyed", USER_SESSION_KEYED, True, "Example 3.4"),
+        PaperSchema(
+            "user_session_edge_props", USER_SESSION_EDGE_PROPS, True, "Example 3.12"
+        ),
+        PaperSchema("library", LIBRARY, True, "Examples 3.6-3.8"),
+        PaperSchema("food_union", FOOD_UNION, True, "Example 3.9"),
+        PaperSchema("food_interface", FOOD_INTERFACE, True, "Example 3.10"),
+        PaperSchema("vehicles", VEHICLES, True, "Example 3.11"),
+        PaperSchema("cardinality_table", CARDINALITY_TABLE, True, "§3.3 table"),
+        PaperSchema("figure_1", FIGURE_1, True, "Figure 1 (Appendix A)"),
+        PaperSchema(
+            "example_6_1_a",
+            EXAMPLE_6_1_A,
+            False,
+            "Example 6.1 diagram (a); interface-inconsistent as printed",
+        ),
+        PaperSchema("diagram_b", DIAGRAM_B, True, "Example 6.1 diagram (b), reconstruction"),
+        PaperSchema("diagram_c", DIAGRAM_C, True, "Example 6.1 diagram (c), reconstruction"),
+    )
+}
+
+
+def load(name: str) -> GraphQLSchema:
+    """Load a corpus schema by name."""
+    return CORPUS[name].load()

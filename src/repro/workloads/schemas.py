@@ -1,0 +1,130 @@
+"""Random schema generation (for scaling and differential experiments).
+
+Schemas are generated directly in the formal model's terms and rendered via
+SDL text, so every generated schema round-trips through the parser exactly
+like a hand-written one.  Generated schemas are always consistent: interface
+fields are copied verbatim into implementing types.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..schema.build import parse_schema
+from ..schema.model import GraphQLSchema
+
+_SCALARS = ("Int", "Float", "String", "Boolean", "ID")
+
+
+def random_schema(
+    num_object_types: int = 8,
+    num_interface_types: int = 2,
+    num_union_types: int = 1,
+    attributes_per_type: int = 3,
+    relationships_per_type: int = 2,
+    directive_probability: float = 0.3,
+    key_probability: float = 0.3,
+    seed: int | None = None,
+) -> GraphQLSchema:
+    """A random consistent schema; returns the built formal schema."""
+    rng = random.Random(seed)
+    sdl = random_schema_sdl(
+        num_object_types,
+        num_interface_types,
+        num_union_types,
+        attributes_per_type,
+        relationships_per_type,
+        directive_probability,
+        key_probability,
+        rng,
+    )
+    return parse_schema(sdl)
+
+
+def random_schema_sdl(
+    num_object_types: int,
+    num_interface_types: int,
+    num_union_types: int,
+    attributes_per_type: int,
+    relationships_per_type: int,
+    directive_probability: float,
+    key_probability: float,
+    rng: random.Random,
+) -> str:
+    """The SDL text of a random consistent schema."""
+    if num_object_types < 1:
+        raise ValueError("need at least one object type")
+    object_names = [f"T{i}" for i in range(num_object_types)]
+    interface_names = [f"I{i}" for i in range(num_interface_types)]
+    union_names = [f"U{i}" for i in range(num_union_types)]
+
+    # interfaces: one required attribute each, no relationships (keeps
+    # consistency trivial: implementors repeat the attribute verbatim)
+    interface_fields: dict[str, list[str]] = {}
+    lines: list[str] = []
+    for name in interface_names:
+        field_line = f"  shared{name}: String!"
+        interface_fields[name] = [field_line]
+        lines.append(f"interface {name} {{")
+        lines.append(field_line)
+        lines.append("}")
+        lines.append("")
+
+    # unions over random object-type subsets
+    for name in union_names:
+        size = rng.randint(1, max(1, min(3, num_object_types)))
+        members = rng.sample(object_names, size)
+        lines.append(f"union {name} = " + " | ".join(members))
+        lines.append("")
+
+    implementations: dict[str, list[str]] = {name: [] for name in object_names}
+    for interface in interface_names:
+        for object_name in object_names:
+            if rng.random() < 0.4:
+                implementations[object_name].append(interface)
+
+    relationship_targets = object_names + interface_names + union_names
+    for index, object_name in enumerate(object_names):
+        implements = implementations[object_name]
+        header = f"type {object_name}"
+        if implements:
+            header += " implements " + " & ".join(implements)
+        key_fields: list[str] = []
+        body: list[str] = []
+        for interface in implements:
+            body.extend(interface_fields[interface])
+        for attr_index in range(attributes_per_type):
+            scalar = rng.choice(_SCALARS)
+            shape = rng.choice(("{s}", "{s}!", "[{s}]", "[{s}!]", "[{s}!]!"))
+            field_name = f"a{attr_index}"
+            directives = ""
+            if rng.random() < directive_probability:
+                directives = " @required"
+            body.append(f"  {field_name}: {shape.format(s=scalar)}{directives}")
+            if not shape.startswith("[") and rng.random() < key_probability:
+                key_fields.append(field_name)
+        for rel_index in range(relationships_per_type):
+            target = rng.choice(relationship_targets)
+            is_list = rng.random() < 0.5
+            shape = f"[{target}]" if is_list else target
+            directives = []
+            if rng.random() < directive_probability:
+                directives.append("@required")
+            if is_list and rng.random() < directive_probability:
+                directives.append("@distinct")
+            if target == object_name and rng.random() < directive_probability:
+                directives.append("@noLoops")
+            if rng.random() < directive_probability / 2:
+                directives.append("@uniqueForTarget")
+            suffix = (" " + " ".join(directives)) if directives else ""
+            arguments = ""
+            if rng.random() < directive_probability:
+                arguments = "(weight: Float note: String)"
+            body.append(f"  r{rel_index}{arguments}: {shape}{suffix}")
+        if key_fields and rng.random() < key_probability:
+            header += f' @key(fields: ["{key_fields[0]}"])'
+        lines.append(header + " {")
+        lines.extend(body)
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)

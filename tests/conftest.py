@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.schema import parse_schema
+from repro.validation import validate
+from repro.workloads.paper_schemas import CORPUS
+
+
+def rules_fired(schema, graph, mode="strong", engine="indexed"):
+    """The set of rule ids violated by the graph."""
+    report = validate(schema, graph, mode=mode, engine=engine)
+    return {violation.rule for violation in report.violations}
+
+
+@pytest.fixture(scope="session")
+def user_session_schema():
+    return parse_schema(CORPUS["user_session_edge_props"].sdl)
+
+
+@pytest.fixture(scope="session")
+def library_schema():
+    return parse_schema(CORPUS["library"].sdl)
+
+
+@pytest.fixture(scope="session")
+def food_union_schema():
+    return parse_schema(CORPUS["food_union"].sdl)
+
+
+@pytest.fixture(scope="session")
+def food_interface_schema():
+    return parse_schema(CORPUS["food_interface"].sdl)

@@ -1,0 +1,212 @@
+"""The GraphQL API extension (§3.6) and its query executor."""
+
+import pytest
+
+from repro.api import (
+    GraphQLExecutor,
+    execute_query,
+    extend_to_api_schema,
+    parse_query,
+)
+from repro.api.query_ast import FieldSelection, InlineFragment
+from repro.errors import QueryError, SDLSyntaxError
+from repro.pg import GraphBuilder
+from repro.schema import parse_schema
+from repro.workloads.paper_schemas import CORPUS
+
+
+@pytest.fixture(scope="module")
+def api():
+    schema = parse_schema(
+        """
+        type Person @key(fields: ["name"]) {
+          name: String! @required
+          favoriteFood: Food
+          knows(since: Int): [Person]
+        }
+        union Food = Pizza | Pasta
+        type Pizza { name: String! \n toppings: [String!]! }
+        type Pasta { name: String! }
+        """
+    )
+    return extend_to_api_schema(schema)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return (
+        GraphBuilder()
+        .node("margherita", "Pizza", name="Margherita", toppings=["basil"])
+        .node("carbonara", "Pasta", name="Carbonara")
+        .node("ada", "Person", name="Ada")
+        .node("grace", "Person", name="Grace")
+        .edge("ada", "favoriteFood", "margherita")
+        .edge("grace", "favoriteFood", "carbonara")
+        .edge("ada", "knows", "grace", {"since": 1980})
+        .graph()
+    )
+
+
+@pytest.fixture(scope="module")
+def executor(api, graph):
+    return GraphQLExecutor(api, graph)
+
+
+class TestQueryParser:
+    def test_anonymous_operation(self):
+        document = parse_query("{ allPerson { name } }")
+        assert len(document.operations) == 1
+
+    def test_named_operations(self):
+        document = parse_query("query A { x { y } } query B { z { w } }")
+        assert document.operation("A").name == "A"
+        with pytest.raises(ValueError):
+            document.operation()
+        with pytest.raises(ValueError):
+            document.operation("C")
+
+    def test_alias_and_arguments(self):
+        document = parse_query('{ friend: personByName(name: "Ada") { name } }')
+        selection = document.operations[0].selections.selections[0]
+        assert isinstance(selection, FieldSelection)
+        assert selection.alias == "friend"
+        assert selection.name == "personByName"
+        assert selection.arguments == (("name", "Ada"),)
+        assert selection.output_name == "friend"
+
+    def test_inline_fragment(self):
+        document = parse_query("{ x { ... on Pizza { name } } }")
+        fragment = document.operations[0].selections.selections[0].selections.selections[0]
+        assert isinstance(fragment, InlineFragment)
+        assert fragment.type_condition == "Pizza"
+
+    def test_mutations_rejected(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_query("mutation { x }")
+
+    def test_empty_selection_set_rejected(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_query("{ }")
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_query("   ")
+
+
+class TestExtension:
+    def test_query_fields_generated(self, api):
+        assert api.query_fields["allPerson"] == ("all", "Person")
+        assert api.query_fields["personByName"] == ("lookup", "Person", "name")
+
+    def test_inverse_fields_generated(self, api):
+        inverse = api.inverse_field("Pizza", "_incoming_favoriteFood_from_Person")
+        assert inverse is not None
+        assert inverse.edge_label == "favoriteFood"
+        assert inverse.source_type == "Person"
+
+    def test_sdl_contains_query_and_schema_block(self, api):
+        assert "type Query {" in api.sdl
+        assert "schema {\n  query: Query\n}" in api.sdl
+        assert "personByName(name: String!): Person" in api.sdl
+
+    def test_sdl_round_trips_to_original_pg_schema(self, api):
+        # parsing the API schema drops the Query root again (§3.6), leaving
+        # the original object types plus the inverse helper fields
+        recovered = parse_schema(api.sdl)
+        assert "Query" not in recovered.object_types
+        assert set(recovered.object_types) == {"Person", "Pizza", "Pasta"}
+
+    def test_extension_on_paper_figure(self):
+        schema = CORPUS["figure_1"].load()
+        api = extend_to_api_schema(schema)
+        assert "allHuman" in api.query_fields
+        assert api.inverse_field("Starship", "_incoming_starships_from_Human")
+
+
+class TestExecutor:
+    def test_all_query(self, executor):
+        result = executor.execute("{ allPerson { name } }")
+        assert result == {
+            "data": {"allPerson": [{"name": "Ada"}, {"name": "Grace"}]}
+        }
+
+    def test_lookup_hit_and_miss(self, executor):
+        hit = executor.execute('{ personByName(name: "Ada") { name } }')
+        assert hit["data"]["personByName"] == {"name": "Ada"}
+        miss = executor.execute('{ personByName(name: "Nobody") { name } }')
+        assert miss["data"]["personByName"] is None
+
+    def test_lookup_requires_argument(self, executor):
+        with pytest.raises(QueryError):
+            executor.execute("{ personByName { name } }")
+
+    def test_union_dispatch_with_fragments(self, executor):
+        result = executor.execute(
+            """
+            {
+              allPerson {
+                name
+                favoriteFood {
+                  __typename
+                  ... on Pizza { toppings }
+                  ... on Pasta { name }
+                }
+              }
+            }
+            """
+        )
+        ada, grace = result["data"]["allPerson"]
+        assert ada["favoriteFood"] == {"__typename": "Pizza", "toppings": ["basil"]}
+        assert grace["favoriteFood"] == {"__typename": "Pasta", "name": "Carbonara"}
+
+    def test_non_list_field_null_when_absent(self, api):
+        graph = GraphBuilder().node("p", "Person", name="Solo").graph()
+        result = execute_query(api, graph, "{ allPerson { name favoriteFood { __typename } } }")
+        assert result["data"]["allPerson"][0]["favoriteFood"] is None
+
+    def test_list_relationship(self, executor):
+        result = executor.execute("{ allPerson { knows { name } } }")
+        ada, grace = result["data"]["allPerson"]
+        assert ada["knows"] == [{"name": "Grace"}]
+        assert grace["knows"] == []
+
+    def test_edge_property_filters(self, executor):
+        matching = executor.execute("{ allPerson { knows(since: 1980) { name } } }")
+        assert matching["data"]["allPerson"][0]["knows"] == [{"name": "Grace"}]
+        nonmatching = executor.execute("{ allPerson { knows(since: 1999) { name } } }")
+        assert nonmatching["data"]["allPerson"][0]["knows"] == []
+
+    def test_inverse_traversal(self, executor):
+        result = executor.execute(
+            "{ allPizza { _incoming_favoriteFood_from_Person { name } } }"
+        )
+        fans = result["data"]["allPizza"][0]["_incoming_favoriteFood_from_Person"]
+        assert fans == [{"name": "Ada"}]
+
+    def test_aliases(self, executor):
+        result = executor.execute('{ people: allPerson { handle: name } }')
+        assert result["data"]["people"][0] == {"handle": "Ada"}
+
+    def test_unknown_root_field(self, executor):
+        with pytest.raises(QueryError):
+            executor.execute("{ nonsense { x } }")
+
+    def test_unknown_object_field(self, executor):
+        with pytest.raises(QueryError):
+            executor.execute("{ allPerson { nonsense } }")
+
+    def test_attribute_takes_no_selection(self, executor):
+        with pytest.raises(QueryError):
+            executor.execute("{ allPerson { name { oops } } }")
+
+    def test_object_needs_selection(self, executor):
+        with pytest.raises(QueryError):
+            executor.execute("{ allPerson { favoriteFood } }")
+
+    def test_fragment_on_query_rejected(self, executor):
+        with pytest.raises(QueryError):
+            executor.execute("{ ... on Person { name } }")
+
+    def test_array_attribute_returned_as_list(self, executor):
+        result = executor.execute("{ allPizza { toppings } }")
+        assert result["data"]["allPizza"][0]["toppings"] == ["basil"]

@@ -1,0 +1,169 @@
+"""GraphQL fragments and variables in the query executor."""
+
+import pytest
+
+from repro.api import GraphQLExecutor, extend_to_api_schema, parse_query
+from repro.api.query_ast import FragmentSpread, VariableRef
+from repro.errors import QueryError, SDLSyntaxError
+from repro.pg import GraphBuilder
+from repro.schema import parse_schema
+
+
+@pytest.fixture(scope="module")
+def executor():
+    schema = parse_schema(
+        """
+        type Person @key(fields: ["name"]) {
+          name: String! @required
+          pet: Animal
+          knows(since: Int): [Person]
+        }
+        union Animal = Cat | Dog
+        type Cat { name: String! \n lives: Int }
+        type Dog { name: String! \n goodBoy: Boolean }
+        """
+    )
+    graph = (
+        GraphBuilder()
+        .node("tom", "Cat", name="Tom", lives=9)
+        .node("rex", "Dog", name="Rex", goodBoy=True)
+        .node("ada", "Person", name="Ada")
+        .node("bob", "Person", name="Bob")
+        .edge("ada", "pet", "tom")
+        .edge("bob", "pet", "rex")
+        .edge("ada", "knows", "bob", {"since": 1990})
+        .graph()
+    )
+    return GraphQLExecutor(extend_to_api_schema(schema), graph)
+
+
+class TestFragmentParsing:
+    def test_fragment_definition_parsed(self):
+        document = parse_query(
+            "fragment P on Person { name }\n{ allPerson { ...P } }"
+        )
+        assert "P" in document.fragments
+        spread = document.operations[0].selections.selections[0].selections.selections[0]
+        assert spread == FragmentSpread("P")
+
+    def test_duplicate_fragment_rejected(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_query(
+                "fragment P on A { x }\nfragment P on B { y }\n{ q { ...P } }"
+            )
+
+    def test_fragment_cannot_be_named_on(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_query("fragment on on A { x }\n{ q { x } }")
+
+    def test_document_needs_an_operation(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_query("fragment P on A { x }")
+
+
+class TestFragmentExecution:
+    def test_spread_applies(self, executor):
+        result = executor.execute(
+            "fragment Names on Person { name }\n{ allPerson { ...Names } }"
+        )
+        assert result["data"]["allPerson"] == [{"name": "Ada"}, {"name": "Bob"}]
+
+    def test_spread_type_condition_dispatches(self, executor):
+        result = executor.execute(
+            """
+            fragment CatBits on Cat { lives }
+            fragment DogBits on Dog { goodBoy }
+            { allPerson { name pet { __typename ...CatBits ...DogBits } } }
+            """
+        )
+        ada, bob = result["data"]["allPerson"]
+        assert ada["pet"] == {"__typename": "Cat", "lives": 9}
+        assert bob["pet"] == {"__typename": "Dog", "goodBoy": True}
+
+    def test_nested_spreads(self, executor):
+        result = executor.execute(
+            """
+            fragment Inner on Person { name }
+            fragment Outer on Person { ...Inner knows { ...Inner } }
+            { allPerson { ...Outer } }
+            """
+        )
+        assert result["data"]["allPerson"][0] == {
+            "name": "Ada",
+            "knows": [{"name": "Bob"}],
+        }
+
+    def test_unknown_fragment(self, executor):
+        with pytest.raises(QueryError):
+            executor.execute("{ allPerson { ...Ghost } }")
+
+    def test_fragment_cycle_detected(self, executor):
+        with pytest.raises(QueryError, match="cycle"):
+            executor.execute(
+                "fragment A on Person { ...B }\n"
+                "fragment B on Person { ...A }\n"
+                "{ allPerson { ...A } }"
+            )
+
+    def test_fragment_on_union_type(self, executor):
+        result = executor.execute(
+            "fragment AnyPet on Animal { __typename }\n"
+            "{ allPerson { pet { ...AnyPet } } }"
+        )
+        assert result["data"]["allPerson"][0]["pet"] == {"__typename": "Cat"}
+
+
+class TestVariables:
+    def test_variable_parsing(self):
+        document = parse_query("query Q($since: Int = 3) { x(a: $since) { y } }")
+        definition = document.operations[0].variables[0]
+        assert definition.name == "since"
+        assert definition.type_text == "Int"
+        assert definition.default == 3
+        selection = document.operations[0].selections.selections[0]
+        assert selection.arguments == (("a", VariableRef("since")),)
+
+    def test_variable_substitution(self, executor):
+        result = executor.execute(
+            "query Q($year: Int!) { allPerson { knows(since: $year) { name } } }",
+            variables={"year": 1990},
+        )
+        assert result["data"]["allPerson"][0]["knows"] == [{"name": "Bob"}]
+        result = executor.execute(
+            "query Q($year: Int!) { allPerson { knows(since: $year) { name } } }",
+            variables={"year": 1991},
+        )
+        assert result["data"]["allPerson"][0]["knows"] == []
+
+    def test_variable_default_used(self, executor):
+        result = executor.execute(
+            "query Q($year: Int = 1990) { allPerson { knows(since: $year) { name } } }"
+        )
+        assert result["data"]["allPerson"][0]["knows"] == [{"name": "Bob"}]
+
+    def test_variable_in_lookup(self, executor):
+        result = executor.execute(
+            'query Q($who: String!) { personByName(name: $who) { name } }',
+            variables={"who": "Bob"},
+        )
+        assert result["data"]["personByName"] == {"name": "Bob"}
+
+    def test_missing_required_variable(self, executor):
+        with pytest.raises(QueryError, match="missing required variable"):
+            executor.execute("query Q($who: String!) { personByName(name: $who) { name } }")
+
+    def test_undeclared_variable_supplied(self, executor):
+        with pytest.raises(QueryError, match="undeclared variable"):
+            executor.execute("{ allPerson { name } }", variables={"stray": 1})
+
+    def test_undeclared_variable_used(self, executor):
+        with pytest.raises(QueryError, match="undeclared variable"):
+            executor.execute("{ allPerson { knows(since: $nope) { name } } }")
+
+    def test_optional_variable_defaults_to_null(self, executor):
+        # a nullable variable without a value filters on a null property:
+        # no edge carries since=null, so the result is empty
+        result = executor.execute(
+            "query Q($year: Int) { allPerson { knows(since: $year) { name } } }"
+        )
+        assert result["data"]["allPerson"][0]["knows"] == []

@@ -1,0 +1,185 @@
+"""The Angles [3] baseline schema model and the SDL translation into it."""
+
+import pytest
+
+from repro.baselines import (
+    AnglesSchema,
+    AnglesValidator,
+    EdgeType,
+    NodeType,
+    PropertyType,
+    sdl_to_angles,
+)
+from repro.pg import GraphBuilder
+from repro.validation import validate
+from repro.workloads import library_graph, user_session_graph
+from repro.workloads.paper_schemas import CORPUS
+
+
+@pytest.fixture
+def angles_schema():
+    schema = AnglesSchema()
+    schema.add_node_type(
+        NodeType(
+            "User",
+            (
+                PropertyType("id", "STRING", mandatory=True, unique=True),
+                PropertyType("age", "INTEGER"),
+            ),
+        )
+    )
+    schema.add_node_type(NodeType("Post", (PropertyType("text", "STRING"),)))
+    schema.add_edge_type(
+        EdgeType(
+            "User",
+            "wrote",
+            "Post",
+            (PropertyType("at", "STRING", mandatory=True),),
+            min_out=0,
+            max_out=2,
+        )
+    )
+    return schema
+
+
+class TestAnglesValidator:
+    def test_conformant(self, angles_schema):
+        graph = (
+            GraphBuilder()
+            .node("u", "User", id="u1", age=30)
+            .node("p", "Post", text="hi")
+            .edge("u", "wrote", "p", {"at": "noon"})
+            .graph()
+        )
+        assert AnglesValidator(angles_schema).conforms(graph)
+
+    def test_unknown_node_type(self, angles_schema):
+        graph = GraphBuilder().node("x", "Ghost").graph()
+        kinds = {v.kind for v in AnglesValidator(angles_schema).validate(graph)}
+        assert kinds == {"unknown-node-type"}
+
+    def test_undeclared_property(self, angles_schema):
+        graph = GraphBuilder().node("u", "User", id="1", shoeSize=42).graph()
+        kinds = {v.kind for v in AnglesValidator(angles_schema).validate(graph)}
+        assert kinds == {"undeclared-property"}
+
+    def test_property_type(self, angles_schema):
+        graph = GraphBuilder().node("u", "User", id="1", age="old").graph()
+        kinds = {v.kind for v in AnglesValidator(angles_schema).validate(graph)}
+        assert kinds == {"property-type"}
+
+    def test_missing_mandatory(self, angles_schema):
+        graph = GraphBuilder().node("u", "User").graph()
+        kinds = {v.kind for v in AnglesValidator(angles_schema).validate(graph)}
+        assert kinds == {"missing-property"}
+
+    def test_unknown_edge_type(self, angles_schema):
+        graph = (
+            GraphBuilder()
+            .node("u", "User", id="1")
+            .node("p", "Post")
+            .edge("p", "wrote", "u")  # wrong direction
+            .graph()
+        )
+        kinds = {v.kind for v in AnglesValidator(angles_schema).validate(graph)}
+        assert kinds == {"unknown-edge-type"}
+
+    def test_edge_property_rules(self, angles_schema):
+        graph = (
+            GraphBuilder()
+            .node("u", "User", id="1")
+            .node("p", "Post")
+            .edge("u", "wrote", "p", {"bogus": 1})
+            .graph()
+        )
+        kinds = {v.kind for v in AnglesValidator(angles_schema).validate(graph)}
+        assert kinds == {"undeclared-property", "missing-property"}
+
+    def test_cardinality_max(self, angles_schema):
+        builder = GraphBuilder().node("u", "User", id="1")
+        for index in range(3):
+            builder.node(f"p{index}", "Post").edge(
+                "u", "wrote", f"p{index}", {"at": "t"}
+            )
+        kinds = {v.kind for v in AnglesValidator(angles_schema).validate(builder.graph())}
+        assert "cardinality" in kinds
+
+    def test_uniqueness(self, angles_schema):
+        graph = (
+            GraphBuilder()
+            .node("u1", "User", id="same")
+            .node("u2", "User", id="same")
+            .graph()
+        )
+        kinds = {v.kind for v in AnglesValidator(angles_schema).validate(graph)}
+        assert kinds == {"uniqueness"}
+
+
+class TestTranslation:
+    def test_user_session_translation(self):
+        schema = CORPUS["user_session_edge_props"].load()
+        result = sdl_to_angles(schema)
+        angles = result.schema
+        assert set(angles.node_types) == {"User", "UserSession"}
+        user = angles.node_types["User"]
+        assert user.property_type("id").mandatory
+        assert user.property_type("id").unique
+        assert user.property_type("nicknames") is not None
+        edge_types = angles.edge_types_for("UserSession", "user")
+        assert len(edge_types) == 1
+        assert edge_types[0].target == "User"
+        assert edge_types[0].max_out == 1
+        assert edge_types[0].min_out == 1
+        assert edge_types[0].property_type("certainty").mandatory
+
+    def test_translated_schema_accepts_conformant_graphs(self):
+        schema = CORPUS["user_session_edge_props"].load()
+        angles = sdl_to_angles(schema).schema
+        graph = user_session_graph(10, 2, seed=4)
+        assert validate(schema, graph).conforms
+        assert AnglesValidator(angles).conforms(graph)
+
+    def test_library_losses_reported(self):
+        schema = CORPUS["library"].load()
+        result = sdl_to_angles(schema)
+        lost = "\n".join(result.lost_constraints)
+        assert "@uniqueForTarget" in lost
+        assert "@requiredForTarget" in lost
+        assert "@distinct" in lost
+        assert "@noLoops" in lost
+
+    def test_lost_constraints_are_really_lost(self):
+        """The expressiveness gap: a graph violating only target-side
+        constraints passes the Angles translation but fails the SDL schema."""
+        schema = CORPUS["library"].load()
+        angles = sdl_to_angles(schema).schema
+        base = library_graph(3, 3, 0, 2, seed=0)
+        # give one book a second publisher: DS3 under SDL, invisible to Angles
+        book = next(iter(base.nodes_with_label("Book")))
+        publishers = base.nodes_with_label("Publisher")
+        spare = next(
+            p
+            for p in publishers
+            if all(
+                base.endpoints(e)[0] != p for e in base.in_edges(book, "published")
+            )
+        )
+        base.add_edge("extra", spare, book, "published")
+        assert not validate(schema, base).conforms
+        assert AnglesValidator(angles).conforms(base)
+
+    def test_union_target_expansion(self):
+        schema = CORPUS["food_union"].load()
+        result = sdl_to_angles(schema)
+        targets = {
+            edge_type.target
+            for edge_type in result.schema.edge_types_for("Person", "favoriteFood")
+        }
+        assert targets == {"Pizza", "Pasta"}
+
+    def test_enum_widening_reported(self):
+        from repro.schema import parse_schema
+
+        schema = parse_schema("enum Color { RED GREEN }\ntype T { c: Color }")
+        result = sdl_to_angles(schema)
+        assert any("enum domain" in item for item in result.lost_constraints)

@@ -1,0 +1,161 @@
+"""The pgschema command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.pg import dumps_graph
+from repro.workloads import CORPUS, user_session_graph
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "schema.graphql"
+    path.write_text(CORPUS["user_session_edge_props"].sdl)
+    return str(path)
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.json"
+    path.write_text(dumps_graph(user_session_graph(3, 1, seed=0)))
+    return str(path)
+
+
+class TestCheck:
+    def test_consistent_schema(self, schema_file, capsys):
+        assert main(["check", schema_file]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_inconsistent_schema(self, tmp_path, capsys):
+        path = tmp_path / "bad.graphql"
+        path.write_text(CORPUS["example_6_1_a"].sdl)
+        assert main(["check", str(path)]) == 1
+        assert "NOT consistent" in capsys.readouterr().out
+
+    def test_warnings_shown(self, tmp_path, capsys):
+        path = tmp_path / "warn.graphql"
+        path.write_text(CORPUS["figure_1"].sdl)
+        assert main(["check", str(path)]) == 0
+        assert "warning" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/no/such/file.graphql"]) == 2
+
+    def test_syntax_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.graphql"
+        path.write_text("type {{{{")
+        assert main(["check", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_conformant(self, schema_file, graph_file, capsys):
+        assert main(["validate", schema_file, graph_file]) == 0
+        assert "conforms" in capsys.readouterr().out
+
+    def test_violations_reported(self, schema_file, tmp_path, capsys):
+        graph = user_session_graph(2, 1, seed=0)
+        graph.add_node("ghost", "Phantom")
+        path = tmp_path / "bad.json"
+        path.write_text(dumps_graph(graph))
+        assert main(["validate", schema_file, str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "SS1" in out
+
+    def test_modes_and_engines(self, schema_file, graph_file):
+        for mode in ("weak", "directives", "strong", "extended"):
+            assert main(["validate", schema_file, graph_file, "--mode", mode]) == 0
+        assert main(["validate", schema_file, graph_file, "--engine", "naive"]) == 0
+
+
+class TestSat:
+    def test_satisfiable_schema(self, schema_file, capsys):
+        assert main(["sat", schema_file]) == 0
+        out = capsys.readouterr().out
+        assert "User: SATISFIABLE" in out
+        assert "witness" in out
+
+    def test_unsat_type(self, tmp_path, capsys):
+        path = tmp_path / "c.graphql"
+        path.write_text(CORPUS["diagram_c"].sdl)
+        assert main(["sat", str(path), "--type", "OT2"]) == 1
+        assert "UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_infinite_only_model_reported(self, tmp_path, capsys):
+        path = tmp_path / "b.graphql"
+        path.write_text(CORPUS["diagram_b"].sdl)
+        assert main(["sat", str(path), "--type", "OT2"]) == 0
+        assert "no finite witness" in capsys.readouterr().out
+
+    def test_no_witness_flag(self, schema_file, capsys):
+        assert main(["sat", schema_file, "--no-witness"]) == 0
+
+
+class TestTranslate:
+    def test_tbox_printed(self, schema_file, capsys):
+        assert main(["translate", schema_file]) == 0
+        out = capsys.readouterr().out
+        assert "⊑" in out
+        assert "disjoint(" in out
+
+
+class TestApiAndQuery:
+    def test_api_schema_printed(self, schema_file, capsys):
+        assert main(["api", schema_file]) == 0
+        out = capsys.readouterr().out
+        assert "type Query {" in out
+        assert "allUser" in out
+
+    def test_query_execution(self, schema_file, graph_file, capsys):
+        assert (
+            main(["query", schema_file, graph_file, "{ allUser { login } }"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        logins = {user["login"] for user in payload["data"]["allUser"]}
+        assert logins == {"login0", "login1", "login2"}
+
+    def test_bad_query(self, schema_file, graph_file, capsys):
+        assert main(["query", schema_file, graph_file, "{ nonsense { x } }"]) == 2
+
+
+class TestStatsAndExport:
+    def test_stats(self, graph_file, capsys):
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "node label User" in out
+
+    def test_export_cypher_schema_only(self, schema_file, capsys):
+        assert main(["export-cypher", schema_file]) == 0
+        out = capsys.readouterr().out
+        assert "CREATE CONSTRAINT" in out
+        assert "not expressible" in out
+
+    def test_export_cypher_with_data(self, schema_file, graph_file, capsys):
+        assert main(["export-cypher", schema_file, graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "CREATE (n0:" in out
+
+    def test_infer_command(self, graph_file, capsys):
+        assert main(["infer", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "type User" in out
+
+    def test_diff_command(self, schema_file, tmp_path, capsys):
+        new_path = tmp_path / "new.graphql"
+        new_path.write_text(
+            CORPUS["user_session_edge_props"].sdl + "\ntype Extra { x: Int }\n"
+        )
+        assert main(["diff", schema_file, str(new_path)]) == 0
+        assert "compatible" in capsys.readouterr().out
+
+    def test_diff_breaking(self, schema_file, tmp_path, capsys):
+        new_path = tmp_path / "new.graphql"
+        new_path.write_text(
+            CORPUS["user_session_edge_props"].sdl.replace(
+                "endTime: Time!", "endTime: Time! @required"
+            )
+        )
+        assert main(["diff", schema_file, str(new_path)]) == 1
+        assert "breaking" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Cypher DDL and data export (the Neo4j comparison of §2.1)."""
+
+from repro.baselines import graph_to_cypher, schema_to_cypher_ddl
+from repro.pg import GraphBuilder, PropertyGraph
+from repro.workloads import CORPUS
+
+
+class TestDDL:
+    def test_key_becomes_unique_constraint(self):
+        schema = CORPUS["user_session_keyed"].load()
+        export = schema_to_cypher_ddl(schema)
+        assert any(
+            "ASSERT u.id IS UNIQUE" in statement for statement in export.statements
+        )
+        assert any(
+            "ASSERT u.login IS UNIQUE" in statement for statement in export.statements
+        )
+
+    def test_required_attribute_becomes_existence_constraint(self):
+        schema = CORPUS["user_session_keyed"].load()
+        export = schema_to_cypher_ddl(schema)
+        assert any("exists(u.login)" in statement for statement in export.statements)
+
+    def test_composite_key_becomes_node_key(self):
+        from repro.schema import parse_schema
+
+        schema = parse_schema('type P @key(fields: ["x", "y"]) { x: Int \n y: Int }')
+        export = schema_to_cypher_ddl(schema)
+        assert any("IS NODE KEY" in statement for statement in export.statements)
+
+    def test_directive_gap_reported(self):
+        schema = CORPUS["library"].load()
+        export = schema_to_cypher_ddl(schema)
+        text = "\n".join(export.unsupported)
+        for directive in ("@distinct", "@noLoops", "@uniqueForTarget", "@requiredForTarget"):
+            assert directive in text
+        assert "at-most-one cardinality" in text
+        assert "edge target typing" in text
+
+    def test_mandatory_edge_property_reported(self):
+        schema = CORPUS["user_session_edge_props"].load()
+        export = schema_to_cypher_ddl(schema)
+        assert any("certainty" in item for item in export.unsupported)
+
+    def test_ddl_renders_with_semicolons(self):
+        schema = CORPUS["user_session_keyed"].load()
+        ddl = schema_to_cypher_ddl(schema).ddl
+        assert ddl.count(";") == len(schema_to_cypher_ddl(schema).statements)
+
+
+class TestDataExport:
+    def test_empty_graph(self):
+        assert graph_to_cypher(PropertyGraph()) == ""
+
+    def test_nodes_edges_and_escaping(self):
+        graph = (
+            GraphBuilder()
+            .node("u1", "User", login="o'hara", tags=["a", "b"], age=30, active=True)
+            .node("u2", "User")
+            .edge("u1", "follows", "u2", {"w": 0.5})
+            .graph()
+        )
+        script = graph_to_cypher(graph)
+        assert "CREATE (n0:User" in script
+        assert "login: 'o\\'hara'" in script
+        assert "tags: ['a', 'b']" in script
+        assert "active: true" in script
+        assert ")-[:follows {_id: '_e1', w: 0.5}]->(" in script
+        assert "_id: 'u1'" in script
+
+    def test_every_element_exported(self):
+        from repro.workloads import library_graph
+
+        graph = library_graph(3, 4, 1, 1, seed=2)
+        script = graph_to_cypher(graph)
+        assert script.count("CREATE") == len(graph)

@@ -1,0 +1,273 @@
+"""The description-logic substrate: concepts, NNF, tableau, translation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    And,
+    AtLeast,
+    AtMost,
+    Bottom,
+    Exists,
+    Forall,
+    Name,
+    Not,
+    Or,
+    Role,
+    TBox,
+    Tableau,
+    TableauLimitError,
+    Top,
+    complement,
+    conj,
+    disj,
+    nnf,
+    schema_to_tbox,
+)
+from repro.workloads.paper_schemas import CORPUS
+
+A, B, C = Name("A"), Name("B"), Name("C")
+r, s = Role("r"), Role("s")
+
+
+# --------------------------------------------------------------------------- #
+# concept strategies for property-based NNF tests
+# --------------------------------------------------------------------------- #
+
+names = st.sampled_from([A, B, C])
+roles = st.sampled_from([r, s, r.inv()])
+
+
+def concepts(depth: int = 3):
+    if depth == 0:
+        return st.one_of(names, st.just(Top()), st.just(Bottom()))
+    sub = concepts(depth - 1)
+    return st.one_of(
+        names,
+        st.just(Top()),
+        st.just(Bottom()),
+        sub.map(Not),
+        st.tuples(sub, sub).map(lambda pair: And(pair)),
+        st.tuples(sub, sub).map(lambda pair: Or(pair)),
+        st.tuples(roles, sub).map(lambda pair: Exists(*pair)),
+        st.tuples(roles, sub).map(lambda pair: Forall(*pair)),
+        # n >= 1: ¬≥0 R.C collapses to ⊥, which breaks *syntactic*
+        # involution (it stays semantically sound)
+        st.tuples(st.integers(1, 3), roles, sub).map(lambda t: AtLeast(*t)),
+        st.tuples(st.integers(0, 3), roles, sub).map(lambda t: AtMost(*t)),
+    )
+
+
+class TestRoles:
+    def test_inverse_involution(self):
+        assert r.inv().inv() == r
+        assert str(r.inv()) == "r⁻"
+
+
+class TestNNF:
+    def test_double_negation(self):
+        assert nnf(Not(Not(A))) == A
+
+    def test_de_morgan(self):
+        assert nnf(Not(And((A, B)))) == Or((Not(A), Not(B)))
+        assert nnf(Not(Or((A, B)))) == And((Not(A), Not(B)))
+
+    def test_quantifier_duality(self):
+        assert nnf(Not(Exists(r, A))) == Forall(r, Not(A))
+        assert nnf(Not(Forall(r, A))) == Exists(r, Not(A))
+
+    def test_number_restriction_duality(self):
+        assert nnf(Not(AtLeast(2, r, A))) == AtMost(1, r, A)
+        assert nnf(Not(AtMost(2, r, A))) == AtLeast(3, r, A)
+        assert nnf(Not(AtLeast(0, r, A))) == Bottom()
+
+    @given(concepts())
+    @settings(max_examples=60, deadline=None)
+    def test_nnf_idempotent(self, concept):
+        once = nnf(concept)
+        assert nnf(once) == once
+
+    @given(concepts())
+    @settings(max_examples=60, deadline=None)
+    def test_complement_involution(self, concept):
+        assert complement(complement(concept)) == nnf(concept)
+
+    def test_helpers(self):
+        assert conj([]) == Top()
+        assert disj([]) == Bottom()
+        assert conj([A]) == A
+        assert conj([A, conj([B, C])]) == And((A, B, C))
+
+
+class TestTableauCore:
+    def test_tautologies_and_contradictions(self):
+        tableau = Tableau()
+        assert tableau.is_satisfiable(Top())
+        assert not tableau.is_satisfiable(Bottom())
+        assert tableau.is_satisfiable(A)
+        assert not tableau.is_satisfiable(A & ~A)
+        assert tableau.is_satisfiable(A | ~A)
+
+    def test_existential_and_universal(self):
+        tableau = Tableau()
+        assert tableau.is_satisfiable(Exists(r, A) & Forall(r, B))
+        assert not tableau.is_satisfiable(Exists(r, A) & Forall(r, ~A))
+        assert tableau.is_satisfiable(Forall(r, Bottom()))  # no successors needed
+
+    def test_number_restrictions(self):
+        tableau = Tableau()
+        assert not tableau.is_satisfiable(AtLeast(2, r, A) & AtMost(1, r, Top()))
+        assert tableau.is_satisfiable(AtLeast(2, r, A) & AtMost(2, r, Top()))
+        assert not tableau.is_satisfiable(AtLeast(1, r, A) & AtMost(0, r, Top()))
+        assert tableau.is_satisfiable(AtLeast(2, r, A) & AtMost(1, r, B))
+
+    def test_merge_propagates_labels(self):
+        # two successors forced to merge must combine their labels
+        tableau = Tableau()
+        concept = conj(
+            [Exists(r, A), Exists(r, B), AtMost(1, r, Top()), Forall(r, Not(A) | Not(B))]
+        )
+        assert not tableau.is_satisfiable(concept)
+
+    def test_inverse_roles(self):
+        tableau = Tableau()
+        assert not tableau.is_satisfiable(Exists(r, Forall(r.inv(), ~A)) & A)
+        assert tableau.is_satisfiable(Exists(r, Forall(r.inv(), A)) & A)
+        # a fresh second parent can satisfy ∃r⁻.¬A, so this IS satisfiable
+        assert tableau.is_satisfiable(
+            A & Exists(r, Top()) & Forall(r, Exists(r.inv(), ~A))
+        )
+        # ... but ∀r⁻.¬A propagates back to the A-root: unsatisfiable
+        assert not tableau.is_satisfiable(
+            A & Exists(r, Top()) & Forall(r, Forall(r.inv(), ~A))
+        )
+
+    def test_choose_rule(self):
+        # ≤1 r.B with two r-successors, one being forced non-B
+        tableau = Tableau()
+        concept = conj(
+            [Exists(r, A & B), Exists(r, C), AtMost(1, r, B), Forall(r, Not(C) | B)]
+        )
+        # the C successor must be B (by ∀) and then merges with the A⊓B one
+        assert tableau.is_satisfiable(concept)
+
+
+class TestTableauTBox:
+    def test_blocking_terminates_infinite_models(self):
+        tbox = TBox()
+        tbox.include(A, Exists(r, A))
+        assert Tableau(tbox).is_satisfiable(A)
+
+    def test_unsat_tbox(self):
+        tbox = TBox()
+        tbox.include(A, Exists(r, A))
+        tbox.include(Top(), ~A | Forall(r, ~A))
+        assert not Tableau(tbox).is_satisfiable(A)
+
+    def test_definitions(self):
+        tbox = TBox()
+        tbox.define("U", A | B)
+        tbox.declare_disjoint(["A", "B", "C"])
+        tableau = Tableau(tbox)
+        assert tableau.is_satisfiable(Name("U"))
+        assert not tableau.is_satisfiable(Name("U") & ~A & ~B)
+        assert tableau.is_satisfiable(A & Name("U"))
+
+    def test_duplicate_definition_rejected(self):
+        tbox = TBox()
+        tbox.define("U", A)
+        with pytest.raises(ValueError):
+            tbox.define("U", B)
+
+    def test_disjointness_native(self):
+        tbox = TBox()
+        tbox.declare_disjoint(["A", "B"])
+        tableau = Tableau(tbox)
+        assert not tableau.is_satisfiable(A & B)
+        assert tableau.is_satisfiable(A)
+
+    def test_member_implies_defined_name(self):
+        tbox = TBox()
+        tbox.define("U", A | B)
+        tbox.include(Name("U"), C)
+        tableau = Tableau(tbox)
+        # A ⊑ U and U ⊑ C, so A ⊓ ¬C is unsatisfiable
+        assert not tableau.is_satisfiable(A & ~C)
+
+    def test_empty_definition_is_bottom(self):
+        tbox = TBox()
+        tbox.define("Empty", Bottom())
+        assert not Tableau(tbox).is_satisfiable(Name("Empty"))
+
+    def test_guarded_vs_internalised_equivalence(self):
+        # the same GCI through a Name guard and through a complex sub must
+        # decide identically
+        for query in (A, A & B, Exists(r, A)):
+            guarded = TBox()
+            guarded.include(A, Exists(r, B) & AtMost(1, r, Top()))
+            complex_lhs = TBox()
+            complex_lhs.include(A & Top(), Exists(r, B) & AtMost(1, r, Top()))
+            assert (
+                Tableau(guarded).is_satisfiable(query)
+                == Tableau(complex_lhs).is_satisfiable(query)
+            )
+
+    def test_node_limit(self):
+        tbox = TBox()
+        # force many successors: A needs 3 distinct r-successors each needing 3 ...
+        tbox.include(A, AtLeast(3, r, A))
+        with pytest.raises(TableauLimitError):
+            Tableau(tbox, max_nodes=10).is_satisfiable(A)
+
+    def test_stats_collected(self):
+        tableau = Tableau()
+        tableau.is_satisfiable(A | B)
+        assert tableau.stats.nodes_created >= 1
+
+
+class TestSchemaTranslation:
+    def test_library_axiom_shapes(self):
+        schema = CORPUS["library"].load()
+        tbox = schema_to_tbox(schema)
+        rendered = [str(axiom) for axiom in tbox.axioms]
+        assert "Author ⊑ ∀favoriteBook.Book" in rendered
+        assert "Author ⊑ ≤1 favoriteBook.⊤" in rendered
+        assert "Book ⊑ ∃author.Author" in rendered
+        assert "Book ⊑ ≤1 published⁻.Publisher" in rendered
+        assert "Book ⊑ ∃published⁻.Publisher" in rendered
+        assert tbox.disjoint_groups == [
+            frozenset({"Author", "Book", "BookSeries", "Publisher"})
+        ]
+
+    def test_justification_axioms(self):
+        schema = CORPUS["library"].load()
+        tbox = schema_to_tbox(schema)
+        rendered = {str(axiom) for axiom in tbox.axioms}
+        # Authors never emit published edges, Books never emit contains, ...
+        assert "Author ⊑ ≤0 published.⊤" in rendered
+        assert "Book ⊑ ≤0 contains.⊤" in rendered
+
+    def test_interface_and_union_definitions(self):
+        union_tbox = schema_to_tbox(CORPUS["food_union"].load())
+        assert str(union_tbox.definitions["Food"]) in (
+            "(Pasta ⊔ Pizza)",
+            "(Pizza ⊔ Pasta)",
+        )
+        interface_tbox = schema_to_tbox(CORPUS["food_interface"].load())
+        assert "Food" in interface_tbox.definitions
+
+    def test_scalar_fields_dropped(self):
+        schema = CORPUS["user_session_keyed"].load()
+        tbox = schema_to_tbox(schema)
+        rendered = " ".join(str(axiom) for axiom in tbox.axioms)
+        assert "login" not in rendered
+        assert "startTime" not in rendered
+        assert "user" in rendered  # the relationship survives
+
+    def test_unimplemented_interface_is_bottom(self):
+        from repro.schema import parse_schema
+
+        schema = parse_schema("interface Lonely { x: Int }\ntype T { y: Int }")
+        tbox = schema_to_tbox(schema)
+        assert str(tbox.definitions["Lonely"]) == "⊥"

@@ -1,0 +1,154 @@
+"""Tableau soundness oracle: brute-force model enumeration.
+
+For TBox-free concepts we can enumerate every interpretation over a small
+domain (≤3 elements, ≤2 concept names, ≤2 roles) and evaluate the concept
+semantics directly.  Whenever the enumeration finds a model, the tableau
+must answer SAT — a brute-force check that the tableau never reports a
+false UNSAT.  (The converse direction cannot be asserted at a fixed domain
+size: satisfiable ALCQI concepts may need more than 3 elements.)
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    And,
+    AtLeast,
+    AtMost,
+    Bottom,
+    Concept,
+    Exists,
+    Forall,
+    Name,
+    Not,
+    Or,
+    Role,
+    Tableau,
+    Top,
+)
+
+A, B = Name("A"), Name("B")
+r, s = Role("r"), Role("s")
+
+DOMAIN = (0, 1, 2)
+NAMES = ("A", "B")
+ROLES = ("r", "s")
+
+
+def _interpretations():
+    """Every interpretation over the fixed 3-element domain."""
+    label_choices = list(itertools.product([False, True], repeat=len(DOMAIN) * len(NAMES)))
+    edge_slots = [
+        (role, x, y) for role in ROLES for x in DOMAIN for y in DOMAIN
+    ]
+    # cap the edge subsets per label assignment for tractability: sample a
+    # deterministic spread rather than all 2^18 combinations
+    edge_choices = []
+    for mask in range(0, 2 ** len(edge_slots), 97):  # stride keeps ~2700 subsets
+        edge_choices.append(
+            frozenset(
+                slot for index, slot in enumerate(edge_slots) if mask >> index & 1
+            )
+        )
+    for labels in label_choices:
+        label_map = {
+            (name, element): labels[i * len(DOMAIN) + j]
+            for i, name in enumerate(NAMES)
+            for j, element in enumerate(DOMAIN)
+        }
+        for edges in edge_choices:
+            yield label_map, edges
+
+
+def _holds(concept: Concept, element, label_map, edges) -> bool:
+    if isinstance(concept, Top):
+        return True
+    if isinstance(concept, Bottom):
+        return False
+    if isinstance(concept, Name):
+        return label_map.get((concept.name, element), False)
+    if isinstance(concept, Not):
+        return not _holds(concept.body, element, label_map, edges)
+    if isinstance(concept, And):
+        return all(_holds(part, element, label_map, edges) for part in concept.parts)
+    if isinstance(concept, Or):
+        return any(_holds(part, element, label_map, edges) for part in concept.parts)
+
+    def successors(role: Role):
+        if role.inverse:
+            return [x for x in DOMAIN if (role.name, x, element) in edges]
+        return [y for y in DOMAIN if (role.name, element, y) in edges]
+
+    if isinstance(concept, Exists):
+        return any(
+            _holds(concept.body, y, label_map, edges) for y in successors(concept.role)
+        )
+    if isinstance(concept, Forall):
+        return all(
+            _holds(concept.body, y, label_map, edges) for y in successors(concept.role)
+        )
+    if isinstance(concept, AtLeast):
+        count = sum(
+            1 for y in successors(concept.role) if _holds(concept.body, y, label_map, edges)
+        )
+        return count >= concept.n
+    if isinstance(concept, AtMost):
+        count = sum(
+            1 for y in successors(concept.role) if _holds(concept.body, y, label_map, edges)
+        )
+        return count <= concept.n
+    raise TypeError(concept)
+
+
+def brute_force_satisfiable(concept: Concept) -> bool:
+    return any(
+        _holds(concept, 0, label_map, edges)
+        for label_map, edges in _interpretations()
+    )
+
+
+names = st.sampled_from([A, B])
+roles = st.sampled_from([r, s, r.inv()])
+
+
+def concepts(depth: int = 2):
+    if depth == 0:
+        return st.one_of(names, st.just(Top()), st.just(Bottom()))
+    sub = concepts(depth - 1)
+    return st.one_of(
+        names,
+        sub.map(Not),
+        st.tuples(sub, sub).map(lambda pair: And(pair)),
+        st.tuples(sub, sub).map(lambda pair: Or(pair)),
+        st.tuples(roles, sub).map(lambda pair: Exists(*pair)),
+        st.tuples(roles, sub).map(lambda pair: Forall(*pair)),
+        st.tuples(st.integers(1, 2), roles, sub).map(lambda t: AtLeast(*t)),
+        st.tuples(st.integers(0, 2), roles, sub).map(lambda t: AtMost(*t)),
+    )
+
+
+@given(concepts())
+@settings(max_examples=40, deadline=None)
+def test_tableau_never_reports_false_unsat(concept):
+    if brute_force_satisfiable(concept):
+        assert Tableau().is_satisfiable(concept), concept
+
+
+@pytest.mark.parametrize(
+    "concept",
+    [
+        A & ~A,
+        Exists(r, A) & Forall(r, ~A),
+        AtLeast(2, r, A) & AtMost(1, r, Top()),
+        Exists(r, Forall(r.inv(), ~A)) & A,
+        Forall(r, Bottom()) & Exists(r, Top()),
+        AtLeast(1, r, A & ~A),
+    ],
+)
+def test_known_unsat_also_unsat_by_brute_force(concept):
+    """Contrapositive spot-check on hand-picked UNSAT concepts."""
+    assert not Tableau().is_satisfiable(concept)
+    assert not brute_force_satisfiable(concept)

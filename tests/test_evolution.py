@@ -1,0 +1,164 @@
+"""Schema evolution: diff classification and the compatibility guarantee."""
+
+import pytest
+
+from repro.evolution import Impact, diff_schemas
+from repro.schema import parse_schema
+from repro.validation import validate
+from repro.workloads import library_graph, user_session_graph
+from repro.workloads.paper_schemas import CORPUS
+
+BASE = CORPUS["user_session_edge_props"].sdl
+
+
+def classify(old_sdl, new_sdl):
+    return diff_schemas(parse_schema(old_sdl), parse_schema(new_sdl))
+
+
+class TestDiffClassification:
+    def test_identical(self):
+        diff = classify(BASE, BASE)
+        assert not diff.changes
+        assert diff.is_backward_compatible
+        assert diff.summary() == "schemas are identical"
+
+    def test_add_type_compatible(self):
+        diff = classify("type A { x: Int }", "type A { x: Int }\ntype B { y: Int }")
+        assert diff.is_backward_compatible
+        assert any("added" in str(change) for change in diff.compatible)
+
+    def test_remove_type_breaking(self):
+        diff = classify("type A { x: Int }\ntype B { y: Int }", "type A { x: Int }")
+        assert not diff.is_backward_compatible
+        assert "SS1" in diff.breaking[0].description
+
+    def test_add_optional_field_compatible(self):
+        diff = classify("type A { x: Int }", "type A { x: Int \n y: String }")
+        assert diff.is_backward_compatible
+
+    def test_add_required_field_breaking(self):
+        diff = classify("type A { x: Int }", "type A { x: Int \n y: String @required }")
+        assert not diff.is_backward_compatible
+
+    def test_remove_field_breaking(self):
+        diff = classify("type A { x: Int \n y: Int }", "type A { x: Int }")
+        assert not diff.is_backward_compatible
+
+    def test_add_constraining_directive_breaking(self):
+        for directive in ("@required", "@distinct", "@noLoops", "@uniqueForTarget"):
+            diff = classify(
+                "type A { r: [A] }", f"type A {{ r: [A] {directive} }}"
+            )
+            assert not diff.is_backward_compatible, directive
+
+    def test_remove_constraining_directive_compatible(self):
+        diff = classify("type A { r: [A] @distinct @noLoops }", "type A { r: [A] }")
+        assert diff.is_backward_compatible
+        assert len(diff.compatible) == 2
+
+    def test_add_key_breaking_remove_compatible(self):
+        keyed = 'type A @key(fields: ["x"]) { x: Int }'
+        unkeyed = "type A { x: Int }"
+        assert not classify(unkeyed, keyed).is_backward_compatible
+        assert classify(keyed, unkeyed).is_backward_compatible
+
+    def test_attribute_widening_compatible(self):
+        assert classify("type A { x: Int }", "type A { x: Float }").is_backward_compatible
+        assert classify("type A { x: Int! }", "type A { x: Int }").is_backward_compatible
+        assert classify("type A { xs: [Int!] }", "type A { xs: [Int] }").is_backward_compatible
+
+    def test_attribute_narrowing_breaking(self):
+        assert not classify("type A { x: Float }", "type A { x: Int }").is_backward_compatible
+        assert not classify("type A { x: Int }", "type A { x: Int! }").is_backward_compatible
+        assert not classify("type A { x: Int }", "type A { xs: [Int] }".replace("xs", "x")).is_backward_compatible
+
+    def test_relationship_target_widening_compatible(self):
+        old = "type A { r: B }\ntype B { x: Int }\ntype C { x: Int }"
+        new = "type A { r: U }\ntype B { x: Int }\ntype C { x: Int }\nunion U = B | C"
+        assert classify(old, new).is_backward_compatible
+
+    def test_relationship_target_narrowing_breaking(self):
+        old = "type A { r: U }\ntype B { x: Int }\ntype C { x: Int }\nunion U = B | C"
+        new = "type A { r: B }\ntype B { x: Int }\ntype C { x: Int }"
+        assert not classify(old, new).is_backward_compatible
+
+    def test_list_widening_compatible(self):
+        old = "type A { r: B }\ntype B { x: Int }"
+        new = "type A { r: [B] }\ntype B { x: Int }"
+        assert classify(old, new).is_backward_compatible
+        assert not classify(new, old).is_backward_compatible
+
+    def test_union_member_changes(self):
+        old = "type A { x: Int }\ntype B { x: Int }\nunion U = A | B\ntype T { u: U }"
+        new = "type A { x: Int }\ntype B { x: Int }\nunion U = A\ntype T { u: U }"
+        assert not classify(old, new).is_backward_compatible
+        assert classify(new, old).is_backward_compatible
+
+    def test_enum_value_changes(self):
+        old = "enum E { A B }\ntype T { e: E }"
+        new = "enum E { A }\ntype T { e: E }"
+        assert not classify(old, new).is_backward_compatible
+        assert classify(new, old).is_backward_compatible
+
+    def test_kind_flip_breaking(self):
+        old = "type A { x: Int }"
+        new = "type A { x: B }\ntype B { y: Int }"
+        diff = classify(old, new)
+        assert not diff.is_backward_compatible
+
+    def test_edge_argument_changes(self):
+        old = "type A { r(w: Float): A }"
+        assert classify(old, "type A { r: A }").breaking
+        assert classify("type A { r: A }", old).is_backward_compatible
+        assert not classify(old, "type A { r(w: Float!): A }").is_backward_compatible
+        assert classify("type A { r(w: Float!): A }", old).is_backward_compatible
+
+
+class TestCompatibilityGuarantee:
+    """Changes classified compatible must preserve strong satisfaction on
+    real conforming instances."""
+
+    @pytest.mark.parametrize(
+        "new_sdl",
+        [
+            # drop a key
+            BASE.replace(' @key(fields: ["id"]) @key(fields: ["login"])', ""),
+            # add an optional attribute
+            BASE.replace("login: String! @required", "login: String! @required\n  bio: String"),
+            # add a whole new type
+            BASE + "\ntype AuditLog { entry: String }",
+            # widen the user field to a list
+            BASE.replace(
+                "user(certainty: Float! comment: String): User! @required",
+                "user(certainty: Float! comment: String): [User] @required",
+            ),
+        ],
+    )
+    def test_compatible_evolutions_preserve_conformance(self, new_sdl):
+        old = parse_schema(BASE)
+        new = parse_schema(new_sdl)
+        diff = diff_schemas(old, new)
+        assert diff.is_backward_compatible, diff.summary()
+        for seed in range(3):
+            graph = user_session_graph(6, 2, seed=seed)
+            assert validate(old, graph).conforms
+            assert validate(new, graph).conforms
+
+    def test_breaking_evolution_really_breaks(self):
+        old = parse_schema(CORPUS["library"].sdl)
+        new = parse_schema(
+            CORPUS["library"].sdl.replace(
+                "favoriteBook: Book", "favoriteBook: Book @required"
+            )
+        )
+        diff = diff_schemas(old, new)
+        assert not diff.is_backward_compatible
+        # find a conforming-old instance that the new schema rejects
+        broken = False
+        for seed in range(10):
+            graph = library_graph(4, 5, 1, 1, seed=seed)
+            assert validate(old, graph).conforms
+            if not validate(new, graph).conforms:
+                broken = True
+                break
+        assert broken

@@ -1,0 +1,22 @@
+"""Every example script must run end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    sys_path = list(sys.path)
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.path[:] = sys_path
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} should print something"

@@ -1,0 +1,161 @@
+"""The first-order substrate: structures, evaluation, encoding."""
+
+import pytest
+
+from repro.fo import (
+    And,
+    Atom,
+    Const,
+    Eq,
+    Exists,
+    FOStructure,
+    ForAll,
+    Implies,
+    Not,
+    Or,
+    SENTENCES,
+    Var,
+    conj,
+    disj,
+    encode,
+    evaluate,
+    exists,
+    forall,
+)
+from repro.fo.structure import Relation
+from repro.pg import GraphBuilder
+from repro.workloads.paper_schemas import CORPUS
+
+
+@pytest.fixture
+def structure() -> FOStructure:
+    s = FOStructure()
+    s.add_sort("node", ["a", "b", "c"])
+    s.declare_relation("edge", 2)
+    s.add_fact("edge", "a", "b")
+    s.add_fact("edge", "b", "c")
+    s.declare_relation("red", 1)
+    s.add_fact("red", "a")
+    return s
+
+
+class TestRelation:
+    def test_arity_checked(self):
+        relation = Relation("r", 2)
+        with pytest.raises(ValueError):
+            relation.add(("x",))
+
+    def test_matching_uses_indexes(self):
+        relation = Relation("r", 2)
+        relation.add(("a", "b"))
+        relation.add(("a", "c"))
+        relation.add(("d", "b"))
+        assert set(relation.matching(("a", None))) == {("a", "b"), ("a", "c")}
+        assert set(relation.matching((None, "b"))) == {("a", "b"), ("d", "b")}
+        assert set(relation.matching((None, None))) == set(relation.tuples)
+        assert list(relation.matching(("z", None))) == []
+
+    def test_duplicate_add_is_noop(self):
+        relation = Relation("r", 1)
+        relation.add(("x",))
+        relation.add(("x",))
+        assert len(relation) == 1
+
+
+class TestEvaluator:
+    def test_atoms(self, structure):
+        assert evaluate(structure, Atom("edge", (Const("a"), Const("b"))))
+        assert not evaluate(structure, Atom("edge", (Const("b"), Const("a"))))
+
+    def test_connectives(self, structure):
+        red_a = Atom("red", (Const("a"),))
+        red_b = Atom("red", (Const("b"),))
+        assert evaluate(structure, conj(red_a, Not(red_b)))
+        assert evaluate(structure, disj(red_b, red_a))
+        assert evaluate(structure, Implies(red_b, red_a))
+        assert not evaluate(structure, conj(red_a, red_b))
+
+    def test_equality(self, structure):
+        assert evaluate(structure, Eq(Const(1), Const(1)))
+        assert not evaluate(structure, Eq(Const(1), Const(2)))
+
+    def test_exists(self, structure):
+        formula = exists([("x", "node")], Atom("red", (Var("x"),)))
+        assert evaluate(structure, formula)
+        formula2 = exists(
+            [("x", "node"), ("y", "node")],
+            conj(Atom("edge", (Var("x"), Var("y"))), Atom("red", (Var("x"),))),
+        )
+        assert evaluate(structure, formula2)
+
+    def test_forall(self, structure):
+        all_red = forall([("x", "node")], Atom("red", (Var("x"),)))
+        assert not evaluate(structure, all_red)
+        edges_from_red = forall(
+            [("x", "node")],
+            Implies(
+                Atom("edge", (Const("a"), Var("x"))),
+                Not(Atom("red", (Var("x"),))),
+            ),
+        )
+        assert evaluate(structure, edges_from_red)
+
+    def test_forall_without_guard_is_not_narrowed(self, structure):
+        # regression: narrowing ∀ by its own body would be unsound
+        formula = ForAll(Var("x"), "node", Atom("red", (Var("x"),)))
+        assert not evaluate(structure, formula)
+
+    def test_nested_quantifiers(self, structure):
+        # every edge target is reachable: ∀x∀y(edge(x,y) → ∃z edge(x,z))
+        formula = forall(
+            [("x", "node"), ("y", "node")],
+            Implies(
+                Atom("edge", (Var("x"), Var("y"))),
+                Exists(Var("z"), "node", Atom("edge", (Var("x"), Var("z")))),
+            ),
+        )
+        assert evaluate(structure, formula)
+
+    def test_unbound_variable_raises(self, structure):
+        with pytest.raises(NameError):
+            evaluate(structure, Atom("red", (Var("free"),)))
+
+    def test_formula_str_forms(self):
+        formula = forall(
+            [("x", "node")],
+            Implies(Atom("red", (Var("x"),)), Eq(Var("x"), Const("a"))),
+        )
+        text = str(formula)
+        assert "∀" in text and "→" in text
+
+
+class TestEncoding:
+    def test_vocabulary_present(self):
+        schema = CORPUS["user_session_edge_props"].load()
+        graph = (
+            GraphBuilder()
+            .node("u", "User", id="1", login="a")
+            .node("s", "UserSession", id="2", startTime="t")
+            .edge("s", "user", "u", {"certainty": 0.5})
+            .graph()
+        )
+        structure = encode(schema, graph)
+        assert structure.holds("V", ("u",))
+        assert structure.holds("E", ("_e1",))
+        assert structure.holds("label", ("u", "User"))
+        assert structure.holds("attrdecl", ("User", "login"))
+        assert structure.holds("reldecl", ("UserSession", "user"))
+        assert structure.holds("argdecl", ("UserSession", "user", "certainty"))
+        assert structure.holds("OT", ("User",))
+        assert structure.holds("subtype", ("User", "User"))
+        assert structure.holds("reqattr", ("User", "login"))
+
+    def test_every_sentence_closed_and_evaluable(self):
+        schema = CORPUS["library"].load()
+        from repro.workloads import library_graph
+
+        graph = library_graph(2, 2, 0, 1, seed=0)
+        structure = encode(schema, graph)
+        for rule, sentence in SENTENCES.items():
+            result = evaluate(structure, sentence)
+            assert result is True, f"{rule} should hold on a conformant graph"

@@ -1,0 +1,103 @@
+"""Robustness fuzzing: the front end never crashes, it raises typed errors."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.query_parser import parse_query
+from repro.errors import ReproError
+from repro.pg import GraphBuilder
+from repro.schema import parse_schema
+from repro.sdl import parse_document, print_document, tokenize
+
+
+@settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.text(max_size=200))
+def test_lexer_total(source):
+    try:
+        tokenize(source)
+    except ReproError:
+        pass  # typed failure is the contract
+
+
+@settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.text(max_size=200))
+def test_parser_total_on_arbitrary_text(source):
+    try:
+        parse_document(source)
+    except ReproError:
+        pass
+
+
+# token-soup fuzzing: grammar-adjacent garbage stresses the parser more
+_tokens = st.sampled_from(
+    [
+        "type", "interface", "union", "enum", "scalar", "input", "schema",
+        "directive", "implements", "on", "query",
+        "{", "}", "(", ")", "[", "]", "!", ":", "=", "@", "|", "&", "...",
+        "Name", "T", "Int", "String", '"text"', "3", "1.5", "true", "null",
+        "RED", "$var", ",",
+    ]
+)
+
+
+@settings(max_examples=200, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(_tokens, max_size=40))
+def test_parser_total_on_token_soup(parts):
+    source = " ".join(parts)
+    try:
+        document = parse_document(source)
+    except ReproError:
+        return
+    # whatever parsed must print and re-parse to the same AST
+    assert parse_document(print_document(document)) == document
+
+
+@settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(_tokens, max_size=40))
+def test_schema_builder_total(parts):
+    try:
+        parse_schema(" ".join(parts))
+    except ReproError:
+        pass
+
+
+@settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.text(max_size=120))
+def test_query_parser_total(source):
+    try:
+        parse_query(source)
+    except ReproError:
+        pass
+
+
+names = st.text(
+    alphabet="abcdefgABC_", min_size=1, max_size=8
+).filter(lambda s: s[0].isalpha() or s[0] == "_")
+
+
+@settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    labels=st.lists(names, min_size=1, max_size=4, unique=True),
+    edges=st.lists(st.tuples(st.integers(0, 3), names, st.integers(0, 3)), max_size=6),
+)
+def test_inference_pipeline_total(labels, edges):
+    """Arbitrary named graphs survive inference + self-validation."""
+    from repro.inference import infer_schema
+    from repro.validation import validate
+
+    builder = GraphBuilder()
+    node_ids = []
+    for index, label in enumerate(labels):
+        builder.node(f"n{index}", label)
+        node_ids.append(f"n{index}")
+    graph = builder.graph()
+    for source_index, edge_label, target_index in edges:
+        graph.add_edge(
+            f"e{len(list(graph.edges))}",
+            node_ids[source_index % len(node_ids)],
+            node_ids[target_index % len(node_ids)],
+            edge_label,
+        )
+    result = infer_schema(graph)
+    assert validate(result.schema, graph).conforms

@@ -1,0 +1,183 @@
+"""Schema inference: induced schemas must be satisfied by their instance."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.inference import infer_schema
+from repro.pg import GraphBuilder, PropertyGraph, random_graph
+from repro.validation import validate
+from repro.workloads import food_graph, library_graph, user_session_graph
+
+
+class TestSelfSatisfaction:
+    """The core guarantee: a graph strongly satisfies its inferred schema."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_user_session_workload(self, seed):
+        graph = user_session_graph(8, 2, seed=seed)
+        result = infer_schema(graph)
+        report = validate(result.schema, graph)
+        assert report.conforms, report.summary()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_library_workload(self, seed):
+        graph = library_graph(4, 6, 1, 2, seed=seed)
+        result = infer_schema(graph)
+        assert validate(result.schema, graph).conforms
+
+    def test_food_workload(self):
+        graph = food_graph(10, seed=0)
+        assert validate(infer_schema(graph).schema, graph).conforms
+
+    @given(
+        num_nodes=st.integers(min_value=1, max_value=14),
+        num_edges=st.integers(min_value=0, max_value=20),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_graphs_property(self, num_nodes, num_edges, seed):
+        graph = random_graph(num_nodes, num_edges, seed=seed)
+        result = infer_schema(graph)
+        report = validate(result.schema, graph)
+        assert report.conforms, report.summary()
+
+    def test_empty_graph(self):
+        result = infer_schema(PropertyGraph())
+        assert validate(result.schema, PropertyGraph()).conforms
+
+
+class TestInferredStructure:
+    def test_types_and_required(self):
+        graph = (
+            GraphBuilder()
+            .node("a1", "Article", title="T1", views=3)
+            .node("a2", "Article", title="T2")
+            .graph()
+        )
+        schema = infer_schema(graph).schema
+        assert set(schema.object_types) == {"Article"}
+        assert schema.has_field_directive("Article", "title", "required")
+        assert not schema.has_field_directive("Article", "views", "required")
+        assert schema.type_f("Article", "views").base == "Int"
+
+    def test_scalar_widening(self):
+        graph = (
+            GraphBuilder()
+            .node("a1", "T", x=1)
+            .node("a2", "T", x=2.5)
+            .node("a3", "T", y=1)
+            .node("a4", "T", y="text")
+            .graph()
+        )
+        schema = infer_schema(graph).schema
+        assert schema.type_f("T", "x").base == "Float"
+        assert schema.type_f("T", "y").base == "Any"
+        assert validate(schema, graph).conforms
+
+    def test_mixed_atom_and_array(self):
+        graph = (
+            GraphBuilder().node("a", "T", x=1).node("b", "T", x=[1, 2]).graph()
+        )
+        result = infer_schema(graph)
+        assert result.schema.type_f("T", "x").base == "Any"
+        assert validate(result.schema, graph).conforms
+
+    def test_list_attribute(self):
+        graph = GraphBuilder().node("a", "T", xs=["x", "y"]).graph()
+        schema = infer_schema(graph).schema
+        ref = schema.type_f("T", "xs")
+        assert ref.is_list and ref.base == "String"
+
+    def test_relationship_cardinality(self):
+        single = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "B")
+            .edge("a", "r", "b")
+            .graph()
+        )
+        assert not infer_schema(single).schema.type_f("A", "r").is_list
+        multi = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b1", "B")
+            .node("b2", "B")
+            .edge("a", "r", "b1")
+            .edge("a", "r", "b2")
+            .graph()
+        )
+        assert infer_schema(multi).schema.type_f("A", "r").is_list
+
+    def test_union_for_mixed_targets(self):
+        graph = (
+            GraphBuilder()
+            .node("p", "P")
+            .node("q", "P")
+            .node("x", "X")
+            .node("y", "Y")
+            .edge("p", "likes", "x")
+            .edge("q", "likes", "y")
+            .graph()
+        )
+        result = infer_schema(graph)
+        schema = result.schema
+        assert schema.type_f("P", "likes").base == "XOrY"
+        assert schema.union("XOrY") == {"X", "Y"}
+        assert validate(schema, graph).conforms
+
+    def test_edge_properties_become_arguments(self):
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "B")
+            .edge("a", "r", "b", {"w": 0.5, "note": "x"})
+            .graph()
+        )
+        schema = infer_schema(graph).schema
+        assert set(schema.args("A", "r")) == {"w", "note"}
+        assert schema.type_af("A", "r", "w").base == "Float"
+
+    def test_key_candidates(self):
+        graph = (
+            GraphBuilder()
+            .node("u1", "U", email="a@x", team="red")
+            .node("u2", "U", email="b@x", team="red")
+            .graph()
+        )
+        result = infer_schema(graph)
+        assert result.key_candidates["U"] == ["email"]
+        assert result.schema.object_types["U"].keys == (("email",),)
+
+    def test_directive_mining(self):
+        graph = (
+            GraphBuilder()
+            .node("a1", "A")
+            .node("a2", "A")
+            .node("b1", "B")
+            .node("b2", "B")
+            .edge("a1", "r", "b1")
+            .edge("a2", "r", "b2")
+            .graph()
+        )
+        schema = infer_schema(graph).schema
+        # every A has an r edge, every B has exactly one incoming
+        assert schema.has_field_directive("A", "r", "required")
+        assert schema.has_field_directive("A", "r", "uniqueForTarget")
+
+    def test_no_spurious_noloops_when_loops_exist(self):
+        graph = GraphBuilder().node("a", "A").edge("a", "self", "a").graph()
+        schema = infer_schema(graph).schema
+        assert not schema.has_field_directive("A", "self", "noLoops")
+        assert validate(schema, graph).conforms
+
+    def test_noloops_when_possible_but_absent(self):
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "A")
+            .edge("a", "peer", "b")
+            .graph()
+        )
+        schema = infer_schema(graph).schema
+        assert schema.has_field_directive("A", "peer", "noLoops")

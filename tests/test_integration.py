@@ -1,0 +1,93 @@
+"""End-to-end integration: the full pipeline, module to module."""
+
+import pytest
+
+from repro.api import GraphQLExecutor, extend_to_api_schema
+from repro.evolution import diff_schemas
+from repro.inference import infer_schema
+from repro.pg import loads_graph, dumps_graph
+from repro.satisfiability import SatisfiabilityChecker
+from repro.schema import parse_schema, print_schema
+from repro.validation import IncrementalValidator, validate
+from repro.workloads import CORPUS, corrupt_graph, library_graph, user_session_graph
+
+
+class TestFullPipeline:
+    """SDL text → schema → workload → validation → serialisation → API →
+    inference → evolution, each stage consuming the previous one."""
+
+    def test_user_session_lifecycle(self):
+        # parse the paper's schema and print-parse it once for stability
+        schema = parse_schema(CORPUS["user_session_edge_props"].sdl)
+        schema = parse_schema(print_schema(schema))
+
+        # generate and validate a workload
+        graph = user_session_graph(25, 2, seed=9)
+        assert validate(schema, graph, mode="extended").conforms
+
+        # serialise and reload
+        graph = loads_graph(dumps_graph(graph))
+        assert validate(schema, graph).conforms
+
+        # the schema is sound: every type and edge definition populatable
+        report = SatisfiabilityChecker(schema).check_schema(find_witnesses=True)
+        assert report.sound
+        for verdict in report.types.values():
+            assert validate(schema, verdict.witness).conforms
+
+        # serve it through the generated GraphQL API
+        api = extend_to_api_schema(schema)
+        executor = GraphQLExecutor(api, graph)
+        result = executor.execute(
+            '{ userById(id: "user-3") { login '
+            "_incoming_user_from_UserSession { id } } }"
+        )
+        user = result["data"]["userById"]
+        assert user["login"] == "login3"
+        assert len(user["_incoming_user_from_UserSession"]) == 2
+
+        # infer a schema back from the data and diff against the original:
+        # the inferred schema must be at least as strict on this instance
+        inferred = infer_schema(graph)
+        assert validate(inferred.schema, graph).conforms
+        diff = diff_schemas(schema, inferred.schema)
+        assert diff.changes  # ID vs String inference etc. -- but classified
+
+    def test_corruption_detection_round_trip(self):
+        schema = parse_schema(CORPUS["library"].sdl)
+        base = library_graph(6, 10, 2, 2, seed=4)
+        assert validate(schema, base).conforms
+        detected = []
+        for rule in ("SS1", "SS2", "SS4", "WS1", "WS3", "WS4", "DS1", "DS2", "DS5", "DS6"):
+            corrupted = corrupt_graph(base, schema, rule, seed=4)
+            if corrupted is None:
+                continue
+            fired = {v.rule for v in validate(schema, corrupted).violations}
+            assert rule in fired, rule
+            detected.append(rule)
+        assert len(detected) >= 8
+
+    def test_incremental_equals_batch_through_api_mutations(self):
+        schema = parse_schema(CORPUS["user_session_edge_props"].sdl)
+        live = IncrementalValidator(schema, user_session_graph(5, 1, seed=2))
+        # simulate an application session: add a user, a session, link them
+        live.add_node("u_x", "User", {"id": "x", "login": "x"})
+        live.add_node("s_x", "UserSession", {"id": "sx", "startTime": "t"})
+        live.add_edge("e_x", "s_x", "u_x", "user", {"certainty": 0.8})
+        assert live.conforms
+        from repro.validation import IndexedValidator
+
+        scratch = IndexedValidator(schema).validate(live.graph)
+        assert live.report().keys() == scratch.keys()
+
+    @pytest.mark.parametrize("name", ["food_union", "vehicles", "library"])
+    def test_every_corpus_schema_full_stack(self, name):
+        schema = CORPUS[name].load()
+        # print → parse fixpoint
+        assert print_schema(parse_schema(print_schema(schema))) == print_schema(schema)
+        # satisfiability: no dead types
+        assert SatisfiabilityChecker(schema).check_schema().sound
+        # API generation succeeds and names every object type
+        api = extend_to_api_schema(schema)
+        for type_name in schema.object_types:
+            assert f"all{type_name}" in api.query_fields

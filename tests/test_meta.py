@@ -1,0 +1,85 @@
+"""Meta-tests: catalogue completeness and cross-module wiring."""
+
+from repro.fo.sentences import SENTENCES
+from repro.validation import (
+    ALL_RULES,
+    DIRECTIVE_RULES,
+    EXTENSION_RULES,
+    RULES,
+    STRONG_RULES,
+    WEAK_RULES,
+    IndexedValidator,
+    NaiveValidator,
+)
+from repro.validation.violations import Violation, rules_for_mode
+
+
+class TestRuleCatalogue:
+    def test_mode_partition(self):
+        assert WEAK_RULES + DIRECTIVE_RULES + STRONG_RULES == ALL_RULES
+        assert set(ALL_RULES) | set(EXTENSION_RULES) == set(RULES)
+        assert len(set(ALL_RULES)) == 15
+
+    def test_every_rule_has_statement(self):
+        for rule, (title, statement) in RULES.items():
+            assert title and statement, rule
+
+    def test_every_rule_has_engine_methods(self):
+        from repro.workloads import load
+
+        schema = load("library")
+        for engine in (NaiveValidator(schema), IndexedValidator(schema)):
+            for rule in RULES:
+                assert hasattr(engine, f"_{rule.lower()}"), (
+                    type(engine).__name__,
+                    rule,
+                )
+
+    def test_every_core_rule_has_fo_sentence(self):
+        assert set(SENTENCES) == set(ALL_RULES)
+
+    def test_rules_for_mode(self):
+        assert rules_for_mode("weak") == WEAK_RULES
+        assert rules_for_mode("directives") == DIRECTIVE_RULES
+        assert rules_for_mode("strong") == ALL_RULES
+        assert rules_for_mode("extended") == ALL_RULES + EXTENSION_RULES
+
+    def test_violation_rendering(self):
+        violation = Violation("WS1", "User.login", ("u1",), "bad value")
+        text = str(violation)
+        assert "WS1" in text and "User.login" in text and "u1" in text
+        assert violation.title == RULES["WS1"][0]
+        assert violation.key() == ("WS1", "User.login", ("u1",))
+
+
+class TestPublicAPI:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import importlib
+
+        for module_name in (
+            "repro.pg",
+            "repro.sdl",
+            "repro.schema",
+            "repro.validation",
+            "repro.fo",
+            "repro.sat",
+            "repro.dl",
+            "repro.satisfiability",
+            "repro.api",
+            "repro.baselines",
+            "repro.workloads",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module_name, name)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,65 @@
+"""JSON serialisation of Property Graphs."""
+
+import io
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pg import (
+    PropertyGraph,
+    dump_graph,
+    dumps_graph,
+    load_graph,
+    loads_graph,
+    random_graph,
+)
+
+
+def graphs_equal(left: PropertyGraph, right: PropertyGraph) -> bool:
+    if set(left.nodes) != set(right.nodes) or set(left.edges) != set(right.edges):
+        return False
+    for node in left.nodes:
+        if left.label(node) != right.label(node):
+            return False
+        if left.properties(node) != right.properties(node):
+            return False
+    for edge in left.edges:
+        if left.endpoints(edge) != right.endpoints(edge):
+            return False
+        if left.label(edge) != right.label(edge):
+            return False
+        if left.properties(edge) != right.properties(edge):
+            return False
+    return True
+
+
+class TestRoundTrip:
+    def test_empty_graph(self):
+        assert graphs_equal(loads_graph(dumps_graph(PropertyGraph())), PropertyGraph())
+
+    def test_small_graph(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "A", {"p": 1, "xs": (1, 2)})
+        graph.add_node("b", "B")
+        graph.add_edge("e", "a", "b", "r", {"w": 0.25})
+        assert graphs_equal(loads_graph(dumps_graph(graph)), graph)
+
+    def test_file_round_trip(self):
+        graph = random_graph(10, 15, seed=3)
+        buffer = io.StringIO()
+        dump_graph(graph, buffer)
+        buffer.seek(0)
+        assert graphs_equal(load_graph(buffer), graph)
+
+    @given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=60))
+    def test_random_graphs_round_trip(self, num_nodes, num_edges):
+        if num_nodes == 0:
+            num_edges = 0
+        graph = random_graph(num_nodes, num_edges, seed=num_nodes * 100 + num_edges)
+        assert graphs_equal(loads_graph(dumps_graph(graph)), graph)
+
+    def test_array_properties_round_trip_as_tuples(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "A", {"xs": ("x", "y")})
+        restored = loads_graph(dumps_graph(graph))
+        assert restored.property_value("a", "xs") == ("x", "y")

@@ -1,0 +1,172 @@
+"""The Property Graph model (Definition 2.1)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.pg import GraphBuilder, PropertyGraph
+
+
+@pytest.fixture
+def small_graph() -> PropertyGraph:
+    graph = PropertyGraph()
+    graph.add_node("a", "A", {"p": 1})
+    graph.add_node("b", "B")
+    graph.add_edge("e", "a", "b", "r", {"w": 0.5})
+    return graph
+
+
+class TestConstruction:
+    def test_nodes_and_edges_counted(self, small_graph):
+        assert small_graph.num_nodes == 2
+        assert small_graph.num_edges == 1
+        assert len(small_graph) == 3
+
+    def test_duplicate_node_id_rejected(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.add_node("a", "A")
+
+    def test_node_and_edge_ids_disjoint(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.add_node("e", "A")
+        with pytest.raises(GraphError):
+            small_graph.add_edge("a", "a", "b", "r")
+
+    def test_edge_requires_existing_endpoints(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.add_edge("e2", "a", "missing", "r")
+        with pytest.raises(GraphError):
+            small_graph.add_edge("e3", "missing", "b", "r")
+
+    def test_non_string_label_rejected(self):
+        graph = PropertyGraph()
+        with pytest.raises(GraphError):
+            graph.add_node("x", 42)
+
+    def test_self_loop_allowed(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "A")
+        graph.add_edge("e", "a", "a", "r")
+        assert graph.endpoints("e") == ("a", "a")
+
+    def test_parallel_edges_allowed(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "A")
+        graph.add_node("b", "B")
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "a", "b", "r")
+        assert graph.num_edges == 2
+
+
+class TestComponents:
+    def test_rho(self, small_graph):
+        assert small_graph.endpoints("e") == ("a", "b")
+
+    def test_rho_on_missing_edge(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.endpoints("nope")
+
+    def test_lambda_total(self, small_graph):
+        assert small_graph.label("a") == "A"
+        assert small_graph.label("e") == "r"
+
+    def test_lambda_missing(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.label("nope")
+
+    def test_sigma_partial(self, small_graph):
+        assert small_graph.property_value("a", "p") == 1
+        assert small_graph.property_value("a", "missing") is None
+        assert small_graph.has_property("a", "p")
+        assert not small_graph.has_property("b", "p")
+
+    def test_sigma_on_edges(self, small_graph):
+        assert small_graph.property_value("e", "w") == 0.5
+
+    def test_property_items(self, small_graph):
+        items = set(small_graph.property_items())
+        assert items == {("a", "p", 1), ("e", "w", 0.5)}
+
+    def test_list_property_normalised(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "A", {"xs": [1, 2]})
+        assert graph.property_value("a", "xs") == (1, 2)
+
+
+class TestMutation:
+    def test_set_and_remove_property(self, small_graph):
+        small_graph.set_property("b", "q", "hi")
+        assert small_graph.property_value("b", "q") == "hi"
+        small_graph.remove_property("b", "q")
+        assert not small_graph.has_property("b", "q")
+
+    def test_remove_property_noop(self, small_graph):
+        small_graph.remove_property("b", "never_there")
+
+    def test_remove_edge(self, small_graph):
+        small_graph.remove_edge("e")
+        assert small_graph.num_edges == 0
+        assert small_graph.out_edges("a") == []
+        assert small_graph.in_edges("b") == []
+
+    def test_remove_node_cascades(self, small_graph):
+        small_graph.remove_node("a")
+        assert small_graph.num_nodes == 1
+        assert small_graph.num_edges == 0
+
+    def test_remove_missing(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.remove_edge("nope")
+        with pytest.raises(GraphError):
+            small_graph.remove_node("nope")
+
+
+class TestIncidence:
+    def test_out_edges_by_label(self, small_graph):
+        assert small_graph.out_edges("a", "r") == ["e"]
+        assert small_graph.out_edges("a", "other") == []
+        assert small_graph.out_edges("b") == []
+
+    def test_in_edges_by_label(self, small_graph):
+        assert small_graph.in_edges("b", "r") == ["e"]
+        assert small_graph.in_edges("a") == []
+
+    def test_nodes_with_label(self, small_graph):
+        assert small_graph.nodes_with_label("A") == ["a"]
+        assert small_graph.nodes_with_label("Z") == []
+
+
+class TestCopy:
+    def test_copy_independent(self, small_graph):
+        clone = small_graph.copy()
+        clone.add_node("c", "C")
+        clone.set_property("a", "p", 99)
+        assert small_graph.num_nodes == 2
+        assert small_graph.property_value("a", "p") == 1
+
+    def test_copy_preserves_incidence(self, small_graph):
+        clone = small_graph.copy()
+        assert clone.out_edges("a", "r") == ["e"]
+
+
+class TestBuilder:
+    def test_builder_chains(self):
+        graph = (
+            GraphBuilder()
+            .node("x", "X", p=1)
+            .nodes("Y", "y1", "y2")
+            .edge("x", "r", "y1")
+            .edge("x", "r", "y2", {"w": 2})
+            .prop("y1", "q", "val")
+            .graph()
+        )
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert graph.property_value("y1", "q") == "val"
+
+    def test_builder_generates_fresh_edge_ids(self):
+        graph = GraphBuilder().node("a", "A").edge("a", "r", "a").edge("a", "r", "a").graph()
+        assert graph.num_edges == 2
+
+    def test_builder_explicit_edge_id(self):
+        graph = GraphBuilder().node("a", "A").edge("a", "r", "a", edge_id="myedge").graph()
+        assert graph.label("myedge") == "r"

@@ -1,0 +1,72 @@
+"""Graph profiling statistics."""
+
+from repro.pg import GraphBuilder, PropertyGraph, profile_graph
+from repro.workloads import library_graph
+
+
+class TestProfile:
+    def test_empty_graph(self):
+        profile = profile_graph(PropertyGraph())
+        assert profile.num_nodes == 0
+        assert profile.num_edges == 0
+        assert profile.summary_lines() == ["nodes: 0, edges: 0"]
+
+    def test_label_histogram(self):
+        graph = GraphBuilder().nodes("A", "a1", "a2").nodes("B", "b1").graph()
+        profile = profile_graph(graph)
+        assert profile.node_labels["A"].count == 2
+        assert profile.node_labels["B"].count == 1
+
+    def test_property_coverage_and_kinds(self):
+        graph = (
+            GraphBuilder()
+            .node("a1", "A", x=1)
+            .node("a2", "A", x=2.5)
+            .node("a3", "A")
+            .graph()
+        )
+        prop = profile_graph(graph).node_labels["A"].properties["x"]
+        assert prop.count == 2
+        assert prop.distinct == 2
+        assert prop.kinds == {"Int", "Float"}
+        assert abs(prop.coverage(3) - 2 / 3) < 1e-9
+
+    def test_distinct_counts_type_strict(self):
+        graph = (
+            GraphBuilder()
+            .node("a1", "A", x=1)
+            .node("a2", "A", x=1)
+            .node("a3", "A", x=True)
+            .graph()
+        )
+        prop = profile_graph(graph).node_labels["A"].properties["x"]
+        assert prop.distinct == 2  # 1 twice, True once (type-strict)
+
+    def test_array_kind(self):
+        graph = GraphBuilder().node("a", "A", xs=[1, "two"]).graph()
+        prop = profile_graph(graph).node_labels["A"].properties["xs"]
+        assert prop.kinds == {"[Int/String]"}
+
+    def test_edge_statistics(self):
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "B")
+            .edge("a", "r", "b", {"w": 1.0})
+            .edge("a", "r", "b")
+            .edge("a", "r", "a")
+            .graph()
+        )
+        edge_profile = profile_graph(graph).edge_labels["r"]
+        assert edge_profile.count == 3
+        assert edge_profile.max_out_degree == 3
+        assert edge_profile.max_in_degree == 2
+        assert edge_profile.loops == 1
+        assert edge_profile.endpoint_pairs == {("A", "B"): 2, ("A", "A"): 1}
+        assert edge_profile.properties["w"].count == 1
+
+    def test_summary_mentions_everything(self):
+        graph = library_graph(3, 4, 1, 1, seed=0)
+        text = "\n".join(profile_graph(graph).summary_lines())
+        for token in ("Author", "Book", "published", "title", "max out-degree"):
+            assert token in text

@@ -1,0 +1,121 @@
+"""Property values: normalisation, signatures, type-strict equality."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.pg.values import (
+    is_array_value,
+    is_atomic_value,
+    is_property_value,
+    normalize_value,
+    value_signature,
+    values_equal,
+)
+
+atoms = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+values = st.one_of(atoms, st.lists(atoms, max_size=5).map(tuple))
+
+
+class TestAtomicValues:
+    def test_ints_are_atomic(self):
+        assert is_atomic_value(42)
+
+    def test_floats_are_atomic(self):
+        assert is_atomic_value(3.14)
+
+    def test_strings_are_atomic(self):
+        assert is_atomic_value("hello")
+
+    def test_bools_are_atomic(self):
+        assert is_atomic_value(True)
+
+    def test_none_is_not_atomic(self):
+        assert not is_atomic_value(None)
+
+    def test_tuple_is_not_atomic(self):
+        assert not is_atomic_value((1, 2))
+
+    def test_dict_is_not_a_value(self):
+        assert not is_property_value({"a": 1})
+
+
+class TestArrayValues:
+    def test_tuple_of_atoms_is_array(self):
+        assert is_array_value((1, "two", 3.0))
+
+    def test_empty_tuple_is_array(self):
+        assert is_array_value(())
+
+    def test_nested_tuple_is_not_array(self):
+        assert not is_array_value((1, (2,)))
+
+    def test_list_is_not_array_until_normalised(self):
+        assert not is_array_value([1, 2])
+        assert is_array_value(normalize_value([1, 2]))
+
+
+class TestNormalize:
+    def test_atoms_pass_through(self):
+        assert normalize_value(7) == 7
+
+    def test_lists_become_tuples(self):
+        assert normalize_value([1, 2]) == (1, 2)
+
+    def test_none_rejected(self):
+        with pytest.raises(GraphError):
+            normalize_value(None)
+
+    def test_nested_lists_rejected(self):
+        with pytest.raises(GraphError):
+            normalize_value([[1], [2]])
+
+    def test_dict_rejected(self):
+        with pytest.raises(GraphError):
+            normalize_value({"x": 1})
+
+
+class TestTypeStrictEquality:
+    def test_bool_not_equal_to_int(self):
+        assert not values_equal(True, 1)
+
+    def test_int_not_equal_to_float(self):
+        assert not values_equal(1, 1.0)
+
+    def test_equal_ints(self):
+        assert values_equal(5, 5)
+
+    def test_equal_arrays(self):
+        assert values_equal((1, 2), (1, 2))
+
+    def test_array_vs_atom(self):
+        assert not values_equal((1,), 1)
+
+    def test_arrays_of_different_length(self):
+        assert not values_equal((1,), (1, 2))
+
+    def test_array_elements_type_strict(self):
+        assert not values_equal((1,), (1.0,))
+
+
+class TestSignatures:
+    @given(values)
+    def test_signature_consistent_with_equality(self, value):
+        assert values_equal(value, value)
+        assert value_signature(value) == value_signature(value)
+
+    @given(values, values)
+    def test_signature_iff_equal(self, left, right):
+        assert (value_signature(left) == value_signature(right)) == values_equal(
+            left, right
+        )
+
+    @given(values)
+    def test_signature_hashable(self, value):
+        hash(value_signature(value))

@@ -1,0 +1,164 @@
+"""The SAT substrate: CNF, DIMACS, DPLL."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.sat import (
+    CNF,
+    is_satisfiable,
+    parse_dimacs,
+    pigeonhole,
+    random_3sat_at_ratio,
+    random_ksat,
+    solve,
+    to_dimacs,
+)
+
+
+def brute_force(cnf: CNF) -> bool:
+    return any(
+        cnf.evaluate(dict(zip(cnf.variables, bits)))
+        for bits in itertools.product([False, True], repeat=cnf.num_vars)
+    )
+
+
+class TestCNF:
+    def test_of_infers_num_vars(self):
+        cnf = CNF.of([[1, -3], [2]])
+        assert cnf.num_vars == 3
+        assert cnf.num_clauses == 2
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            CNF(2, ((1, 0),))
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(ValueError):
+            CNF(2, ((3,),))
+
+    def test_evaluate(self):
+        cnf = CNF.of([[1, 2], [-1]])
+        assert cnf.evaluate({1: False, 2: True})
+        assert not cnf.evaluate({1: True, 2: True})
+
+    def test_str(self):
+        assert str(CNF.of([[1, -2]])) == "(x1 ∨ ¬x2)"
+        assert str(CNF.of([])) == "⊤"
+
+
+class TestSolver:
+    def test_empty_formula_sat(self):
+        assert solve(CNF.of([])).satisfiable
+
+    def test_empty_clause_unsat(self):
+        assert not solve(CNF(1, ((),))).satisfiable
+
+    def test_unit_conflict(self):
+        assert not solve(CNF.of([[1], [-1]])).satisfiable
+
+    def test_simple_sat_with_model(self):
+        cnf = CNF.of([[1, 2], [-1, 2], [1, -2]])
+        result = solve(cnf)
+        assert result.satisfiable
+        assert cnf.evaluate(result.assignment)
+
+    def test_model_covers_all_variables(self):
+        result = solve(CNF.of([[1]], num_vars=5))
+        assert set(result.assignment) == {1, 2, 3, 4, 5}
+
+    def test_pigeonhole_unsat(self):
+        for holes in (2, 3, 4):
+            assert not solve(pigeonhole(holes)).satisfiable
+
+    def test_stats_populated(self):
+        result = solve(random_ksat(8, 34, seed=5))
+        stats = result.stats
+        assert stats.decisions >= 0 and stats.propagations >= 0
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_against_brute_force(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        cnf = random_ksat(6, rng.randint(4, 32), k=3, seed=seed)
+        result = solve(cnf)
+        assert result.satisfiable == brute_force(cnf)
+        if result.satisfiable:
+            assert cnf.evaluate(result.assignment)
+
+    @given(
+        num_vars=st.integers(min_value=1, max_value=7),
+        clause_count=st.integers(min_value=0, max_value=24),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_solver_sound_and_complete_property(self, num_vars, clause_count, seed):
+        k = min(3, num_vars)
+        cnf = random_ksat(num_vars, clause_count, k=k, seed=seed)
+        result = solve(cnf)
+        assert result.satisfiable == brute_force(cnf)
+
+    def test_is_satisfiable_wrapper(self):
+        assert is_satisfiable(CNF.of([[1]]))
+
+
+class TestGenerators:
+    def test_random_ksat_shape(self):
+        cnf = random_ksat(10, 42, k=3, seed=0)
+        assert cnf.num_clauses == 42
+        assert all(len(clause) == 3 for clause in cnf.clauses)
+        assert all(
+            len({abs(literal) for literal in clause}) == 3 for clause in cnf.clauses
+        )
+
+    def test_k_larger_than_vars_rejected(self):
+        with pytest.raises(ValueError):
+            random_ksat(2, 5, k=3)
+
+    def test_ratio_generator(self):
+        cnf = random_3sat_at_ratio(10, ratio=4.26, seed=0)
+        assert cnf.num_clauses == 43
+
+    def test_determinism(self):
+        assert random_ksat(8, 20, seed=7).clauses == random_ksat(8, 20, seed=7).clauses
+
+    def test_pigeonhole_shape(self):
+        cnf = pigeonhole(3)
+        assert cnf.num_vars == 12
+        assert cnf.num_clauses == 4 + 3 * 6
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        cnf = random_ksat(6, 14, seed=1)
+        assert parse_dimacs(to_dimacs(cnf)).clauses == cnf.clauses
+
+    def test_comments_and_blank_lines(self):
+        text = "c comment\n\np cnf 2 1\nc mid\n1 -2 0\n"
+        cnf = parse_dimacs(text)
+        assert cnf.num_vars == 2
+        assert cnf.clauses == ((1, -2),)
+
+    def test_clause_across_lines(self):
+        cnf = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert cnf.clauses == ((1, 2, 3),)
+
+    def test_headerless(self):
+        cnf = parse_dimacs("1 -2 0\n2 0")
+        assert cnf.num_vars == 2
+        assert cnf.num_clauses == 2
+
+    def test_bad_header(self):
+        with pytest.raises(ReproError):
+            parse_dimacs("p wrong 1 1\n1 0")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(ReproError):
+            parse_dimacs("p cnf 1 2\n1 0\n")
+
+    def test_comment_in_output(self):
+        assert to_dimacs(CNF.of([[1]]), comment="hi\nthere").startswith("c hi\nc there\n")

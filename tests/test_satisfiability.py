@@ -1,0 +1,210 @@
+"""Object-type satisfiability: Theorems 2 and 3, Example 6.1, §6.2."""
+
+import itertools
+
+import pytest
+
+from repro.pg import PropertyGraph
+from repro.sat import CNF, random_ksat, solve
+from repro.satisfiability import (
+    BoundedModelFinder,
+    SatisfiabilityChecker,
+    assignment_from_graph,
+    graph_from_assignment,
+    reduce_cnf_to_schema,
+)
+from repro.schema import parse_schema
+from repro.validation import validate
+from repro.workloads.paper_schemas import CORPUS
+
+
+class TestExample61:
+    """The paper's satisfiability examples."""
+
+    def test_diagram_a(self):
+        checker = SatisfiabilityChecker(CORPUS["example_6_1_a"].load())
+        assert not checker.is_satisfiable("OT1")
+        assert checker.is_satisfiable("OT2")
+        assert checker.is_satisfiable("OT3")
+
+    def test_diagram_a_has_no_finite_ot1_witness(self):
+        checker = SatisfiabilityChecker(CORPUS["example_6_1_a"].load())
+        result = checker.check_type_finite("OT1", max_nodes=4)
+        assert not result.satisfiable
+
+    def test_diagram_b_finite_infinite_divergence(self):
+        """The recorded reproduction finding: the ALCQI translation decides
+        *unrestricted* satisfiability, but Property Graphs are finite.  The
+        reconstruction of diagram (b) forces an infinite model for OT2."""
+        checker = SatisfiabilityChecker(CORPUS["diagram_b"].load())
+        verdict = checker.check_type("OT2")
+        assert verdict.tableau_satisfiable  # an infinite model exists
+        assert verdict.bounded is not None and not verdict.bounded.satisfiable
+        assert verdict.finitely_satisfiable is None  # unknown at the bound
+
+    def test_diagram_b_other_types(self):
+        checker = SatisfiabilityChecker(CORPUS["diagram_b"].load())
+        # OT1/OT3 are in the same infinite-chain trap as OT2
+        assert checker.is_satisfiable("OT1")
+        assert checker.is_satisfiable("OT3")
+
+    def test_diagram_c_unsat(self):
+        checker = SatisfiabilityChecker(CORPUS["diagram_c"].load())
+        verdict = checker.check_type("OT2")
+        assert not verdict.tableau_satisfiable
+        assert verdict.finitely_satisfiable is False
+        assert checker.is_satisfiable("OT1")
+        assert checker.is_satisfiable("OT3")
+
+
+class TestCorpusSatisfiability:
+    @pytest.mark.parametrize(
+        "name",
+        ["user_session_edge_props", "library", "food_union", "food_interface", "vehicles"],
+    )
+    def test_paper_example_schemas_fully_satisfiable(self, name):
+        checker = SatisfiabilityChecker(CORPUS[name].load())
+        report = checker.check_schema(find_witnesses=True)
+        assert report.sound, report.summary()
+        for verdict in report.types.values():
+            assert verdict.finitely_satisfiable is True
+            witness = verdict.witness
+            assert validate(checker.schema, witness).conforms
+
+    def test_field_satisfiability(self):
+        checker = SatisfiabilityChecker(CORPUS["library"].load())
+        assert checker.check_field("Book", "author")
+        assert checker.check_field("Author", "favoriteBook")
+        with pytest.raises(ValueError):
+            checker.check_field("Book", "title")  # attribute, not an edge
+
+    def test_unpopulatable_field(self):
+        schema = parse_schema(
+            """
+            interface Lonely { x: Int }
+            type T { toLonely: [Lonely] }
+            """
+        )
+        checker = SatisfiabilityChecker(schema)
+        assert checker.is_satisfiable("T")
+        assert not checker.check_field("T", "toLonely")
+        report = checker.check_schema()
+        assert report.unsatisfiable_fields == [("T", "toLonely")]
+        assert not report.sound
+
+
+class TestBoundedFinder:
+    def test_minimal_witness_size(self):
+        schema = CORPUS["user_session_edge_props"].load()
+        finder = BoundedModelFinder(schema)
+        result = finder.find_model("UserSession", max_nodes=3)
+        assert result.satisfiable
+        # a session needs a user: minimal witness has exactly 2 nodes
+        assert result.witness.num_nodes == 2
+        assert validate(schema, result.witness).conforms
+
+    def test_witness_fills_required_properties(self):
+        schema = CORPUS["user_session_edge_props"].load()
+        result = BoundedModelFinder(schema).find_model("User", max_nodes=2)
+        witness = result.witness
+        user = next(iter(witness.nodes_with_label("User")))
+        assert witness.has_property(user, "id")
+        assert witness.has_property(user, "login")
+
+    def test_witness_fills_mandatory_edge_properties(self):
+        schema = CORPUS["user_session_edge_props"].load()
+        result = BoundedModelFinder(schema).find_model("UserSession", max_nodes=3)
+        edge = next(iter(result.witness.edges))
+        assert result.witness.has_property(edge, "certainty")
+
+    def test_unknown_type_unsatisfiable(self):
+        finder = BoundedModelFinder(CORPUS["library"].load())
+        assert not finder.find_model("Ghost", max_nodes=2).satisfiable
+
+    def test_respects_unique_for_target(self):
+        # Publisher requires nothing; Book needs author + publisher
+        schema = CORPUS["library"].load()
+        result = BoundedModelFinder(schema).find_model("Book", max_nodes=4)
+        assert result.satisfiable
+        assert validate(schema, result.witness).conforms
+
+
+class TestReduction:
+    def test_construction_shape(self):
+        cnf = CNF.of([[1, -2], [2]])
+        reduction = reduce_cnf_to_schema(cnf)
+        schema = reduction.schema
+        assert "OTphi" in schema.object_types
+        assert "Clause_0" in schema.interface_types
+        assert "Clause_1" in schema.interface_types
+        # occurrence types implement their clause interfaces
+        assert "Lit_0_0" in schema.implementation("Clause_0")
+        # literal 1 (clause 0 pos 0) conflicts with literal -2? no;
+        # literal -2 (clause 0 pos 1) conflicts with literal 2 (clause 1 pos 0)
+        conflicts = [name for name in schema.interface_types if name.startswith("Conflict")]
+        assert conflicts == ["Conflict_0_1__1_0"]
+
+    def test_schema_is_consistent(self):
+        from repro.schema import is_consistent
+
+        cnf = random_ksat(3, 5, seed=0)
+        assert is_consistent(reduce_cnf_to_schema(cnf).schema)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equivalence_with_dpll(self, seed):
+        cnf = random_ksat(3, 5 + seed, k=3, seed=seed)
+        dpll = solve(cnf)
+        reduction = reduce_cnf_to_schema(cnf)
+        checker = SatisfiabilityChecker(reduction.schema, bounded_max_nodes=0)
+        assert checker.is_satisfiable(reduction.anchor) == dpll.satisfiable
+
+    def test_unsatisfiable_instance(self):
+        cnf = CNF.of([[1], [-1]])
+        reduction = reduce_cnf_to_schema(cnf)
+        checker = SatisfiabilityChecker(reduction.schema, bounded_max_nodes=0)
+        assert not checker.is_satisfiable(reduction.anchor)
+
+    def test_witness_round_trip(self):
+        cnf = random_ksat(4, 10, seed=3)
+        dpll = solve(cnf)
+        assert dpll.satisfiable
+        reduction = reduce_cnf_to_schema(cnf)
+        witness = graph_from_assignment(reduction, dpll.assignment)
+        report = validate(reduction.schema, witness)
+        assert report.conforms, report.summary()
+        recovered = assignment_from_graph(reduction, witness)
+        assert cnf.evaluate(recovered)
+
+    def test_invalid_assignment_gives_invalid_graph(self):
+        cnf = CNF.of([[1], [2]])
+        reduction = reduce_cnf_to_schema(cnf)
+        bad = graph_from_assignment(reduction, {1: True, 2: False})
+        assert not validate(reduction.schema, bad).conforms
+
+    def test_all_assignments_brute_force(self):
+        cnf = CNF.of([[1, 2], [-1, -2], [1, -2]])
+        reduction = reduce_cnf_to_schema(cnf)
+        for bits in itertools.product([False, True], repeat=2):
+            assignment = dict(zip([1, 2], bits))
+            graph = graph_from_assignment(reduction, assignment)
+            assert validate(reduction.schema, graph).conforms == cnf.evaluate(assignment)
+
+
+class TestCheckerMisc:
+    def test_unknown_object_type(self):
+        checker = SatisfiabilityChecker(CORPUS["library"].load())
+        result = checker.check_type_finite("NoSuchType")
+        assert not result.satisfiable
+
+    def test_report_summary_strings(self):
+        good = SatisfiabilityChecker(CORPUS["library"].load()).check_schema()
+        assert "sound" in good.summary()
+        bad = SatisfiabilityChecker(CORPUS["diagram_c"].load()).check_schema()
+        assert "OT2" in bad.summary()
+
+    def test_empty_graph_never_witnesses(self):
+        # the witness must contain a node of the queried type
+        checker = SatisfiabilityChecker(CORPUS["library"].load())
+        verdict = checker.check_type("Author")
+        assert verdict.witness is not None
+        assert verdict.witness.nodes_with_label("Author")

@@ -1,0 +1,157 @@
+"""Schema building: interpretation of SDL plus §3.6's ignored features."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import parse_schema, print_schema
+from repro.workloads.paper_schemas import CORPUS
+
+
+class TestBasicBuilding:
+    def test_minimal(self):
+        schema = parse_schema("type T { x: Int }")
+        assert set(schema.object_types) == {"T"}
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            parse_schema("type T { x: Int }\ntype T { y: Int }")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate field"):
+            parse_schema("type T { x: Int x: Int }")
+
+    def test_duplicate_argument_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate argument"):
+            parse_schema("type B { y: Int }\ntype T { r(a: Int a: Int): B }")
+
+    def test_unknown_field_type_rejected(self):
+        with pytest.raises(SchemaError, match="unknown type"):
+            parse_schema("type T { x: Mystery }")
+
+    def test_unknown_interface_rejected(self):
+        with pytest.raises(SchemaError, match="unknown interface"):
+            parse_schema("type T implements Ghost { x: Int }")
+
+    def test_union_member_must_be_object(self):
+        with pytest.raises(SchemaError, match="not an object type"):
+            parse_schema("union U = Int\ntype T { x: Int }")
+
+    def test_empty_enum_rejected(self):
+        with pytest.raises(SchemaError, match="no values"):
+            parse_schema("enum E { }\ntype T { x: Int }")
+
+    def test_nested_list_field_rejected(self):
+        with pytest.raises(SchemaError, match="admissible wrappings"):
+            parse_schema("type T { xs: [[Int]] }")
+
+    def test_input_type_as_field_type_rejected(self):
+        with pytest.raises(SchemaError, match="input type"):
+            parse_schema("input P { x: Int }\ntype T { p: P }")
+
+
+class TestIgnoredFeatures:
+    """Section 3.6: unusable SDL features are ignored, with warnings."""
+
+    def test_root_types_from_schema_block_dropped(self):
+        schema = parse_schema(CORPUS["figure_1"].sdl)
+        assert "Query" not in schema.object_types
+        assert any("root operation type Query" in w for w in schema.warnings)
+
+    def test_conventional_root_names_dropped_without_block(self):
+        schema = parse_schema("type Query { x: Int }\ntype T { y: Int }")
+        assert "Query" not in schema.object_types
+        assert set(schema.object_types) == {"T"}
+
+    def test_conventional_name_kept_when_block_names_other(self):
+        schema = parse_schema(
+            "type Query { x: Int }\ntype Root { q: Query }\nschema { query: Root }"
+        )
+        assert "Query" in schema.object_types
+        assert "Root" not in schema.object_types
+
+    def test_fields_referencing_root_types_dropped(self):
+        schema = parse_schema(
+            "type Query { x: Int }\ntype T { q: Query y: Int }"
+        )
+        assert schema.fields("T") == ("y",)
+        assert any("references a root operation type" in w for w in schema.warnings)
+
+    def test_attribute_arguments_ignored(self):
+        schema = parse_schema("type T { len(unit: String): Float }")
+        assert schema.args("T", "len") == ()
+        assert any("attribute definition" in w for w in schema.warnings)
+
+    def test_non_scalar_arguments_ignored(self):
+        schema = parse_schema(
+            "input Opts { x: Int }\ntype B { y: Int }\ntype T { r(o: Opts w: Float): B }"
+        )
+        assert schema.args("T", "r") == ("w",)
+        assert any("non-scalar type" in w for w in schema.warnings)
+
+    def test_object_typed_arguments_ignored(self):
+        schema = parse_schema("type B { y: Int }\ntype T { r(other: B): B }")
+        assert schema.args("T", "r") == ()
+
+    def test_unknown_directives_ignored(self):
+        schema = parse_schema("type T { x: Int @frobnicate }")
+        assert schema.directives_f("T", "x") == ()
+        assert any("unknown directive" in w for w in schema.warnings)
+
+    def test_input_types_ignored(self):
+        schema = parse_schema("input P { x: Int }\ntype T { y: Int }")
+        assert "P" not in schema.type_names
+        assert any("input type P" in w for w in schema.warnings)
+
+    def test_key_on_field_ignored(self):
+        schema = parse_schema('type T { x: Int @key(fields: ["x"]) }')
+        assert schema.directives_f("T", "x") == ()
+
+    def test_field_directive_on_type_ignored(self):
+        schema = parse_schema("type T @required { x: Int }")
+        assert schema.directives_t("T") == ()
+
+
+class TestDirectiveSpellings:
+    def test_noloops_aliases(self):
+        lower = parse_schema("type T { r: [T] @noloops }")
+        camel = parse_schema("type T { r: [T] @noLoops }")
+        assert lower.has_field_directive("T", "r", "noLoops")
+        assert camel.has_field_directive("T", "r", "noLoops")
+
+    def test_redefining_standard_directive_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate directive"):
+            parse_schema("directive @required on OBJECT\ntype T { x: Int }")
+
+
+class TestCustomScalars:
+    def test_custom_scalar_predicate(self):
+        schema = parse_schema(
+            "scalar Even\ntype T { x: Even }",
+            scalar_predicates={"Even": lambda v: isinstance(v, int) and v % 2 == 0},
+        )
+        assert schema.scalars.in_values(2, "Even")
+        assert not schema.scalars.in_values(3, "Even")
+
+
+class TestSchemaPrinter:
+    @pytest.mark.parametrize(
+        "name", [name for name, entry in CORPUS.items() if entry.consistent]
+    )
+    def test_print_parse_fixpoint(self, name):
+        schema = parse_schema(CORPUS[name].sdl)
+        printed = print_schema(schema)
+        reparsed = parse_schema(printed)
+        assert set(reparsed.object_types) == set(schema.object_types)
+        assert set(reparsed.interface_types) == set(schema.interface_types)
+        assert set(reparsed.union_types) == set(schema.union_types)
+        for type_name in schema.object_types:
+            assert reparsed.fields(type_name) == schema.fields(type_name)
+            for field_name in schema.fields(type_name):
+                assert reparsed.type_f(type_name, field_name) == schema.type_f(
+                    type_name, field_name
+                )
+                assert reparsed.directives_f(type_name, field_name) == schema.directives_f(
+                    type_name, field_name
+                )
+        # printing the reparsed schema is a fixpoint
+        assert print_schema(reparsed) == printed

@@ -1,0 +1,140 @@
+"""Schema consistency (Definitions 4.3-4.5)."""
+
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.schema import (
+    consistency_errors,
+    directives_consistency_errors,
+    interface_consistency_errors,
+    is_consistent,
+    parse_schema,
+)
+from repro.workloads.paper_schemas import CORPUS
+
+
+class TestInterfaceConsistency:
+    def test_conforming_implementation(self):
+        schema = parse_schema(CORPUS["food_interface"].sdl)
+        assert interface_consistency_errors(schema) == []
+
+    def test_missing_field(self):
+        with pytest.raises(ConsistencyError, match="lacks interface field"):
+            parse_schema("interface I { x: Int }\ntype T implements I { y: Int }")
+
+    def test_incompatible_field_type(self):
+        with pytest.raises(ConsistencyError, match="not a subtype"):
+            parse_schema("interface I { x: Int }\ntype T implements I { x: String }")
+
+    def test_covariant_field_type_allowed(self):
+        schema = parse_schema(
+            """
+            interface Food { self: Food }
+            type Pizza implements Food { self: Pizza }
+            """
+        )
+        assert is_consistent(schema)
+
+    def test_non_null_refinement_allowed(self):
+        schema = parse_schema(
+            "interface I { x: Int }\ntype T implements I { x: Int! }"
+        )
+        assert is_consistent(schema)
+
+    def test_list_vs_named_is_inconsistent(self):
+        # the Example 6.1 phenomenon: [OT1] is not a subtype of OT1
+        schema = parse_schema(CORPUS["example_6_1_a"].sdl, check=False)
+        errors = interface_consistency_errors(schema)
+        assert len(errors) == 2
+        assert all("not a subtype" in error for error in errors)
+
+    def test_missing_interface_argument(self):
+        with pytest.raises(ConsistencyError, match="lacks argument"):
+            parse_schema(
+                """
+                type B { x: Int }
+                interface I { rel(a: Int): B }
+                type T implements I { rel: B }
+                """
+            )
+
+    def test_argument_type_must_match_exactly(self):
+        with pytest.raises(ConsistencyError, match="expected exactly"):
+            parse_schema(
+                """
+                type B { x: Int }
+                interface I { rel(a: Int): B }
+                type T implements I { rel(a: Int!): B }
+                """
+            )
+
+    def test_extra_argument_must_be_nullable(self):
+        with pytest.raises(ConsistencyError, match="must not be non-null"):
+            parse_schema(
+                """
+                type B { x: Int }
+                interface I { rel(a: Int): B }
+                type T implements I { rel(a: Int extra: Float!): B }
+                """
+            )
+
+    def test_extra_nullable_argument_allowed(self):
+        schema = parse_schema(
+            """
+            type B { x: Int }
+            interface I { rel(a: Int): B }
+            type T implements I { rel(a: Int extra: Float): B }
+            """
+        )
+        assert is_consistent(schema)
+
+
+class TestDirectivesConsistency:
+    def test_key_requires_fields_argument(self):
+        with pytest.raises(ConsistencyError, match="lacks required argument"):
+            parse_schema("type T @key { id: ID }")
+
+    def test_key_fields_must_be_string_list(self):
+        with pytest.raises(ConsistencyError, match="is not a value"):
+            parse_schema("type T @key(fields: 3) { id: ID }")
+
+    def test_key_fields_elements_must_be_strings(self):
+        with pytest.raises(ConsistencyError, match="is not a value"):
+            parse_schema("type T @key(fields: [3]) { id: ID }")
+
+    def test_undefined_argument_rejected(self):
+        with pytest.raises(ConsistencyError, match="undefined argument"):
+            parse_schema('type T @key(fields: ["id"] bogus: 1) { id: ID }')
+
+    def test_argless_directive_with_argument(self):
+        with pytest.raises(ConsistencyError, match="undefined argument"):
+            parse_schema("type T { x: Int @required(level: 3) }")
+
+    def test_user_defined_directive_checked(self):
+        with pytest.raises(ConsistencyError, match="lacks required argument"):
+            parse_schema(
+                "directive @limit(n: Int!) on FIELD_DEFINITION\n"
+                "type T { x: Int @limit }"
+            )
+
+    def test_user_defined_directive_valid_use(self):
+        schema = parse_schema(
+            "directive @limit(n: Int!) on FIELD_DEFINITION\n"
+            "type T { x: Int @limit(n: 3) }"
+        )
+        assert directives_consistency_errors(schema) == []
+
+
+class TestCorpusConsistency:
+    @pytest.mark.parametrize(
+        "name", [name for name, entry in CORPUS.items() if entry.consistent]
+    )
+    def test_consistent_corpus_entries(self, name):
+        assert is_consistent(parse_schema(CORPUS[name].sdl))
+
+    def test_example_6_1_a_is_flagged(self):
+        # recorded reproduction finding: the paper's own example violates
+        # its own Definition 4.3
+        schema = parse_schema(CORPUS["example_6_1_a"].sdl, check=False)
+        assert not is_consistent(schema)
+        assert consistency_errors(schema)

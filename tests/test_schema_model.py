@@ -1,0 +1,145 @@
+"""The formal schema model and its accessors (Definition 4.1)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import FieldKind, TypeRef, parse_schema
+from repro.workloads.paper_schemas import CORPUS
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(CORPUS["user_session_edge_props"].sdl)
+
+
+class TestTypeSets:
+    def test_type_names(self, schema):
+        names = schema.type_names
+        assert {"UserSession", "User", "Time", "Int", "String"} <= names
+
+    def test_field_names(self, schema):
+        assert {"id", "user", "startTime", "endTime", "login", "nicknames"} == set(
+            schema.field_names
+        )
+
+    def test_kind_predicates(self, schema):
+        assert schema.is_object_type("User")
+        assert not schema.is_object_type("Time")
+        assert schema.is_scalar_type("Time")
+        assert schema.is_scalar_type("Int")
+        assert schema.is_composite_type("User")
+        assert not schema.is_union_type("User")
+
+
+class TestTypeF:
+    def test_attribute_types(self, schema):
+        assert schema.type_f("User", "login") == TypeRef.parse("String!")
+        assert schema.type_f("User", "nicknames") == TypeRef.parse("[String!]!")
+
+    def test_relationship_types(self, schema):
+        assert schema.type_f("UserSession", "user") == TypeRef.parse("User!")
+
+    def test_undefined_points_are_none(self, schema):
+        assert schema.type_f("User", "nope") is None
+        assert schema.type_f("Nope", "login") is None
+
+    def test_fields_function(self, schema):
+        assert set(schema.fields("UserSession")) == {"id", "user", "startTime", "endTime"}
+
+    def test_fields_on_unknown_type_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.fields("Nope")
+
+
+class TestTypeAF:
+    def test_argument_types(self, schema):
+        assert schema.type_af("UserSession", "user", "certainty") == TypeRef.parse(
+            "Float!"
+        )
+        assert schema.type_af("UserSession", "user", "comment") == TypeRef.parse(
+            "String"
+        )
+
+    def test_args_function(self, schema):
+        assert schema.args("UserSession", "user") == ("certainty", "comment")
+        assert schema.args("User", "login") == ()
+        assert schema.args("Nope", "x") == ()
+
+    def test_undefined_argument(self, schema):
+        assert schema.type_af("UserSession", "user", "nope") is None
+
+
+class TestTypeAD:
+    def test_standard_key_directive(self, schema):
+        assert schema.type_ad("key", "fields") == TypeRef.parse("[String!]!")
+
+    def test_argless_directives(self, schema):
+        assert schema.type_ad("required", "anything") is None
+
+    def test_unknown_directive(self, schema):
+        assert schema.type_ad("nope", "x") is None
+
+
+class TestFieldClassification:
+    def test_attribute_vs_relationship(self, schema):
+        assert schema.field("User", "login").kind is FieldKind.ATTRIBUTE
+        assert schema.field("UserSession", "user").kind is FieldKind.RELATIONSHIP
+
+    def test_enum_fields_are_attributes(self):
+        s = parse_schema("enum E { A B }\ntype T { e: E }")
+        assert s.field("T", "e").is_attribute
+
+    def test_union_fields_are_relationships(self):
+        s = parse_schema("type A { x: Int }\nunion U = A\ntype T { u: U }")
+        assert s.field("T", "u").is_relationship
+
+
+class TestUnionsAndInterfaces:
+    def test_union_members(self):
+        s = parse_schema(CORPUS["food_union"].sdl)
+        assert s.union("Food") == {"Pizza", "Pasta"}
+        with pytest.raises(SchemaError):
+            s.union("Pizza")
+
+    def test_implementation(self):
+        s = parse_schema(CORPUS["food_interface"].sdl)
+        assert s.implementation("Food") == {"Pizza", "Pasta"}
+        with pytest.raises(SchemaError):
+            s.implementation("Pizza")
+
+    def test_object_types_below(self):
+        s = parse_schema(CORPUS["food_union"].sdl)
+        assert s.object_types_below("Food") == {"Pizza", "Pasta"}
+        assert s.object_types_below("Pizza") == {"Pizza"}
+        assert s.object_types_below("String") == frozenset()
+
+
+class TestDirectives:
+    def test_keys_on_type(self, schema):
+        assert schema.object_types["User"].keys == (("id",), ("login",))
+
+    def test_directives_f(self, schema):
+        names = [d.name for d in schema.directives_f("UserSession", "user")]
+        assert names == ["required"]
+        assert schema.has_field_directive("UserSession", "user", "required")
+        assert not schema.has_field_directive("UserSession", "endTime", "required")
+
+    def test_directives_t_on_unknown_type(self, schema):
+        assert schema.directives_t("Nope") == ()
+
+    def test_applied_directive_helpers(self, schema):
+        directive = schema.directives_t("User")[0]
+        assert directive.name == "key"
+        assert directive.argument("fields") == ("id",)
+        assert directive.argument("missing", "dflt") == "dflt"
+        assert directive.argument_names == ("fields",)
+
+
+class TestFieldDeclarations:
+    def test_declaration_listing(self, schema):
+        declared = {
+            (type_name, field_name)
+            for type_name, field_name, _field in schema.field_declarations()
+        }
+        assert ("UserSession", "user") in declared
+        assert ("User", "nicknames") in declared

@@ -1,0 +1,148 @@
+"""Scalar value domains and values_W (§4.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.schema import ScalarRegistry, TypeRef
+
+
+@pytest.fixture
+def registry() -> ScalarRegistry:
+    reg = ScalarRegistry()
+    reg.register_scalar("Time")
+    reg.register_enum("Color", ["RED", "GREEN"])
+    return reg
+
+
+class TestBuiltinDomains:
+    def test_int_range(self, registry):
+        assert registry.in_values(0, "Int")
+        assert registry.in_values(2**31 - 1, "Int")
+        assert not registry.in_values(2**31, "Int")
+        assert not registry.in_values(-(2**31) - 1, "Int")
+
+    def test_int_rejects_bool_and_float(self, registry):
+        assert not registry.in_values(True, "Int")
+        assert not registry.in_values(1.0, "Int")
+
+    def test_float_accepts_ints(self, registry):
+        assert registry.in_values(1, "Float")
+        assert registry.in_values(1.5, "Float")
+
+    def test_float_rejects_nan_and_inf(self, registry):
+        assert not registry.in_values(float("nan"), "Float")
+        assert not registry.in_values(float("inf"), "Float")
+
+    def test_string(self, registry):
+        assert registry.in_values("x", "String")
+        assert not registry.in_values(1, "String")
+
+    def test_boolean(self, registry):
+        assert registry.in_values(False, "Boolean")
+        assert not registry.in_values(0, "Boolean")
+
+    def test_id_accepts_strings_and_ints(self, registry):
+        assert registry.in_values("abc", "ID")
+        assert registry.in_values(42, "ID")
+        assert not registry.in_values(True, "ID")
+        assert not registry.in_values(1.5, "ID")
+
+    def test_null_never_in_values(self, registry):
+        for name in ("Int", "Float", "String", "Boolean", "ID"):
+            assert not registry.in_values(None, name)
+
+
+class TestCustomAndEnum:
+    def test_custom_scalar_accepts_atoms(self, registry):
+        assert registry.in_values("12:30", "Time")
+        assert registry.in_values(5, "Time")
+
+    def test_custom_scalar_rejects_arrays(self, registry):
+        assert not registry.in_values((1, 2), "Time")
+
+    def test_custom_predicate(self):
+        reg = ScalarRegistry()
+        reg.register_scalar("Even", lambda v: isinstance(v, int) and v % 2 == 0)
+        assert reg.in_values(4, "Even")
+        assert not reg.in_values(3, "Even")
+
+    def test_enum_values(self, registry):
+        assert registry.in_values("RED", "Color")
+        assert not registry.in_values("BLUE", "Color")
+        assert not registry.in_values(1, "Color")
+        assert registry.enum_values("Color") == {"RED", "GREEN"}
+
+    def test_duplicate_registration_rejected(self, registry):
+        with pytest.raises(SchemaError):
+            registry.register_scalar("Time")
+        with pytest.raises(SchemaError):
+            registry.register_enum("Color", ["X"])
+
+    def test_empty_enum_rejected(self):
+        with pytest.raises(SchemaError):
+            ScalarRegistry().register_enum("E", [])
+
+    def test_unknown_scalar_raises(self, registry):
+        with pytest.raises(SchemaError):
+            registry.in_values(1, "NoSuchScalar")
+        with pytest.raises(SchemaError):
+            registry.enum_values("Time")
+
+    def test_names_views(self, registry):
+        assert "Int" in registry.names
+        assert registry.custom_names == {"Time", "Color"}
+        assert registry.is_builtin("Int") and not registry.is_builtin("Time")
+
+
+class TestValuesW:
+    """The recursive definition of values_W (three clauses of §4.1)."""
+
+    def test_plain_scalar_includes_null(self, registry):
+        assert registry.in_values_w(None, TypeRef.parse("Int"))
+        assert registry.in_values_w(3, TypeRef.parse("Int"))
+
+    def test_non_null_excludes_null(self, registry):
+        assert not registry.in_values_w(None, TypeRef.parse("Int!"))
+        assert registry.in_values_w(3, TypeRef.parse("Int!"))
+
+    def test_list_type_takes_lists(self, registry):
+        assert registry.in_values_w((1, 2), TypeRef.parse("[Int]"))
+        assert registry.in_values_w((), TypeRef.parse("[Int]"))
+        assert not registry.in_values_w(1, TypeRef.parse("[Int]"))
+
+    def test_list_nullability(self, registry):
+        assert registry.in_values_w(None, TypeRef.parse("[Int]"))
+        assert not registry.in_values_w(None, TypeRef.parse("[Int]!"))
+        assert registry.in_values_w((1,), TypeRef.parse("[Int!]!"))
+
+    def test_inner_elements_checked(self, registry):
+        assert not registry.in_values_w((1, "two"), TypeRef.parse("[Int]"))
+        assert not registry.in_values_w(("RED", "BLUE"), TypeRef.parse("[Color]"))
+        assert registry.in_values_w(("RED",), TypeRef.parse("[Color!]"))
+
+    def test_values_w_requires_scalar_base(self, registry):
+        with pytest.raises(SchemaError):
+            registry.in_values_w(1, TypeRef.parse("SomeObject"))
+
+    @given(
+        st.one_of(
+            st.integers(min_value=-(2**31), max_value=2**31 - 1),
+            st.text(max_size=5),
+            st.booleans(),
+            st.floats(allow_nan=False, allow_infinity=False),
+        )
+    )
+    def test_non_null_agrees_with_plain_on_non_null_values(self, value):
+        reg = ScalarRegistry()
+        for scalar in ("Int", "Float", "String", "Boolean", "ID"):
+            plain = reg.in_values_w(value, TypeRef.parse(scalar))
+            non_null = reg.in_values_w(value, TypeRef.parse(f"{scalar}!"))
+            assert plain == non_null
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=5).map(tuple))
+    def test_list_membership_is_elementwise(self, items):
+        reg = ScalarRegistry()
+        assert reg.in_values_w(items, TypeRef.parse("[Int]"))
+        assert reg.in_values_w(items, TypeRef.parse("[Int!]"))

@@ -1,0 +1,85 @@
+"""The subtype relation ⊑_S (§4.3, rules 1-7)."""
+
+import pytest
+
+from repro.schema import TypeRef, is_named_subtype, is_subtype, label_conforms, parse_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(
+        """
+        interface Food { name: String! }
+        type Pizza implements Food { name: String! }
+        type Pasta implements Food { name: String! }
+        union Lunch = Pizza | Pasta
+        type Person { favoriteFood: Food }
+        """
+    )
+
+
+class TestNamedRules:
+    def test_rule_1_reflexive(self, schema):
+        assert is_named_subtype(schema, "Pizza", "Pizza")
+        assert is_named_subtype(schema, "Food", "Food")
+
+    def test_rule_2_implementation(self, schema):
+        assert is_named_subtype(schema, "Pizza", "Food")
+        assert is_named_subtype(schema, "Pasta", "Food")
+        assert not is_named_subtype(schema, "Person", "Food")
+
+    def test_rule_3_union(self, schema):
+        assert is_named_subtype(schema, "Pizza", "Lunch")
+        assert not is_named_subtype(schema, "Person", "Lunch")
+
+    def test_not_symmetric(self, schema):
+        assert not is_named_subtype(schema, "Food", "Pizza")
+        assert not is_named_subtype(schema, "Lunch", "Pizza")
+
+    def test_unknown_labels_only_reflexive(self, schema):
+        assert is_named_subtype(schema, "Mystery", "Mystery")
+        assert not is_named_subtype(schema, "Mystery", "Food")
+
+
+class TestWrappingRules:
+    def test_rule_4_lists_covariant(self, schema):
+        assert is_subtype(schema, TypeRef.parse("[Pizza]"), TypeRef.parse("[Food]"))
+        assert not is_subtype(schema, TypeRef.parse("[Food]"), TypeRef.parse("[Pizza]"))
+
+    def test_rule_5_element_into_list(self, schema):
+        assert is_subtype(schema, "Pizza", TypeRef.parse("[Food]"))
+        assert is_subtype(schema, "Pizza", TypeRef.parse("[Pizza]"))
+
+    def test_rule_6_non_null_weakens(self, schema):
+        assert is_subtype(schema, TypeRef.parse("Pizza!"), "Food")
+        assert is_subtype(schema, TypeRef.parse("Pizza!"), TypeRef.parse("[Food]"))
+
+    def test_rule_7_non_null_both_sides(self, schema):
+        assert is_subtype(schema, TypeRef.parse("Pizza!"), TypeRef.parse("Food!"))
+        assert is_subtype(schema, TypeRef.parse("[Pizza!]!"), TypeRef.parse("[Food!]!"))
+
+    def test_unwrapped_never_below_non_null(self, schema):
+        # no rule derives t ⊑ s! for unwrapped t
+        assert not is_subtype(schema, "Pizza", TypeRef.parse("Food!"))
+        assert not is_subtype(schema, "Pizza", TypeRef.parse("Pizza!"))
+
+    def test_list_never_below_named(self, schema):
+        # the reason Example 6.1 is interface-inconsistent as printed
+        assert not is_subtype(schema, TypeRef.parse("[Pizza]"), "Pizza")
+        assert not is_subtype(schema, TypeRef.parse("[Pizza]"), "Food")
+
+    def test_mixed_nesting(self, schema):
+        assert is_subtype(schema, TypeRef.parse("[Pizza!]"), TypeRef.parse("[Food]"))
+        assert is_subtype(schema, TypeRef.parse("Pizza!"), TypeRef.parse("[Food!]"))
+        assert not is_subtype(schema, TypeRef.parse("[Pizza]"), TypeRef.parse("[Food!]"))
+
+
+class TestLabelConforms:
+    def test_basetype_comparison(self, schema):
+        # DS3/DS4 compare node labels against basetype(type_S(t, f))
+        assert label_conforms(schema, "Pizza", TypeRef.parse("[Food]"))
+        assert label_conforms(schema, "Pizza", TypeRef.parse("Food!"))
+        assert not label_conforms(schema, "Person", TypeRef.parse("Food!"))
+
+    def test_string_declared_type(self, schema):
+        assert label_conforms(schema, "Pizza", "Food")

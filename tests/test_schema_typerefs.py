@@ -1,0 +1,71 @@
+"""Type references and the paper's admissible wrappings (§4.1)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import TypeRef, all_wrappings
+from repro.sdl.parser import parse_type
+
+
+class TestConstruction:
+    def test_named(self):
+        ref = TypeRef.named("T")
+        assert not ref.is_wrapped
+        assert ref.basetype == "T"
+
+    def test_non_null(self):
+        ref = TypeRef.non_null_of("T")
+        assert ref.non_null and not ref.is_list
+
+    def test_list_variants(self):
+        assert str(TypeRef.list_of("T")) == "[T]"
+        assert str(TypeRef.list_of("T", inner_non_null=True)) == "[T!]"
+        assert str(TypeRef.list_of("T", non_null=True)) == "[T]!"
+        assert str(TypeRef.list_of("T", inner_non_null=True, non_null=True)) == "[T!]!"
+
+    def test_inner_non_null_requires_list(self):
+        with pytest.raises(SchemaError):
+            TypeRef("T", inner_non_null=True)
+
+
+class TestParsing:
+    @pytest.mark.parametrize("text", ["T", "T!", "[T]", "[T!]", "[T]!", "[T!]!"])
+    def test_admissible_shapes_parse(self, text):
+        assert str(TypeRef.parse(text)) == text
+
+    @pytest.mark.parametrize("text", ["[[T]]", "[[T]!]", "[[T!]!]!"])
+    def test_nested_lists_rejected(self, text):
+        with pytest.raises(SchemaError):
+            TypeRef.parse(text)
+
+    def test_from_ast_matches_parse(self):
+        assert TypeRef.from_ast(parse_type("[ID!]!")) == TypeRef.parse("[ID!]!")
+
+
+class TestAstRoundTrip:
+    @pytest.mark.parametrize("text", ["T", "T!", "[T]", "[T!]", "[T]!", "[T!]!"])
+    def test_to_ast_round_trips(self, text):
+        ref = TypeRef.parse(text)
+        assert TypeRef.from_ast(ref.to_ast()) == ref
+
+
+class TestHelpers:
+    def test_unwrap_non_null(self):
+        assert TypeRef.parse("[T!]!").unwrap_non_null() == TypeRef.parse("[T!]")
+        assert TypeRef.parse("T").unwrap_non_null() == TypeRef.parse("T")
+
+    def test_all_wrappings_has_six_shapes(self):
+        shapes = all_wrappings("T")
+        assert len(shapes) == 6
+        assert len(set(shapes)) == 6
+        assert {str(shape) for shape in shapes} == {
+            "T",
+            "T!",
+            "[T]",
+            "[T!]",
+            "[T]!",
+            "[T!]!",
+        }
+
+    def test_basetype_is_stable_under_wrapping(self):
+        assert all(shape.basetype == "T" for shape in all_wrappings("T"))

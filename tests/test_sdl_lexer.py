@@ -1,0 +1,176 @@
+"""The GraphQL lexer (spec §2: lexical grammar)."""
+
+import pytest
+
+from repro.errors import SDLSyntaxError
+from repro.sdl import TokenKind, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestPunctuators:
+    def test_all_single_punctuators(self):
+        source = "! $ ( ) : = @ [ ] { } | &"
+        expected = [
+            TokenKind.BANG,
+            TokenKind.DOLLAR,
+            TokenKind.PAREN_L,
+            TokenKind.PAREN_R,
+            TokenKind.COLON,
+            TokenKind.EQUALS,
+            TokenKind.AT,
+            TokenKind.BRACKET_L,
+            TokenKind.BRACKET_R,
+            TokenKind.BRACE_L,
+            TokenKind.BRACE_R,
+            TokenKind.PIPE,
+            TokenKind.AMP,
+            TokenKind.EOF,
+        ]
+        assert kinds(source) == expected
+
+    def test_spread(self):
+        assert kinds("...")[:-1] == [TokenKind.SPREAD]
+
+    def test_lone_dot_rejected(self):
+        with pytest.raises(SDLSyntaxError):
+            tokenize(".")
+
+    def test_two_dots_rejected(self):
+        with pytest.raises(SDLSyntaxError):
+            tokenize("..")
+
+
+class TestIgnoredTokens:
+    def test_commas_ignored(self):
+        assert values("a, b,, c") == ["a", "b", "c"]
+
+    def test_comments_ignored(self):
+        assert values("a # this is a comment\nb") == ["a", "b"]
+
+    def test_comment_at_eof(self):
+        assert values("a # no newline") == ["a"]
+
+    def test_crlf_and_cr_newlines(self):
+        tokens = tokenize("a\r\nb\rc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+
+class TestNames:
+    def test_simple_name(self):
+        assert values("hello") == ["hello"]
+
+    def test_underscore_names(self):
+        assert values("_private __double") == ["_private", "__double"]
+
+    def test_names_with_digits(self):
+        assert values("a1b2") == ["a1b2"]
+
+
+class TestNumbers:
+    def test_int(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].value == "42"
+
+    def test_negative_int(self):
+        assert tokenize("-7")[0].value == "-7"
+
+    def test_zero(self):
+        assert tokenize("0")[0].kind is TokenKind.INT
+
+    def test_leading_zero_rejected(self):
+        with pytest.raises(SDLSyntaxError):
+            tokenize("012")
+
+    def test_float(self):
+        assert tokenize("3.14")[0].kind is TokenKind.FLOAT
+
+    def test_exponent(self):
+        assert tokenize("1e10")[0].kind is TokenKind.FLOAT
+        assert tokenize("1.5E-3")[0].kind is TokenKind.FLOAT
+
+    def test_trailing_dot_rejected(self):
+        with pytest.raises(SDLSyntaxError):
+            tokenize("1.")
+
+    def test_bare_minus_rejected(self):
+        with pytest.raises(SDLSyntaxError):
+            tokenize("-")
+
+    def test_malformed_exponent_rejected(self):
+        with pytest.raises(SDLSyntaxError):
+            tokenize("1e")
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize('"hi"')[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hi"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb\tc\"d\\e"')[0].value == 'a\nb\tc"d\\e'
+
+    def test_unicode_escape(self):
+        assert tokenize('"\\u0041"')[0].value == "A"
+
+    def test_bad_unicode_escape(self):
+        with pytest.raises(SDLSyntaxError):
+            tokenize(r'"\uZZZZ"')
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(SDLSyntaxError):
+            tokenize(r'"\q"')
+
+    def test_unterminated_string(self):
+        with pytest.raises(SDLSyntaxError):
+            tokenize('"never ends')
+
+    def test_newline_terminates_string_error(self):
+        with pytest.raises(SDLSyntaxError):
+            tokenize('"line\nbreak"')
+
+
+class TestBlockStrings:
+    def test_simple_block(self):
+        token = tokenize('"""hello"""')[0]
+        assert token.kind is TokenKind.BLOCK_STRING
+        assert token.value == "hello"
+
+    def test_dedent(self):
+        source = '"""\n    line one\n      line two\n    """'
+        assert tokenize(source)[0].value == "line one\n  line two"
+
+    def test_escaped_triple_quote(self):
+        assert tokenize('"""a \\""" b"""')[0].value == 'a """ b'
+
+    def test_unterminated_block(self):
+        with pytest.raises(SDLSyntaxError):
+            tokenize('"""open')
+
+    def test_lines_counted_through_block(self):
+        tokens = tokenize('"""\na\nb\n""" next')
+        assert tokens[1].line == 4
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("abc\n  ?")
+        except SDLSyntaxError as error:
+            assert error.line == 2
+            assert error.column == 3
+        else:  # pragma: no cover
+            raise AssertionError("expected SDLSyntaxError")

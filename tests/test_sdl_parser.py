@@ -1,0 +1,227 @@
+"""The SDL parser (spec §3: type system definitions)."""
+
+import pytest
+
+from repro.errors import SDLSyntaxError
+from repro.sdl import ast, parse_document, parse_type, parse_value
+from repro.workloads.paper_schemas import CORPUS
+
+
+def only_definition(source):
+    document = parse_document(source)
+    assert len(document.definitions) == 1
+    return document.definitions[0]
+
+
+class TestObjectTypes:
+    def test_minimal_type(self):
+        defn = only_definition("type T { x: Int }")
+        assert isinstance(defn, ast.ObjectTypeDefinition)
+        assert defn.name == "T"
+        assert defn.fields[0].name == "x"
+
+    def test_empty_field_block_allowed(self):
+        # the paper's Example 6.1 writes `type OT1 { }`
+        defn = only_definition("type OT1 { }")
+        assert defn.fields == ()
+
+    def test_no_field_block(self):
+        defn = only_definition("type T")
+        assert defn.fields == ()
+
+    def test_implements_with_ampersands(self):
+        defn = only_definition("type T implements A & B { x: Int }")
+        assert defn.interfaces == ("A", "B")
+
+    def test_implements_space_separated(self):
+        defn = only_definition("type T implements A B { x: Int }")
+        assert defn.interfaces == ("A", "B")
+
+    def test_type_directives(self):
+        defn = only_definition('type T @key(fields: ["id"]) { id: ID }')
+        assert defn.directives[0].name == "key"
+        argument = defn.directives[0].arguments[0]
+        assert argument.name == "fields"
+        assert argument.value == ast.ListValue((ast.StringValue("id"),))
+
+    def test_repeated_directives(self):
+        defn = only_definition('type T @key(fields: ["a"]) @key(fields: ["b"]) { a: ID b: ID }')
+        assert len(defn.directives) == 2
+
+    def test_description(self):
+        defn = only_definition('"a user" type User { id: ID }')
+        assert defn.description == "a user"
+
+    def test_block_description(self):
+        defn = only_definition('"""multi\nline""" type User { id: ID }')
+        assert defn.description == "multi\nline"
+
+
+class TestFields:
+    def test_field_directives(self):
+        defn = only_definition("type T { x: Int @required @deprecated }")
+        assert [d.name for d in defn.fields[0].directives] == ["required", "deprecated"]
+
+    def test_field_arguments(self):
+        defn = only_definition("type T { rel(a: Float! b: String): T }")
+        arguments = defn.fields[0].arguments
+        assert [a.name for a in arguments] == ["a", "b"]
+        assert arguments[0].type == ast.NonNullTypeNode(ast.NamedTypeNode("Float"))
+
+    def test_argument_default(self):
+        defn = only_definition("type T { len(unit: Unit = METER): Float }")
+        assert defn.fields[0].arguments[0].default_value == ast.EnumValue("METER")
+
+    def test_field_description(self):
+        defn = only_definition('type T { "the x" x: Int }')
+        assert defn.fields[0].description == "the x"
+
+    def test_commas_optional(self):
+        with_commas = parse_document("type T { a: Int, b: Int }")
+        without = parse_document("type T { a: Int b: Int }")
+        assert with_commas == without
+
+
+class TestOtherDefinitions:
+    def test_scalar(self):
+        defn = only_definition("scalar Time")
+        assert isinstance(defn, ast.ScalarTypeDefinition)
+
+    def test_interface(self):
+        defn = only_definition("interface I { x: Int }")
+        assert isinstance(defn, ast.InterfaceTypeDefinition)
+
+    def test_union(self):
+        defn = only_definition("union U = A | B | C")
+        assert defn.types == ("A", "B", "C")
+
+    def test_union_leading_pipe(self):
+        defn = only_definition("union U = | A | B")
+        assert defn.types == ("A", "B")
+
+    def test_enum(self):
+        defn = only_definition("enum E { RED GREEN BLUE }")
+        assert [v.name for v in defn.values] == ["RED", "GREEN", "BLUE"]
+
+    def test_enum_value_cannot_be_bool_or_null(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_document("enum E { true }")
+        with pytest.raises(SDLSyntaxError):
+            parse_document("enum E { null }")
+
+    def test_input_object(self):
+        defn = only_definition("input Point { x: Int y: Int }")
+        assert isinstance(defn, ast.InputObjectTypeDefinition)
+        assert len(defn.fields) == 2
+
+    def test_directive_definition(self):
+        defn = only_definition(
+            "directive @limit(n: Int!) on FIELD_DEFINITION | OBJECT"
+        )
+        assert defn.name == "limit"
+        assert defn.locations == ("FIELD_DEFINITION", "OBJECT")
+
+    def test_schema_definition(self):
+        defn = only_definition("schema { query: Query mutation: Mut }")
+        assert defn.operation_types == (("query", "Query"), ("mutation", "Mut"))
+
+
+class TestTypeReferences:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("T", ast.NamedTypeNode("T")),
+            ("T!", ast.NonNullTypeNode(ast.NamedTypeNode("T"))),
+            ("[T]", ast.ListTypeNode(ast.NamedTypeNode("T"))),
+            ("[T!]", ast.ListTypeNode(ast.NonNullTypeNode(ast.NamedTypeNode("T")))),
+            ("[T]!", ast.NonNullTypeNode(ast.ListTypeNode(ast.NamedTypeNode("T")))),
+            (
+                "[T!]!",
+                ast.NonNullTypeNode(
+                    ast.ListTypeNode(ast.NonNullTypeNode(ast.NamedTypeNode("T")))
+                ),
+            ),
+            ("[[T]]", ast.ListTypeNode(ast.ListTypeNode(ast.NamedTypeNode("T")))),
+        ],
+    )
+    def test_shapes(self, source, expected):
+        assert parse_type(source) == expected
+
+    def test_unclosed_bracket(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_type("[T")
+
+
+class TestValues:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("1", ast.IntValue(1)),
+            ("-2", ast.IntValue(-2)),
+            ("1.5", ast.FloatValue(1.5)),
+            ('"s"', ast.StringValue("s")),
+            ("true", ast.BooleanValue(True)),
+            ("false", ast.BooleanValue(False)),
+            ("null", ast.NullValue()),
+            ("RED", ast.EnumValue("RED")),
+            ("[1, 2]", ast.ListValue((ast.IntValue(1), ast.IntValue(2)))),
+            ("{a: 1}", ast.ObjectValue((("a", ast.IntValue(1)),))),
+        ],
+    )
+    def test_literals(self, source, expected):
+        assert parse_value(source) == expected
+
+    def test_variables_rejected_in_const_position(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_value("$var")
+
+
+class TestErrors:
+    def test_unknown_keyword(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_document("frobnicate T { }")
+
+    def test_missing_colon(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_document("type T { x Int }")
+
+    def test_unclosed_braces(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_document("type T { x: Int")
+
+    def test_schema_takes_no_description(self):
+        with pytest.raises(SDLSyntaxError):
+            parse_document('"desc" schema { query: Q }')
+
+    def test_error_location_reported(self):
+        try:
+            parse_document("type T {\n  x Int\n}")
+        except SDLSyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected SDLSyntaxError")
+
+
+class TestPaperCorpus:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_corpus_parses(self, name):
+        document = parse_document(CORPUS[name].sdl)
+        assert document.definitions
+
+    def test_figure_1_structure(self):
+        document = parse_document(CORPUS["figure_1"].sdl)
+        names = [
+            defn.name
+            for defn in document.definitions
+            if not isinstance(defn, ast.SchemaDefinition)
+        ]
+        assert names == [
+            "Starship",
+            "LenUnit",
+            "Character",
+            "Human",
+            "Droid",
+            "Query",
+            "Episode",
+            "SearchResult",
+        ]

@@ -1,0 +1,64 @@
+"""SDL printing: parse(print(ast)) is the identity."""
+
+import random
+
+import pytest
+
+from repro.sdl import ast, parse_document, print_document, print_type, print_value
+from repro.workloads.paper_schemas import CORPUS
+from repro.workloads.schemas import random_schema_sdl
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_paper_corpus_round_trips(self, name):
+        document = parse_document(CORPUS[name].sdl)
+        assert parse_document(print_document(document)) == document
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_schemas_round_trip(self, seed):
+        sdl = random_schema_sdl(6, 2, 1, 3, 2, 0.4, 0.4, random.Random(seed))
+        document = parse_document(sdl)
+        assert parse_document(print_document(document)) == document
+
+    def test_descriptions_round_trip(self):
+        source = '"top level" type T { "field" x(a: Int = 3): [Int!]! @required }'
+        document = parse_document(source)
+        assert parse_document(print_document(document)) == document
+
+    def test_directive_definitions_round_trip(self):
+        source = "directive @limit(n: Int!) on FIELD_DEFINITION | OBJECT"
+        document = parse_document(source)
+        assert parse_document(print_document(document)) == document
+
+
+class TestPrintType:
+    @pytest.mark.parametrize(
+        "text", ["T", "T!", "[T]", "[T!]", "[T]!", "[T!]!", "[[T]!]"]
+    )
+    def test_type_text(self, text):
+        from repro.sdl.parser import parse_type
+
+        assert print_type(parse_type(text)) == text
+
+
+class TestPrintValue:
+    @pytest.mark.parametrize(
+        "node, text",
+        [
+            (ast.IntValue(3), "3"),
+            (ast.FloatValue(2.5), "2.5"),
+            (ast.StringValue('a"b'), '"a\\"b"'),
+            (ast.BooleanValue(True), "true"),
+            (ast.NullValue(), "null"),
+            (ast.EnumValue("RED"), "RED"),
+            (ast.ListValue((ast.IntValue(1),)), "[1]"),
+            (ast.ObjectValue((("k", ast.IntValue(1)),)), "{k: 1}"),
+            (ast.Variable("v"), "$v"),
+        ],
+    )
+    def test_value_text(self, node, text):
+        assert print_value(node) == text
+
+    def test_string_escapes_control_characters(self):
+        assert print_value(ast.StringValue("a\nb\tc")) == '"a\\nb\\tc"'

@@ -1,0 +1,355 @@
+"""Directives satisfaction: rules DS1-DS7 (Definition 5.2)."""
+
+import pytest
+
+from repro.pg import GraphBuilder
+from repro.schema import parse_schema
+from repro.validation import validate
+
+
+@pytest.fixture(params=["indexed", "naive"])
+def engine(request):
+    return request.param
+
+
+def fired(schema, graph, engine, mode="directives"):
+    return {
+        violation.rule
+        for violation in validate(schema, graph, mode=mode, engine=engine).violations
+    }
+
+
+class TestDS1Distinct:
+    SCHEMA = parse_schema("type A { rel: [A] @distinct \n plain: [A] }")
+
+    def test_parallel_distinct_edges_violate(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "A")
+            .edge("a", "rel", "b")
+            .edge("a", "rel", "b")
+            .graph()
+        )
+        assert fired(self.SCHEMA, graph, engine) == {"DS1"}
+
+    def test_distinct_targets_fine(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "A")
+            .node("c", "A")
+            .edge("a", "rel", "b")
+            .edge("a", "rel", "c")
+            .graph()
+        )
+        assert fired(self.SCHEMA, graph, engine) == set()
+
+    def test_parallel_edges_without_directive_fine(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "A")
+            .edge("a", "plain", "b")
+            .edge("a", "plain", "b")
+            .graph()
+        )
+        assert fired(self.SCHEMA, graph, engine) == set()
+
+    def test_interface_declared_distinct_covers_implementors(self, engine):
+        schema = parse_schema(
+            """
+            interface I { rel: [I] @distinct }
+            type A implements I { rel: [I] }
+            """
+        )
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "A")
+            .edge("a", "rel", "b")
+            .edge("a", "rel", "b")
+            .graph()
+        )
+        assert fired(schema, graph, engine) == {"DS1"}
+
+
+class TestDS2NoLoops:
+    SCHEMA = parse_schema("type A { rel: [A] @noLoops \n free: [A] }")
+
+    def test_loop_violates(self, engine):
+        graph = GraphBuilder().node("a", "A").edge("a", "rel", "a").graph()
+        assert fired(self.SCHEMA, graph, engine) == {"DS2"}
+
+    def test_non_loop_fine(self, engine):
+        graph = (
+            GraphBuilder().node("a", "A").node("b", "A").edge("a", "rel", "b").graph()
+        )
+        assert fired(self.SCHEMA, graph, engine) == set()
+
+    def test_loop_on_free_field_fine(self, engine):
+        graph = GraphBuilder().node("a", "A").edge("a", "free", "a").graph()
+        assert fired(self.SCHEMA, graph, engine) == set()
+
+
+class TestDS3UniqueForTarget:
+    SCHEMA = parse_schema(
+        """
+        type Publisher { published: [Book] @uniqueForTarget }
+        type Book { title: String }
+        """
+    )
+
+    def test_two_incoming_violate(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("p1", "Publisher")
+            .node("p2", "Publisher")
+            .node("b", "Book")
+            .edge("p1", "published", "b")
+            .edge("p2", "published", "b")
+            .graph()
+        )
+        assert fired(self.SCHEMA, graph, engine) == {"DS3"}
+
+    def test_one_incoming_each_fine(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("p1", "Publisher")
+            .node("b1", "Book")
+            .node("b2", "Book")
+            .edge("p1", "published", "b1")
+            .edge("p1", "published", "b2")
+            .graph()
+        )
+        assert fired(self.SCHEMA, graph, engine) == set()
+
+    def test_sources_outside_declaring_type_ignored(self, engine):
+        schema = parse_schema(
+            """
+            type Publisher { published: [Book] @uniqueForTarget }
+            type Pirate { published: [Book] }
+            type Book { title: String }
+            """
+        )
+        graph = (
+            GraphBuilder()
+            .node("p", "Publisher")
+            .node("x", "Pirate")
+            .node("b", "Book")
+            .edge("p", "published", "b")
+            .edge("x", "published", "b")
+            .graph()
+        )
+        assert fired(schema, graph, engine) == set()
+
+
+class TestDS4RequiredForTarget:
+    SCHEMA = parse_schema(
+        """
+        type Publisher { published: [Book] @requiredForTarget }
+        type Book { title: String }
+        """
+    )
+
+    def test_book_without_publisher_violates(self, engine):
+        graph = GraphBuilder().node("b", "Book").graph()
+        assert fired(self.SCHEMA, graph, engine) == {"DS4"}
+
+    def test_book_with_publisher_fine(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("p", "Publisher")
+            .node("b", "Book")
+            .edge("p", "published", "b")
+            .graph()
+        )
+        assert fired(self.SCHEMA, graph, engine) == set()
+
+    def test_edge_from_wrong_type_does_not_count(self, engine):
+        schema = parse_schema(
+            """
+            type Publisher { published: [Book] @requiredForTarget }
+            type Pirate { published: [Book] }
+            type Book { title: String }
+            """
+        )
+        graph = (
+            GraphBuilder()
+            .node("x", "Pirate")
+            .node("b", "Book")
+            .edge("x", "published", "b")
+            .graph()
+        )
+        assert fired(schema, graph, engine) == {"DS4"}
+
+    def test_union_target_members_all_constrained(self, engine):
+        schema = parse_schema(
+            """
+            type Owner { owns: [Asset] @requiredForTarget }
+            union Asset = House | Car
+            type House { x: Int }
+            type Car { x: Int }
+            """
+        )
+        graph = GraphBuilder().node("h", "House").node("c", "Car").node("o", "Owner").graph()
+        graph.add_edge("e", "o", "h", "owns")
+        report = validate(schema, graph, mode="directives", engine=engine)
+        violated_nodes = {v.elements[0] for v in report.violations if v.rule == "DS4"}
+        assert violated_nodes == {"c"}
+
+
+class TestDS5RequiredProperty:
+    SCHEMA = parse_schema(
+        "type A { name: String! @required \n tags: [Int] @required \n opt: Int }"
+    )
+
+    def test_all_present(self, engine):
+        graph = GraphBuilder().node("a", "A", name="x", tags=[1]).graph()
+        assert fired(self.SCHEMA, graph, engine) == set()
+
+    def test_missing_required_violates(self, engine):
+        graph = GraphBuilder().node("a", "A", tags=[1]).graph()
+        assert fired(self.SCHEMA, graph, engine) == {"DS5"}
+
+    def test_empty_required_list_violates(self, engine):
+        graph = GraphBuilder().node("a", "A", name="x", tags=[]).graph()
+        assert fired(self.SCHEMA, graph, engine) == {"DS5"}
+
+    def test_missing_optional_fine(self, engine):
+        graph = GraphBuilder().node("a", "A", name="x", tags=[1, 2]).graph()
+        assert fired(self.SCHEMA, graph, engine) == set()
+
+    def test_interface_declared_required_attribute(self, engine):
+        schema = parse_schema(
+            """
+            interface Named { name: String! @required }
+            type A implements Named { name: String! }
+            """
+        )
+        graph = GraphBuilder().node("a", "A").graph()
+        assert fired(schema, graph, engine) == {"DS5"}
+
+
+class TestDS6RequiredEdge:
+    SCHEMA = parse_schema(
+        """
+        type Session { user: User! @required }
+        type User { id: ID }
+        """
+    )
+
+    def test_edge_present(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("s", "Session")
+            .node("u", "User")
+            .edge("s", "user", "u")
+            .graph()
+        )
+        assert fired(self.SCHEMA, graph, engine) == set()
+
+    def test_edge_missing_violates(self, engine):
+        graph = GraphBuilder().node("s", "Session").node("u", "User").graph()
+        assert fired(self.SCHEMA, graph, engine) == {"DS6"}
+
+    def test_ds6_needs_only_the_label(self, engine):
+        # DS6 demands an outgoing edge labelled f; target typing is WS3
+        graph = (
+            GraphBuilder()
+            .node("s", "Session")
+            .node("t", "Session")
+            .edge("s", "user", "t")
+            .graph()
+        )
+        report = validate(self.SCHEMA, graph, mode="directives", engine=engine)
+        ds6_nodes = {v.elements[0] for v in report.violations if v.rule == "DS6"}
+        assert "s" not in ds6_nodes
+        assert "t" in ds6_nodes  # t itself still lacks a user edge
+
+
+class TestDS7Keys:
+    SCHEMA = parse_schema(
+        'type User @key(fields: ["id"]) { id: ID \n login: String }'
+    )
+
+    def test_distinct_keys_fine(self, engine):
+        graph = (
+            GraphBuilder().node("u1", "User", id="a").node("u2", "User", id="b").graph()
+        )
+        assert fired(self.SCHEMA, graph, engine) == set()
+
+    def test_duplicate_keys_violate(self, engine):
+        graph = (
+            GraphBuilder().node("u1", "User", id="a").node("u2", "User", id="a").graph()
+        )
+        assert fired(self.SCHEMA, graph, engine) == {"DS7"}
+
+    def test_both_missing_counts_as_agreeing(self, engine):
+        graph = GraphBuilder().node("u1", "User").node("u2", "User").graph()
+        assert fired(self.SCHEMA, graph, engine) == {"DS7"}
+
+    def test_one_missing_disagrees(self, engine):
+        graph = GraphBuilder().node("u1", "User", id="a").node("u2", "User").graph()
+        assert fired(self.SCHEMA, graph, engine) == set()
+
+    def test_type_strict_key_comparison(self, engine):
+        graph = GraphBuilder().node("u1", "User", id=1).node("u2", "User", id="1").graph()
+        assert fired(self.SCHEMA, graph, engine) == set()
+
+    def test_composite_key(self, engine):
+        schema = parse_schema(
+            'type P @key(fields: ["x", "y"]) { x: Int \n y: Int }'
+        )
+        same = (
+            GraphBuilder()
+            .node("p1", "P", x=1, y=2)
+            .node("p2", "P", x=1, y=2)
+            .graph()
+        )
+        differ = (
+            GraphBuilder()
+            .node("p1", "P", x=1, y=2)
+            .node("p2", "P", x=1, y=3)
+            .graph()
+        )
+        assert fired(schema, same, engine) == {"DS7"}
+        assert fired(schema, differ, engine) == set()
+
+    def test_multiple_keys_checked_independently(self, engine):
+        schema = parse_schema(
+            'type U @key(fields: ["a"]) @key(fields: ["b"]) { a: Int \n b: Int }'
+        )
+        graph = (
+            GraphBuilder()
+            .node("u1", "U", a=1, b=10)
+            .node("u2", "U", a=2, b=10)
+            .graph()
+        )
+        assert fired(schema, graph, engine) == {"DS7"}
+
+    def test_non_scalar_key_fields_ignored(self, engine):
+        # DS7 filters key fields to those with scalar types
+        schema = parse_schema(
+            'type U @key(fields: ["friend"]) { friend: U }'
+        )
+        graph = GraphBuilder().node("u1", "U").node("u2", "U").graph()
+        # every pair vacuously agrees on an empty scalar-field list
+        assert fired(schema, graph, engine) == {"DS7"}
+
+    def test_array_valued_keys(self, engine):
+        schema = parse_schema('type U @key(fields: ["xs"]) { xs: [Int] }')
+        same = (
+            GraphBuilder()
+            .node("u1", "U", xs=[1, 2])
+            .node("u2", "U", xs=[1, 2])
+            .graph()
+        )
+        differ = (
+            GraphBuilder()
+            .node("u1", "U", xs=[1, 2])
+            .node("u2", "U", xs=[2, 1])
+            .graph()
+        )
+        assert fired(schema, same, engine) == {"DS7"}
+        assert fired(schema, differ, engine) == set()

@@ -1,0 +1,335 @@
+"""The paper's worked examples (3.1-3.12), each pinned as a test."""
+
+import pytest
+
+from repro.pg import GraphBuilder
+from repro.schema import parse_schema
+from repro.validation import validate
+from repro.workloads.paper_schemas import CORPUS
+from tests.conftest import rules_fired
+
+
+class TestExample31:
+    """Only UserSession and User nodes are allowed."""
+
+    def test_other_labels_rejected(self, user_session_schema):
+        graph = GraphBuilder().node("x", "Invoice").graph()
+        assert rules_fired(user_session_schema, graph) == {"SS1"}
+
+    def test_the_two_types_allowed(self, user_session_schema):
+        graph = (
+            GraphBuilder()
+            .node("u", "User", id="1", login="a")
+            .node("s", "UserSession", id="2", startTime="t")
+            .edge("s", "user", "u", {"certainty": 1.0})
+            .graph()
+        )
+        assert validate(user_session_schema, graph).conforms
+
+
+class TestExample33:
+    """User: id/login mandatory, nicknames optional array of strings."""
+
+    def test_mandatory_properties(self, user_session_schema):
+        graph = GraphBuilder().node("u", "User", id="1").graph()
+        assert "DS5" in rules_fired(user_session_schema, graph)
+
+    def test_nicknames_optional(self, user_session_schema):
+        graph = GraphBuilder().node("u", "User", id="1", login="a").graph()
+        assert "DS5" not in rules_fired(user_session_schema, graph)
+
+    def test_nicknames_must_be_array(self, user_session_schema):
+        graph = (
+            GraphBuilder().node("u", "User", id="1", login="a", nicknames="al").graph()
+        )
+        assert "WS1" in rules_fired(user_session_schema, graph)
+
+    def test_session_endTime_optional(self, user_session_schema):
+        graph = (
+            GraphBuilder()
+            .node("u", "User", id="1", login="a")
+            .node("s", "UserSession", id="2", startTime="t", endTime="t2")
+            .edge("s", "user", "u", {"certainty": 1.0})
+            .graph()
+        )
+        assert validate(user_session_schema, graph).conforms
+
+
+class TestExample34:
+    """@key on id: all User nodes need unique id values."""
+
+    def test_key_enforced(self, user_session_schema):
+        graph = (
+            GraphBuilder()
+            .node("u1", "User", id="same", login="a")
+            .node("u2", "User", id="same", login="b")
+            .graph()
+        )
+        assert "DS7" in rules_fired(user_session_schema, graph)
+
+    def test_both_keys_enforced(self):
+        schema = parse_schema(CORPUS["user_session_keyed"].sdl)
+        graph = (
+            GraphBuilder()
+            .node("u1", "User", id="1", login="same")
+            .node("u2", "User", id="2", login="same")
+            .graph()
+        )
+        assert "DS7" in rules_fired(schema, graph)
+
+
+class TestExample35:
+    """Every UserSession has exactly one user edge to a User."""
+
+    def test_missing_edge(self, user_session_schema):
+        graph = (
+            GraphBuilder().node("s", "UserSession", id="1", startTime="t").graph()
+        )
+        assert "DS6" in rules_fired(user_session_schema, graph)
+
+    def test_two_edges(self, user_session_schema):
+        graph = (
+            GraphBuilder()
+            .node("u1", "User", id="1", login="a")
+            .node("u2", "User", id="2", login="b")
+            .node("s", "UserSession", id="3", startTime="t")
+            .edge("s", "user", "u1", {"certainty": 1.0})
+            .edge("s", "user", "u2", {"certainty": 1.0})
+            .graph()
+        )
+        assert "WS4" in rules_fired(user_session_schema, graph)
+
+
+class TestExample36:
+    """The library schema's cardinality behaviours."""
+
+    def test_author_without_edges_allowed(self, library_schema):
+        graph = GraphBuilder().node("a", "Author").graph()
+        assert validate(library_schema, graph).conforms
+
+    def test_book_needs_an_author(self, library_schema):
+        graph = GraphBuilder().node("b", "Book", title="T").graph()
+        assert rules_fired(library_schema, graph) >= {"DS6"}
+
+    def test_at_most_one_favorite_book(self, library_schema):
+        graph = (
+            GraphBuilder()
+            .node("a", "Author")
+            .node("b1", "Book", title="x")
+            .node("b2", "Book", title="y")
+            .edge("a", "favoriteBook", "b1")
+            .edge("a", "favoriteBook", "b2")
+            .graph()
+        )
+        assert "WS4" in rules_fired(library_schema, graph)
+
+    def test_many_authors_allowed(self, library_schema):
+        graph = (
+            GraphBuilder()
+            .node("a1", "Author")
+            .node("a2", "Author")
+            .node("b", "Book", title="T")
+            .node("p", "Publisher")
+            .edge("b", "author", "a1")
+            .edge("b", "author", "a2")
+            .edge("p", "published", "b")
+            .graph()
+        )
+        assert validate(library_schema, graph).conforms
+
+
+class TestExample37:
+    """@distinct on author edges is symmetric over endpoint pairs."""
+
+    def test_duplicate_author_edges(self, library_schema):
+        graph = (
+            GraphBuilder()
+            .node("a", "Author")
+            .node("b", "Book", title="T")
+            .edge("b", "author", "a")
+            .edge("b", "author", "a")
+            .graph()
+        )
+        assert "DS1" in rules_fired(library_schema, graph)
+
+    def test_related_author_loop(self, library_schema):
+        graph = (
+            GraphBuilder().node("a", "Author").edge("a", "relatedAuthor", "a").graph()
+        )
+        assert "DS2" in rules_fired(library_schema, graph)
+
+
+class TestExample38:
+    """BookSeries/Publisher target-side constraints."""
+
+    def test_book_in_two_series(self, library_schema):
+        graph = (
+            GraphBuilder()
+            .node("a", "Author")
+            .node("b", "Book", title="T")
+            .node("s1", "BookSeries")
+            .node("s2", "BookSeries")
+            .node("p", "Publisher")
+            .edge("b", "author", "a")
+            .edge("p", "published", "b")
+            .edge("s1", "contains", "b")
+            .edge("s2", "contains", "b")
+            .graph()
+        )
+        assert "DS3" in rules_fired(library_schema, graph)
+
+    def test_unpublished_book(self, library_schema):
+        graph = (
+            GraphBuilder()
+            .node("a", "Author")
+            .node("b", "Book", title="T")
+            .edge("b", "author", "a")
+            .graph()
+        )
+        assert "DS4" in rules_fired(library_schema, graph)
+
+    def test_exactly_one_publisher(self, library_schema):
+        graph = (
+            GraphBuilder()
+            .node("a", "Author")
+            .node("b", "Book", title="T")
+            .node("p1", "Publisher")
+            .node("p2", "Publisher")
+            .edge("b", "author", "a")
+            .edge("p1", "published", "b")
+            .edge("p2", "published", "b")
+            .graph()
+        )
+        assert "DS3" in rules_fired(library_schema, graph)
+
+    def test_book_without_series_fine(self, library_schema):
+        graph = (
+            GraphBuilder()
+            .node("a", "Author")
+            .node("b", "Book", title="T")
+            .node("p", "Publisher")
+            .edge("b", "author", "a")
+            .edge("p", "published", "b")
+            .graph()
+        )
+        assert validate(library_schema, graph).conforms
+
+
+class TestExamples39And310:
+    """Union and interface targets capture the same restriction."""
+
+    @pytest.mark.parametrize("which", ["food_union", "food_interface"])
+    def test_both_targets_accepted(self, which):
+        schema = parse_schema(CORPUS[which].sdl)
+        for target_label, props in (
+            ("Pizza", {"name": "M", "toppings": ("x",)}),
+            ("Pasta", {"name": "C"}),
+        ):
+            graph = (
+                GraphBuilder()
+                .node("p", "Person", name="A")
+                .node("t", target_label, **props)
+                .edge("p", "favoriteFood", "t")
+                .graph()
+            )
+            assert validate(schema, graph).conforms, which
+
+    @pytest.mark.parametrize("which", ["food_union", "food_interface"])
+    def test_person_target_rejected(self, which):
+        schema = parse_schema(CORPUS[which].sdl)
+        graph = (
+            GraphBuilder()
+            .node("p", "Person", name="A")
+            .node("q", "Person", name="B")
+            .edge("p", "favoriteFood", "q")
+            .graph()
+        )
+        assert "WS3" in rules_fired(schema, graph)
+
+    def test_equivalence_on_random_graphs(self):
+        """Examples 3.9/3.10 claim the two schemas restrict identically."""
+        union_schema = parse_schema(CORPUS["food_union"].sdl)
+        interface_schema = parse_schema(CORPUS["food_interface"].sdl)
+        from repro.pg import random_graph
+
+        for seed in range(20):
+            graph = random_graph(
+                8,
+                12,
+                node_labels=("Person", "Pizza", "Pasta", "Other"),
+                edge_labels=("favoriteFood", "weird"),
+                prop_names=("name", "toppings"),
+                seed=seed,
+            )
+            left = validate(union_schema, graph).conforms
+            right = validate(interface_schema, graph).conforms
+            assert left == right
+
+
+class TestExample311:
+    """Multiple source types for owner edges."""
+
+    def test_both_sources_accepted(self):
+        schema = parse_schema(CORPUS["vehicles"].sdl)
+        graph = (
+            GraphBuilder()
+            .node("p", "Person", name="A")
+            .node("c", "Car", brand="X")
+            .node("m", "Motorcycle", brand="Y")
+            .edge("c", "owner", "p")
+            .edge("m", "owner", "p")
+            .graph()
+        )
+        assert validate(schema, graph).conforms
+
+
+class TestExample312:
+    """Edge properties via field arguments."""
+
+    def test_certainty_and_comment(self, user_session_schema):
+        graph = (
+            GraphBuilder()
+            .node("u", "User", id="1", login="a")
+            .node("s", "UserSession", id="2", startTime="t")
+            .edge("s", "user", "u", {"certainty": 0.9, "comment": "fine"})
+            .graph()
+        )
+        assert validate(user_session_schema, graph).conforms
+
+    def test_wrong_certainty_type(self, user_session_schema):
+        graph = (
+            GraphBuilder()
+            .node("u", "User", id="1", login="a")
+            .node("s", "UserSession", id="2", startTime="t")
+            .edge("s", "user", "u", {"certainty": "high"})
+            .graph()
+        )
+        assert "WS2" in rules_fired(user_session_schema, graph)
+
+    def test_mandatory_certainty_via_extension_rule(self, user_session_schema):
+        # Example 3.12's prose says certainty is mandatory; the formal rules
+        # omit it, so the "extended" mode's EP1 covers it
+        graph = (
+            GraphBuilder()
+            .node("u", "User", id="1", login="a")
+            .node("s", "UserSession", id="2", startTime="t")
+            .edge("s", "user", "u", {"comment": "no certainty"})
+            .graph()
+        )
+        assert validate(user_session_schema, graph, mode="strong").conforms
+        extended = rules_fired(user_session_schema, graph, mode="extended")
+        assert extended == {"EP1"}
+
+
+class TestExample42:
+    """The formal capture of the food-union schema."""
+
+    def test_formalisation(self, food_union_schema):
+        from repro.schema import TypeRef
+
+        schema = food_union_schema
+        assert schema.type_f("Person", "name") == TypeRef.parse("String!")
+        assert schema.type_f("Person", "favoriteFood") == TypeRef.parse("Food")
+        assert schema.type_f("Pizza", "toppings") == TypeRef.parse("[String!]!")
+        assert schema.union("Food") == {"Pizza", "Pasta"}
+        assert schema.args("Person", "name") == ()

@@ -1,0 +1,177 @@
+"""Incremental validation must always equal from-scratch validation."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.pg import PropertyGraph
+from repro.validation import IncrementalValidator, IndexedValidator
+from repro.workloads import user_session_graph
+from repro.workloads.paper_schemas import CORPUS
+
+SCHEMA = CORPUS["user_session_edge_props"].load()
+LIBRARY = CORPUS["library"].load()
+
+
+def assert_matches_scratch(incremental: IncrementalValidator):
+    scratch = IndexedValidator(incremental.schema).validate(incremental.graph)
+    assert incremental.report().keys() == scratch.keys(), (
+        incremental.report().keys() ^ scratch.keys()
+    )
+    assert incremental.conforms == scratch.conforms
+
+
+class TestBasicMutations:
+    def test_initial_report(self):
+        live = IncrementalValidator(SCHEMA, user_session_graph(5, 2, seed=0))
+        assert live.conforms
+        assert_matches_scratch(live)
+
+    def test_add_bad_node_then_fix(self):
+        live = IncrementalValidator(SCHEMA, user_session_graph(3, 1, seed=0))
+        live.add_node("x", "Mystery")
+        assert not live.conforms
+        assert_matches_scratch(live)
+        live.remove_node("x")
+        assert live.conforms
+        assert_matches_scratch(live)
+
+    def test_property_mutations(self):
+        live = IncrementalValidator(SCHEMA, user_session_graph(3, 1, seed=0))
+        live.set_property("u0", "login", 99)  # WS1
+        assert_matches_scratch(live)
+        live.set_property("u0", "login", "fixed")
+        assert_matches_scratch(live)
+        live.remove_property("u0", "login")  # DS5
+        assert_matches_scratch(live)
+        live.set_property("u0", "login", "back")
+        assert live.conforms
+
+    def test_key_collision_and_repair(self):
+        live = IncrementalValidator(SCHEMA, user_session_graph(3, 1, seed=0))
+        live.set_property("u1", "id", "user-0")  # DS7 with u0
+        assert not live.conforms
+        assert_matches_scratch(live)
+        live.set_property("u1", "id", "user-1b")
+        assert live.conforms
+
+    def test_edge_mutations(self):
+        live = IncrementalValidator(SCHEMA, user_session_graph(3, 1, seed=0))
+        edge = live.graph.out_edges("s0_0", "user")[0]
+        live.remove_edge(edge)  # DS6
+        assert not live.conforms
+        assert_matches_scratch(live)
+        live.add_edge("fresh", "s0_0", "u1", "user", {"certainty": 0.4})
+        assert live.conforms
+        assert_matches_scratch(live)
+        live.add_edge("dup", "s0_0", "u2", "user")  # WS4
+        assert_matches_scratch(live)
+
+    def test_edge_property_mutations(self):
+        live = IncrementalValidator(SCHEMA, user_session_graph(2, 1, seed=0))
+        edge = live.graph.out_edges("s0_0", "user")[0]
+        live.set_property(edge, "certainty", "broken")  # WS2
+        assert_matches_scratch(live)
+        live.set_property(edge, "certainty", 0.5)
+        assert_matches_scratch(live)
+        live.set_property(edge, "surprise", 1)  # SS3
+        assert_matches_scratch(live)
+        live.remove_property(edge, "surprise")
+        assert live.conforms
+
+    def test_remove_node_with_edges(self):
+        live = IncrementalValidator(SCHEMA, user_session_graph(3, 2, seed=0))
+        live.remove_node("u1")  # sessions s1_* lose their required user edge
+        assert not live.conforms
+        assert_matches_scratch(live)
+
+
+class TestRandomisedStreams:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_mutation_stream(self, seed):
+        rng = random.Random(seed)
+        live = IncrementalValidator(SCHEMA, user_session_graph(4, 2, seed=seed))
+        node_pool = list(live.graph.nodes)
+        for step in range(30):
+            action = rng.randrange(6)
+            try:
+                if action == 0:
+                    node = f"extra{step}"
+                    label = rng.choice(["User", "UserSession", "Mystery"])
+                    live.add_node(node, label, {"id": f"x{step}"})
+                    node_pool.append(node)
+                elif action == 1 and node_pool:
+                    target = rng.choice(node_pool)
+                    if target in live.graph:
+                        live.remove_node(target)
+                        node_pool.remove(target)
+                elif action == 2 and len(node_pool) >= 2:
+                    source, target = rng.sample(node_pool, 2)
+                    if source in live.graph and target in live.graph:
+                        live.add_edge(f"edge{step}", source, target, rng.choice(["user", "odd"]))
+                elif action == 3:
+                    edges = list(live.graph.edges)
+                    if edges:
+                        live.remove_edge(rng.choice(edges))
+                elif action == 4 and node_pool:
+                    node = rng.choice(node_pool)
+                    if node in live.graph:
+                        live.set_property(
+                            node,
+                            rng.choice(["id", "login", "startTime", "odd"]),
+                            rng.choice(["v", 3, 1.5, ("a", "b")]),
+                        )
+                else:
+                    if node_pool:
+                        node = rng.choice(node_pool)
+                        if node in live.graph:
+                            live.remove_property(node, rng.choice(["id", "login"]))
+            except Exception:
+                continue  # structurally invalid mutation; state unchanged
+            assert_matches_scratch(live)
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_library_streams(self, seed):
+        from repro.workloads import library_graph
+
+        rng = random.Random(seed)
+        live = IncrementalValidator(LIBRARY, library_graph(3, 4, 1, 1, seed=seed))
+        nodes = list(live.graph.nodes)
+        for step in range(12):
+            roll = rng.random()
+            if roll < 0.4 and len(nodes) >= 2:
+                source, target = rng.sample(nodes, 2)
+                if source in live.graph and target in live.graph:
+                    live.add_edge(
+                        f"m{step}",
+                        source,
+                        target,
+                        rng.choice(["author", "relatedAuthor", "contains", "published"]),
+                    )
+            elif roll < 0.7:
+                edges = list(live.graph.edges)
+                if edges:
+                    live.remove_edge(rng.choice(edges))
+            else:
+                node = rng.choice(nodes)
+                if node in live.graph:
+                    live.set_property(node, "title", rng.choice(["t", 5]))
+            assert_matches_scratch(live)
+
+
+class TestFromEmpty:
+    def test_grow_from_empty(self):
+        live = IncrementalValidator(SCHEMA, PropertyGraph())
+        assert live.conforms
+        live.add_node("u", "User", {"id": "1", "login": "a"})
+        assert live.conforms
+        live.add_node("s", "UserSession", {"id": "2"})
+        assert not live.conforms  # missing startTime + user edge
+        assert_matches_scratch(live)
+        live.set_property("s", "startTime", "t")
+        live.add_edge("e", "s", "u", "user", {"certainty": 1.0})
+        assert live.conforms
+        assert_matches_scratch(live)

@@ -1,0 +1,186 @@
+"""Strong satisfaction: rules SS1-SS4 (Definition 5.3) and mode semantics."""
+
+import pytest
+
+from repro.pg import GraphBuilder
+from repro.schema import parse_schema
+from repro.validation import (
+    ALL_RULES,
+    validate,
+    satisfies_directives,
+    strongly_satisfies,
+    weakly_satisfies,
+)
+
+
+@pytest.fixture(params=["indexed", "naive"])
+def engine(request):
+    return request.param
+
+
+SCHEMA = parse_schema(
+    """
+    interface Named { name: String }
+    type Person implements Named { name: String \n knows(since: Int): [Person] }
+    type City { name: String }
+    union Place = City
+    """
+)
+
+
+def fired(graph, engine, mode="strong"):
+    return {
+        violation.rule
+        for violation in validate(SCHEMA, graph, mode=mode, engine=engine).violations
+    }
+
+
+class TestSS1:
+    def test_object_label_ok(self, engine):
+        graph = GraphBuilder().node("p", "Person").graph()
+        assert fired(graph, engine) == set()
+
+    def test_unknown_label(self, engine):
+        graph = GraphBuilder().node("x", "Ghost").graph()
+        assert fired(graph, engine) == {"SS1"}
+
+    def test_interface_label_not_justified(self, engine):
+        # interfaces are not object types; nodes cannot carry them
+        graph = GraphBuilder().node("x", "Named").graph()
+        assert fired(graph, engine) == {"SS1"}
+
+    def test_union_label_not_justified(self, engine):
+        graph = GraphBuilder().node("x", "Place").graph()
+        assert fired(graph, engine) == {"SS1"}
+
+    def test_scalar_label_not_justified(self, engine):
+        graph = GraphBuilder().node("x", "String").graph()
+        assert fired(graph, engine) == {"SS1"}
+
+
+class TestSS2:
+    def test_declared_property_ok(self, engine):
+        graph = GraphBuilder().node("p", "Person", name="Ann").graph()
+        assert fired(graph, engine) == set()
+
+    def test_undeclared_property(self, engine):
+        graph = GraphBuilder().node("p", "Person", age=30).graph()
+        assert fired(graph, engine) == {"SS2"}
+
+    def test_property_matching_relationship_field(self, engine):
+        # a *property* named like a relationship field is not justified
+        graph = GraphBuilder().node("p", "Person", knows="bob").graph()
+        assert fired(graph, engine) == {"SS2"}
+
+
+class TestSS3:
+    def test_declared_edge_property_ok(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("p", "Person")
+            .node("q", "Person")
+            .edge("p", "knows", "q", {"since": 2019})
+            .graph()
+        )
+        assert fired(graph, engine) == set()
+
+    def test_undeclared_edge_property(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("p", "Person")
+            .node("q", "Person")
+            .edge("p", "knows", "q", {"how": "school"})
+            .graph()
+        )
+        assert fired(graph, engine) == {"SS3"}
+
+
+class TestSS4:
+    def test_declared_edge_ok(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("p", "Person")
+            .node("q", "Person")
+            .edge("p", "knows", "q")
+            .graph()
+        )
+        assert fired(graph, engine) == set()
+
+    def test_undeclared_edge_label(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("p", "Person")
+            .node("q", "Person")
+            .edge("p", "likes", "q")
+            .graph()
+        )
+        assert fired(graph, engine) == {"SS4"}
+
+    def test_edge_labelled_like_attribute(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("p", "Person")
+            .node("q", "Person")
+            .edge("p", "name", "q")
+            .graph()
+        )
+        # SS4 rejects the edge; WS3 also fires because (Person, name) is in
+        # dom(type_F) and the target label is no subtype of String
+        assert fired(graph, engine) == {"SS4", "WS3"}
+
+    def test_edge_declared_on_other_type_only(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("c", "City")
+            .node("p", "Person")
+            .edge("c", "knows", "p")
+            .graph()
+        )
+        assert fired(graph, engine) == {"SS4"}
+
+
+class TestModes:
+    def test_mode_rule_partition(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("x", "Ghost")  # SS1
+            .node("p", "Person", name=3)  # WS1
+            .graph()
+        )
+        assert fired(graph, engine, mode="weak") == {"WS1"}
+        assert fired(graph, engine, mode="directives") == set()
+        assert fired(graph, engine, mode="strong") == {"WS1", "SS1"}
+
+    def test_convenience_predicates(self):
+        good = GraphBuilder().node("p", "Person", name="Ann").graph()
+        assert weakly_satisfies(SCHEMA, good)
+        assert satisfies_directives(SCHEMA, good)
+        assert strongly_satisfies(SCHEMA, good)
+
+        bad = GraphBuilder().node("x", "Ghost").graph()
+        assert weakly_satisfies(SCHEMA, bad)  # weak is silent on labels
+        assert not strongly_satisfies(SCHEMA, bad)
+
+    def test_unknown_mode_rejected(self):
+        graph = GraphBuilder().node("p", "Person").graph()
+        with pytest.raises(ValueError):
+            validate(SCHEMA, graph, mode="super")
+
+    def test_unknown_engine_rejected(self):
+        graph = GraphBuilder().node("p", "Person").graph()
+        with pytest.raises(ValueError):
+            validate(SCHEMA, graph, engine="quantum")
+
+    def test_report_metadata(self):
+        graph = GraphBuilder().node("p", "Person").graph()
+        report = validate(SCHEMA, graph)
+        assert report.mode == "strong"
+        assert report.rules_checked == ALL_RULES
+        assert report.conforms
+        assert "conforms" in report.summary()
+
+    def test_report_grouping(self):
+        graph = GraphBuilder().node("x", "Ghost").node("y", "Ghost").graph()
+        report = validate(SCHEMA, graph)
+        assert len(report.by_rule()["SS1"]) == 2
+        assert "SS1×2" in report.summary()

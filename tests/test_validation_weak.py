@@ -1,0 +1,249 @@
+"""Weak satisfaction: rules WS1-WS4 (Definition 5.1).
+
+Each rule is tested on both engines via the parametrized ``engine`` fixture.
+"""
+
+import pytest
+
+from repro.pg import GraphBuilder
+from repro.schema import parse_schema
+from repro.validation import validate
+from tests.conftest import rules_fired
+
+
+@pytest.fixture(params=["indexed", "naive"])
+def engine(request):
+    return request.param
+
+
+SCHEMA = parse_schema(
+    """
+    enum Color { RED GREEN }
+    type Node {
+      count: Int
+      score: Float!
+      tags: [String!]
+      color: Color
+      next: Node
+      friends: [Node]
+    }
+    """
+)
+
+
+def check(graph, engine, mode="weak"):
+    return {
+        violation.rule
+        for violation in validate(SCHEMA, graph, mode=mode, engine=engine).violations
+    }
+
+
+class TestWS1:
+    """Node properties must be of the required type."""
+
+    def test_conforming_properties(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("n", "Node", count=3, score=1.5, tags=["a"], color="RED")
+            .graph()
+        )
+        assert check(graph, engine) == set()
+
+    def test_wrong_scalar_type(self, engine):
+        graph = GraphBuilder().node("n", "Node", count="three").graph()
+        assert check(graph, engine) == {"WS1"}
+
+    def test_int_out_of_range(self, engine):
+        graph = GraphBuilder().node("n", "Node", count=2**31).graph()
+        assert check(graph, engine) == {"WS1"}
+
+    def test_bool_is_not_int(self, engine):
+        graph = GraphBuilder().node("n", "Node", count=True).graph()
+        assert check(graph, engine) == {"WS1"}
+
+    def test_atom_for_list_type(self, engine):
+        graph = GraphBuilder().node("n", "Node", tags="solo").graph()
+        assert check(graph, engine) == {"WS1"}
+
+    def test_list_with_wrong_element(self, engine):
+        graph = GraphBuilder().node("n", "Node", tags=["ok", 5]).graph()
+        assert check(graph, engine) == {"WS1"}
+
+    def test_bad_enum_value(self, engine):
+        graph = GraphBuilder().node("n", "Node", color="BLUE").graph()
+        assert check(graph, engine) == {"WS1"}
+
+    def test_absent_property_is_fine_even_for_non_null(self, engine):
+        # score: Float! without @required: non-null constrains present
+        # values only; absence models null at the graph level
+        graph = GraphBuilder().node("n", "Node").graph()
+        assert check(graph, engine) == set()
+
+    def test_undeclared_property_not_ws1(self, engine):
+        # justification is SS2's business; WS1 is silent
+        graph = GraphBuilder().node("n", "Node", mystery=1).graph()
+        assert check(graph, engine) == set()
+        assert check(graph, engine, mode="strong") == {"SS2"}
+
+    def test_unknown_label_not_ws1(self, engine):
+        graph = GraphBuilder().node("n", "Ghost", count="x").graph()
+        assert check(graph, engine) == set()
+
+
+class TestWS2:
+    """Edge properties must be of the required type."""
+
+    EDGE_SCHEMA = parse_schema(
+        "type A { rel(w: Float! note: String tags: [Int!]): A }"
+    )
+
+    def run(self, properties, engine):
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "A")
+            .edge("a", "rel", "b", properties)
+            .graph()
+        )
+        return {
+            v.rule
+            for v in validate(self.EDGE_SCHEMA, graph, mode="weak", engine=engine).violations
+        }
+
+    def test_conforming_edge_properties(self, engine):
+        assert self.run({"w": 0.5, "note": "hi", "tags": [1, 2]}, engine) == set()
+
+    def test_wrong_type(self, engine):
+        assert self.run({"w": "heavy"}, engine) == {"WS2"}
+
+    def test_wrong_list_element(self, engine):
+        assert self.run({"tags": ["x"]}, engine) == {"WS2"}
+
+    def test_undeclared_edge_property_not_ws2(self, engine):
+        assert self.run({"bogus": 1}, engine) == set()
+
+    def test_missing_non_null_property_not_ws2(self, engine):
+        # the formal rules do not make non-null arguments mandatory
+        # (recorded as extension rule EP1)
+        assert self.run(None, engine) == set()
+
+
+class TestWS3:
+    """Target nodes must be of the required type."""
+
+    def test_correct_target(self, engine):
+        graph = (
+            GraphBuilder().node("a", "Node").node("b", "Node").edge("a", "next", "b").graph()
+        )
+        assert check(graph, engine) == set()
+
+    def test_wrong_target(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("a", "Node")
+            .node("x", "Ghost")
+            .edge("a", "next", "x")
+            .graph()
+        )
+        assert check(graph, engine) == {"WS3"}
+
+    def test_interface_target(self, engine, food_interface_schema):
+        graph = (
+            GraphBuilder()
+            .node("p", "Person", name="Ann")
+            .node("z", "Pizza", name="QP", toppings=["c"])
+            .edge("p", "favoriteFood", "z")
+            .graph()
+        )
+        report = validate(food_interface_schema, graph, mode="weak", engine=engine)
+        assert report.conforms
+
+    def test_union_target(self, engine, food_union_schema):
+        graph = (
+            GraphBuilder()
+            .node("p", "Person", name="Ann")
+            .node("z", "Pasta", name="C")
+            .edge("p", "favoriteFood", "z")
+            .graph()
+        )
+        assert validate(food_union_schema, graph, mode="weak", engine=engine).conforms
+
+    def test_union_wrong_target(self, engine, food_union_schema):
+        graph = (
+            GraphBuilder()
+            .node("p", "Person", name="Ann")
+            .node("q", "Person", name="Ben")
+            .edge("p", "favoriteFood", "q")
+            .graph()
+        )
+        fired = {
+            v.rule
+            for v in validate(
+                food_union_schema, graph, mode="weak", engine=engine
+            ).violations
+        }
+        assert fired == {"WS3"}
+
+    def test_undeclared_edge_not_ws3(self, engine):
+        graph = (
+            GraphBuilder().node("a", "Node").node("b", "Node").edge("a", "bogus", "b").graph()
+        )
+        assert check(graph, engine) == set()
+
+
+class TestWS4:
+    """Non-list fields contain at most one edge."""
+
+    def test_single_edge_ok(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("a", "Node")
+            .node("b", "Node")
+            .edge("a", "next", "b")
+            .graph()
+        )
+        assert check(graph, engine) == set()
+
+    def test_two_edges_violate(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("a", "Node")
+            .node("b", "Node")
+            .node("c", "Node")
+            .edge("a", "next", "b")
+            .edge("a", "next", "c")
+            .graph()
+        )
+        assert check(graph, engine) == {"WS4"}
+
+    def test_list_fields_allow_many(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("a", "Node")
+            .node("b", "Node")
+            .node("c", "Node")
+            .edge("a", "friends", "b")
+            .edge("a", "friends", "c")
+            .edge("a", "friends", "b")
+            .graph()
+        )
+        assert check(graph, engine) == set()
+
+    def test_three_edges_give_three_pair_witnesses(self, engine):
+        graph = GraphBuilder().node("a", "Node").node("b", "Node").graph()
+        for index in range(3):
+            graph.add_edge(f"e{index}", "a", "b", "next")
+        report = validate(SCHEMA, graph, mode="weak", engine=engine)
+        assert len([v for v in report.violations if v.rule == "WS4"]) == 3
+
+    def test_different_sources_fine(self, engine):
+        graph = (
+            GraphBuilder()
+            .node("a", "Node")
+            .node("b", "Node")
+            .node("c", "Node")
+            .edge("a", "next", "c")
+            .edge("b", "next", "c")
+            .graph()
+        )
+        assert check(graph, engine) == set()

@@ -1,0 +1,150 @@
+"""Workload generators: conformance of generated graphs, corpus integrity."""
+
+import pytest
+
+from repro.schema import is_consistent
+from repro.validation import validate
+from repro.workloads import (
+    CARDINALITY_FIELDS,
+    CORPUS,
+    cardinality_graph,
+    conformant_graph,
+    corrupt_graph,
+    food_graph,
+    library_graph,
+    load,
+    random_schema,
+    user_session_graph,
+)
+
+
+class TestCorpus:
+    def test_all_entries_load(self):
+        for name, entry in CORPUS.items():
+            schema = entry.load()
+            assert schema.object_types, name
+
+    def test_inconsistent_entry_flagged(self):
+        assert not CORPUS["example_6_1_a"].consistent
+
+    @pytest.mark.parametrize(
+        "name", [name for name, entry in CORPUS.items() if entry.consistent]
+    )
+    def test_consistency_flags_accurate(self, name):
+        assert is_consistent(load(name))
+
+
+class TestDomainGenerators:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_user_session_graph_conforms(self, seed):
+        schema = load("user_session_edge_props")
+        graph = user_session_graph(20, 2, seed=seed)
+        report = validate(schema, graph, mode="extended")
+        assert report.conforms, report.summary()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_library_graph_conforms(self, seed):
+        schema = load("library")
+        graph = library_graph(5, 8, num_series=2, num_publishers=2, seed=seed)
+        report = validate(schema, graph)
+        assert report.conforms, report.summary()
+
+    def test_library_graph_scales(self):
+        graph = library_graph(50, 100, 10, 5, seed=1)
+        assert graph.num_nodes >= 160
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_food_graph_conforms_to_both_schemas(self, seed):
+        graph = food_graph(15, seed=seed)
+        assert validate(load("food_union"), graph).conforms
+        assert validate(load("food_interface"), graph).conforms
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            library_graph(0, 3)
+
+
+class TestCardinalityPatterns:
+    """The §3.3 table: each directive combination accepts exactly the
+    patterns its row promises."""
+
+    def accepted(self, field_name, fan_out, fan_in):
+        schema = load("cardinality_table")
+        graph = cardinality_graph(field_name, fan_out, fan_in)
+        return validate(schema, graph).conforms
+
+    def test_one_to_one(self):
+        field = CARDINALITY_FIELDS["1:1"]
+        assert self.accepted(field, 1, 1)
+        assert not self.accepted(field, 2, 1)  # source fans out
+        assert not self.accepted(field, 1, 2)  # target fans in
+
+    def test_one_to_n(self):
+        field = CARDINALITY_FIELDS["1:N"]
+        assert self.accepted(field, 1, 1)
+        assert not self.accepted(field, 2, 1)  # non-list: one edge per source
+        assert self.accepted(field, 1, 2)  # many sources may share a target
+
+    def test_n_to_one(self):
+        field = CARDINALITY_FIELDS["N:1"]
+        assert self.accepted(field, 1, 1)
+        assert self.accepted(field, 2, 1)
+        assert not self.accepted(field, 1, 2)  # @uniqueForTarget
+
+    def test_n_to_m(self):
+        field = CARDINALITY_FIELDS["N:M"]
+        assert self.accepted(field, 1, 1)
+        assert self.accepted(field, 2, 1)
+        assert self.accepted(field, 1, 2)
+        assert self.accepted(field, 3, 3)
+
+
+class TestRandomSchemas:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generated_schemas_consistent(self, seed):
+        schema = random_schema(seed=seed)
+        assert is_consistent(schema)
+        assert len(schema.object_types) == 8
+
+    def test_determinism(self):
+        from repro.schema import print_schema
+
+        assert print_schema(random_schema(seed=3)) == print_schema(random_schema(seed=3))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_conformant_graph_is_mostly_conformant(self, seed):
+        schema = random_schema(
+            num_object_types=5, directive_probability=0.2, seed=seed
+        )
+        graph = conformant_graph(schema, nodes_per_type=5, seed=seed)
+        report = validate(schema, graph)
+        # best-effort: adversarial directive mixes may leave a few
+        # unsatisfiable obligations, but the bulk must hold
+        assert len(report.violations) <= graph.num_nodes // 2
+
+
+class TestCorruption:
+    RULES = ("SS1", "SS2", "SS4", "WS1", "WS3", "WS4", "DS1", "DS2", "DS5", "DS6", "DS7")
+
+    @pytest.mark.parametrize("rule", RULES)
+    def test_corruption_fires_target_rule(self, rule):
+        schema = load("user_session_edge_props")
+        base = user_session_graph(6, 2, seed=0)
+        corrupted = corrupt_graph(base, schema, rule, seed=0)
+        if corrupted is None:
+            pytest.skip(f"schema offers no {rule} opportunity")
+        fired = {v.rule for v in validate(schema, corrupted).violations}
+        assert rule in fired
+
+    def test_base_graph_untouched(self):
+        schema = load("user_session_edge_props")
+        base = user_session_graph(4, 1, seed=0)
+        before = len(base)
+        corrupt_graph(base, schema, "SS1", seed=0)
+        assert len(base) == before
+        assert validate(schema, base).conforms
+
+    def test_unknown_rule_rejected(self):
+        schema = load("library")
+        with pytest.raises(ValueError):
+            corrupt_graph(library_graph(2, 2, seed=0), schema, "XX9")
