@@ -1,0 +1,74 @@
+"""E11 -- what does the polynomial lint pre-check buy over the tableau?
+
+The lint engine's unsat-class rules (PG001/PG003) decide Example 6.1's
+conflicting-cardinality class in polynomial time; the Theorem-3 route
+builds the full ALCQI translation and saturates a tableau.  Both must
+return the same verdict (asserted); the rows quantify the wall-time gap on
+the paper's two unsatisfiable diagrams and on a synthetic chain family
+where the dead-type fixpoint has real depth.
+
+Checker construction happens inside the timed callable: the point of the
+pre-check is that the TBox and tableau are never even built.
+"""
+
+import pytest
+
+from repro.satisfiability import SatisfiabilityChecker
+from repro.schema import parse_schema
+from repro.workloads import CORPUS
+
+CASES = {
+    "example_6_1_a": "OT1",  # unconditional conflict (diagram (a))
+    "diagram_c": "OT2",      # conditional conflict via forced merge
+}
+
+
+def _chain_schema(depth: int) -> str:
+    """A depth-long @required chain ending in an unimplemented interface.
+
+    Every link is unsatisfiable, provable only by propagating deadness all
+    the way down -- the PG003 fixpoint at its deepest.
+    """
+    lines = ["interface Dead { x: Int }"]
+    lines.append("type T0 { next: Dead @required }")
+    for i in range(1, depth):
+        lines.append(f"type T{i} {{ next: T{i - 1} @required }}")
+    return "\n".join(lines)
+
+
+@pytest.mark.experiment("E11")
+@pytest.mark.parametrize("name", sorted(CASES))
+@pytest.mark.parametrize("engine", ["lint", "tableau"])
+def test_paper_diagrams(benchmark, name, engine):
+    sdl = CORPUS[name].sdl
+    type_name = CASES[name]
+
+    def decide():
+        schema = parse_schema(sdl, check=False)
+        checker = SatisfiabilityChecker(schema, lint_precheck=(engine == "lint"))
+        return checker.check_type(type_name, find_witness=False)
+
+    verdict = benchmark(decide)
+    assert not verdict.tableau_satisfiable
+    assert verdict.decided_by == engine
+    benchmark.extra_info["decided_by"] = verdict.decided_by
+
+
+@pytest.mark.experiment("E11")
+@pytest.mark.parametrize("depth", [4, 16, 64])
+@pytest.mark.parametrize("engine", ["lint", "tableau"])
+def test_dead_chain_scaling(benchmark, depth, engine):
+    sdl = _chain_schema(depth)
+    type_name = f"T{depth - 1}"
+
+    def decide():
+        schema = parse_schema(sdl)
+        checker = SatisfiabilityChecker(schema, lint_precheck=(engine == "lint"))
+        return checker.check_type(type_name, find_witness=False)
+
+    verdict = benchmark(decide)
+    assert not verdict.tableau_satisfiable
+    assert verdict.decided_by == engine
+    if engine == "lint":
+        assert verdict.diagnostic is not None
+        assert verdict.diagnostic.code == "PG003"

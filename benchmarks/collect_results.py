@@ -16,7 +16,7 @@ from repro.fo import FOValidator
 from repro.baselines import AnglesValidator, sdl_to_angles
 from repro.sat import random_ksat, solve
 from repro.satisfiability import SatisfiabilityChecker, reduce_cnf_to_schema
-from repro.validation import IndexedValidator, NaiveValidator, validate
+from repro.validation import IndexedValidator, NaiveValidator
 from repro.workloads import (
     CARDINALITY_FIELDS,
     CORPUS,

@@ -18,6 +18,9 @@ The package implements the paper end to end, from scratch:
 * :mod:`repro.sat`, :mod:`repro.dl` -- SAT and ALCQI-tableau substrates;
 * :mod:`repro.satisfiability` -- Theorems 2 and 3: the CNF reduction, the
   ALCQI translation, and bounded finite-model search (Section 6.2);
+* :mod:`repro.lint` -- static analysis: stable diagnostic codes with source
+  spans, and polynomial unsatisfiability pre-checks that short-circuit the
+  tableau (Example 6.1's class);
 * :mod:`repro.api` -- the S3.6 GraphQL-API extension with a query executor;
 * :mod:`repro.baselines` -- Angles' schema model, the paper's comparator;
 * :mod:`repro.workloads` -- the paper's example corpus and generators.
@@ -51,6 +54,7 @@ from .errors import (
     SchemaError,
     SDLSyntaxError,
 )
+from .lint import Diagnostic, Severity, lint_schema
 from .pg import GraphBuilder, PropertyGraph
 from .satisfiability import SatisfiabilityChecker
 from .schema import GraphQLSchema, TypeRef, parse_schema, print_schema
@@ -67,6 +71,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ConsistencyError",
+    "Diagnostic",
     "GraphBuilder",
     "GraphError",
     "GraphQLSchema",
@@ -76,10 +81,12 @@ __all__ = [
     "SDLSyntaxError",
     "SatisfiabilityChecker",
     "SchemaError",
+    "Severity",
     "TypeRef",
     "ValidationReport",
     "Violation",
     "__version__",
+    "lint_schema",
     "parse_schema",
     "print_schema",
     "satisfies_directives",

@@ -4,6 +4,9 @@ Subcommands:
 
 * ``pgschema check SCHEMA.graphql`` -- parse, report warnings, and check
   consistency (Definitions 4.3/4.4).
+* ``pgschema lint SCHEMA.graphql [--json]`` -- static analysis: stable rule
+  codes with source spans, including the polynomial unsatisfiability
+  pre-checks (Example 6.1's conflicting-cardinality class).
 * ``pgschema validate SCHEMA.graphql GRAPH.json`` -- decide the Schema
   Validation Problem (strong satisfaction) and list violations.
 * ``pgschema sat SCHEMA.graphql [--type T]`` -- object-type satisfiability
@@ -64,6 +67,21 @@ def _build_parser() -> argparse.ArgumentParser:
     check = subparsers.add_parser("check", help="parse a schema and check consistency")
     check.add_argument("schema")
     check.set_defaults(handler=_cmd_check)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the static-analysis rules over a schema"
+    )
+    lint.add_argument("schema")
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="run only these rules (code like PG001 or slug name); repeatable",
+    )
+    lint.add_argument(
+        "--ignore", action="append", metavar="RULE",
+        help="skip these rules; repeatable",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     validate_cmd = subparsers.add_parser(
         "validate", help="validate a graph against a schema"
@@ -157,6 +175,29 @@ def _cmd_check(args) -> int:
         f"{len(schema.union_types)} union(s)"
     )
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .lint import Severity, has_errors, lint_schema
+
+    schema = _load_schema(args.schema, check=False)
+    findings = lint_schema(schema, select=args.select, ignore=args.ignore)
+    if args.json:
+        print(json.dumps([finding.to_json() for finding in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render(args.schema))
+        counts = {
+            severity: sum(1 for f in findings if f.severity is severity)
+            for severity in Severity
+        }
+        print(
+            f"{len(findings)} finding(s): "
+            f"{counts[Severity.ERROR]} error(s), "
+            f"{counts[Severity.WARNING]} warning(s), "
+            f"{counts[Severity.INFO]} info"
+        )
+    return 1 if has_errors(findings) else 0
 
 
 def _cmd_validate(args) -> int:

@@ -316,7 +316,6 @@ class Tableau:
         """Saturate one state; True when complete and clash-free.  On a
         nondeterministic choice, push one branch per alternative (first
         alternative on top) and return False."""
-        table = self._table
         while True:
             if state.size() > self.max_nodes:
                 raise TableauLimitError(

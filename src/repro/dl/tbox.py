@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .concepts import Concept, Not, Or, disj
+from .concepts import Concept, Not, Or
 from .nnf import nnf
 
 

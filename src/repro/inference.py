@@ -123,8 +123,8 @@ class InferenceResult:
 def infer_schema(graph: "PropertyGraph") -> InferenceResult:
     """Infer the tightest schema the instance strongly satisfies."""
     labels = sorted({graph.label(node) for node in graph.nodes})
-    attributes: dict[str, dict[str, _AttributeFacts]] = {l: {} for l in labels}
-    node_counts: dict[str, int] = {l: 0 for l in labels}
+    attributes: dict[str, dict[str, _AttributeFacts]] = {name: {} for name in labels}
+    node_counts: dict[str, int] = {name: 0 for name in labels}
     relationships: dict[tuple[str, str], _RelationshipFacts] = {}
 
     for node in graph.nodes:

@@ -1,0 +1,27 @@
+"""Static analysis (lint) over property-graph schemas.
+
+A rule-based diagnostics engine that runs in polynomial time over a built
+:class:`~repro.schema.model.GraphQLSchema`: stable rule codes (``PG001``...),
+severities, and source spans pointing back into the SDL document.  The
+``unsat``-class rules double as sound pre-checks for the PSPACE tableau of
+:mod:`repro.satisfiability` -- when one fires, the affected type is provably
+unsatisfiable and the tableau never needs to be built.
+"""
+
+from .diagnostics import Diagnostic, Severity, Span, sort_key
+from .engine import has_errors, lint_schema, resolve_rules, unsat_diagnostics
+from .rules import RULES, LintRule, all_rules
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "Span",
+    "sort_key",
+    "lint_schema",
+    "resolve_rules",
+    "unsat_diagnostics",
+    "has_errors",
+    "LintRule",
+    "RULES",
+    "all_rules",
+]

@@ -1,0 +1,81 @@
+"""Running the lint rules over a schema.
+
+:func:`lint_schema` is the front door: it resolves a rule selection, runs
+every selected rule, and returns the findings in stable report order.
+:func:`unsat_diagnostics` is the narrow view the satisfiability engine uses
+as its polynomial pre-pass: only the ``unsat``-class rules, keyed by the
+object type each finding proves unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..errors import SchemaError
+from .diagnostics import Diagnostic, Severity, sort_key
+from .rules import RULES, LintRule, all_rules
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..schema.model import GraphQLSchema
+
+
+def resolve_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> tuple[LintRule, ...]:
+    """The rules to run: all by default, narrowed by code or slug name.
+
+    Raises :class:`SchemaError` for a code/name that matches no rule, so a
+    typo in ``--select PG01`` fails loudly instead of silently linting with
+    nothing.
+    """
+    by_name = {rule.name: rule for rule in RULES.values()}
+
+    def lookup(token: str) -> LintRule:
+        rule = RULES.get(token) or by_name.get(token)
+        if rule is None:
+            known = ", ".join(sorted(RULES))
+            raise SchemaError(f"unknown lint rule {token!r} (known codes: {known})")
+        return rule
+
+    chosen = (
+        {rule.code for rule in map(lookup, select)} if select is not None else set(RULES)
+    )
+    chosen -= {rule.code for rule in map(lookup, ignore or ())}
+    return tuple(rule for rule in all_rules() if rule.code in chosen)
+
+
+def lint_schema(
+    schema: "GraphQLSchema",
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> tuple[Diagnostic, ...]:
+    """All findings of the selected rules, in stable report order."""
+    findings: list[Diagnostic] = []
+    for rule in resolve_rules(select, ignore):
+        findings.extend(rule.check(schema))
+    return tuple(sorted(findings, key=sort_key))
+
+
+def unsat_diagnostics(schema: "GraphQLSchema") -> dict[str, Diagnostic]:
+    """Object types the unsat-class rules prove unsatisfiable.
+
+    Every key is the name of an object type no consistent property graph can
+    populate; the value is the (error-severity) finding that proves it.
+    This is the polynomial pre-pass
+    :class:`~repro.satisfiability.engine.SatisfiabilityChecker` consults
+    before falling back to the tableau.
+    """
+    verdicts: dict[str, Diagnostic] = {}
+    for rule in all_rules():
+        if not rule.unsat:
+            continue
+        for diagnostic in rule.check(schema):
+            if diagnostic.unsat_type is not None:
+                verdicts.setdefault(diagnostic.unsat_type, diagnostic)
+    return verdicts
+
+
+def has_errors(findings: Iterable[Diagnostic]) -> bool:
+    """True when any finding has error severity (drives the CLI exit code)."""
+    return any(finding.severity is Severity.ERROR for finding in findings)

@@ -29,7 +29,7 @@ properties filled in with fresh distinct values) before being returned.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from ..pg.model import PropertyGraph

@@ -2,9 +2,15 @@
 
 :class:`SatisfiabilityChecker` offers:
 
-* ``check_type`` -- the paper's procedure (Theorem 3): translate the schema
-  to an ALCQI TBox and run the tableau.  This decides satisfiability over
-  *unrestricted* (possibly infinite) models.
+* ``check_type`` -- a polynomial lint pre-pass followed, when needed, by the
+  paper's procedure (Theorem 3): translate the schema to an ALCQI TBox and
+  run the tableau.  The pre-pass runs the ``unsat``-class rules of
+  :mod:`repro.lint`; when one proves the type unsatisfiable (Example 6.1's
+  conflicting-cardinality class and its dead-required-target closure), the
+  checker returns UNSAT immediately, carrying the lint diagnostic, and the
+  tableau is never even constructed.  The tableau decides satisfiability
+  over *unrestricted* (possibly infinite) models; the pre-pass is sound for
+  exactly that semantics, so the two never disagree.
 * ``check_type_finite`` -- bounded search for an actual witness Property
   Graph.  Property Graphs are finite, so this is the semantics the paper's
   Definition of satisfiability literally asks for; ALCQI lacks the finite
@@ -25,20 +31,31 @@ from typing import TYPE_CHECKING
 from ..dl.concepts import And, Exists, Name, Role
 from ..dl.tableau import Tableau
 from ..dl.translate import schema_to_tbox
+from ..lint.diagnostics import Diagnostic
+from ..lint.engine import unsat_diagnostics
 from .bounded import BoundedModelFinder, BoundedSearchResult
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..dl.tbox import TBox
     from ..pg.model import PropertyGraph
     from ..schema.model import GraphQLSchema
 
 
 @dataclass
 class TypeSatisfiability:
-    """The verdicts for one object type."""
+    """The verdicts for one object type.
+
+    ``decided_by`` records which engine produced the verdict: ``"lint"``
+    when a polynomial unsat pre-check proved the type unsatisfiable (in
+    which case ``diagnostic`` holds the finding and no tableau ran), or
+    ``"tableau"`` for the Theorem-3 decision.
+    """
 
     type_name: str
     tableau_satisfiable: bool
     bounded: BoundedSearchResult | None = None
+    decided_by: str = "tableau"
+    diagnostic: Diagnostic | None = None
 
     @property
     def witness(self) -> "PropertyGraph | None":
@@ -103,24 +120,77 @@ class SatisfiabilityChecker:
         schema: "GraphQLSchema",
         max_nodes: int = 5000,
         bounded_max_nodes: int = 4,
+        lint_precheck: bool = True,
     ) -> None:
         self.schema = schema
-        self.tbox = schema_to_tbox(schema)
-        self.tableau = Tableau(self.tbox, max_nodes=max_nodes)
         self.bounded_max_nodes = bounded_max_nodes
+        self.lint_precheck = lint_precheck
+        self._max_nodes = max_nodes
+        self._tbox: "TBox | None" = None
+        self._tableau: Tableau | None = None
+        self._lint_verdicts: dict[str, Diagnostic] | None = None
         self._finder = BoundedModelFinder(schema)
+
+    # ------------------------------------------------------------------ #
+    # lazy components: the lint pre-pass can decide UNSAT without either
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tbox(self) -> "TBox":
+        """The ALCQI translation, built on first tableau use."""
+        if self._tbox is None:
+            self._tbox = schema_to_tbox(self.schema)
+        return self._tbox
+
+    @property
+    def tableau(self) -> Tableau:
+        """The Theorem-3 tableau, built on first use."""
+        if self._tableau is None:
+            self._tableau = Tableau(self.tbox, max_nodes=self._max_nodes)
+        return self._tableau
+
+    def lint_verdict(self, object_type: str) -> Diagnostic | None:
+        """The pre-pass verdict: a diagnostic proving unsatisfiability, or None.
+
+        Always available (regardless of ``lint_precheck``) so callers can ask
+        *why* a type is unsatisfiable even when they want tableau decisions.
+        """
+        if self._lint_verdicts is None:
+            self._lint_verdicts = unsat_diagnostics(self.schema)
+        return self._lint_verdicts.get(object_type)
 
     # ------------------------------------------------------------------ #
 
     def is_satisfiable(self, object_type: str) -> bool:
-        """The Theorem-3 decision: tableau over the ALCQI translation."""
+        """The Section-6.2 decision: polynomial pre-checks, then Theorem 3.
+
+        When the lint pre-pass proves the type unsatisfiable the tableau is
+        bypassed (and never constructed); otherwise the tableau decides.
+        """
+        if self.lint_precheck and self.lint_verdict(object_type) is not None:
+            return False
         return self.tableau.is_satisfiable(Name(object_type))
 
     def check_type(
         self, object_type: str, find_witness: bool = True
     ) -> TypeSatisfiability:
-        """Both verdicts for one object type (tableau + bounded witness search)."""
-        tableau_verdict = self.is_satisfiable(object_type)
+        """The full verdict for one object type.
+
+        Runs the unsat-class lint rules first; a hit yields an immediate
+        UNSAT verdict with ``decided_by="lint"`` and the proving diagnostic
+        attached.  Otherwise falls back to the tableau (plus the bounded
+        witness search when requested).
+        """
+        if self.lint_precheck:
+            diagnostic = self.lint_verdict(object_type)
+            if diagnostic is not None:
+                return TypeSatisfiability(
+                    object_type,
+                    tableau_satisfiable=False,
+                    decided_by="lint",
+                    diagnostic=diagnostic,
+                )
+        tableau_verdict = self.tableau.is_satisfiable(Name(object_type))
         bounded = None
         if find_witness and tableau_verdict:
             bounded = self._finder.find_model(object_type, self.bounded_max_nodes)
@@ -144,6 +214,9 @@ class SatisfiabilityChecker:
         field_def = self.schema.field(type_name, field_name)
         if field_def is None or field_def.is_attribute:
             raise ValueError(f"{type_name}.{field_name} is not a relationship definition")
+        if self.lint_precheck and self.schema.is_object_type(type_name):
+            if self.lint_verdict(type_name) is not None:
+                return False  # the declaring type itself is unpopulatable
         concept = And(
             (
                 Name(type_name),

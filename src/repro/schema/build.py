@@ -279,6 +279,8 @@ class _SchemaBuilder:
                 definition.directives, f"type {definition.name}", location="OBJECT"
             ),
             description=definition.description,
+            line=definition.line,
+            column=definition.column,
         )
 
     def _build_interface_type(
@@ -291,6 +293,8 @@ class _SchemaBuilder:
                 definition.directives, f"interface {definition.name}", location="OBJECT"
             ),
             description=definition.description,
+            line=definition.line,
+            column=definition.column,
         )
 
     def _build_union_type(self, definition: ast.UnionTypeDefinition) -> UnionType:
@@ -315,6 +319,8 @@ class _SchemaBuilder:
                 definition.directives, f"union {definition.name}", location="UNION"
             ),
             description=definition.description,
+            line=definition.line,
+            column=definition.column,
         )
 
     def _build_fields(
@@ -358,6 +364,8 @@ class _SchemaBuilder:
             arguments=arguments,
             directives=directives,
             description=field_def.description,
+            line=field_def.line,
+            column=field_def.column,
         )
 
     def _build_arguments(
@@ -402,6 +410,8 @@ class _SchemaBuilder:
                         f"argument {where}({arg_def.name})",
                         location="ARGUMENT_DEFINITION",
                     ),
+                    line=arg_def.line,
+                    column=arg_def.column,
                 )
             )
         return tuple(arguments)
@@ -434,5 +444,7 @@ class _SchemaBuilder:
             arguments = tuple(
                 sorted((arg.name, value_to_python(arg.value)) for arg in node.arguments)
             )
-            applied.append(AppliedDirective(name, arguments))
+            applied.append(
+                AppliedDirective(name, arguments, line=node.line, column=node.column)
+            )
         return tuple(applied)

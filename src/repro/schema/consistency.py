@@ -25,6 +25,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from .model import AppliedDirective, GraphQLSchema
 
 
+def _at(node: object) -> str:
+    """`` (at line L, column C)`` when the node carries a source span.
+
+    Model objects assembled programmatically have no span (line 0) and
+    contribute nothing, so messages stay clean for in-memory schemas.
+    """
+    line = getattr(node, "line", 0)
+    column = getattr(node, "column", 0)
+    return f" (at line {line}, column {column})" if line else ""
+
+
 def interface_consistency_errors(schema: "GraphQLSchema") -> list[str]:
     """All violations of Definition 4.3, as human-readable messages."""
     errors: list[str] = []
@@ -37,25 +48,28 @@ def interface_consistency_errors(schema: "GraphQLSchema") -> list[str]:
                 if object_field is None:
                     errors.append(
                         f"{where} lacks interface field {interface_field.name}"
+                        f"{_at(object_type)}"
                     )
                     continue
                 if not is_subtype(schema, object_field.type, interface_field.type):
                     errors.append(
                         f"{where}: field {interface_field.name} has type "
-                        f"{object_field.type}, not a subtype of {interface_field.type}"
+                        f"{object_field.type}, not a subtype of "
+                        f"{interface_field.type}{_at(object_field)}"
                     )
                 for interface_arg in interface_field.arguments:
                     object_arg = object_field.argument(interface_arg.name)
                     if object_arg is None:
                         errors.append(
                             f"{where}: field {interface_field.name} lacks argument "
-                            f"{interface_arg.name}"
+                            f"{interface_arg.name}{_at(object_field)}"
                         )
                     elif object_arg.type != interface_arg.type:
                         errors.append(
                             f"{where}: argument {interface_field.name}"
                             f"({interface_arg.name}) has type {object_arg.type}, "
                             f"expected exactly {interface_arg.type}"
+                            f"{_at(object_arg)}"
                         )
                 interface_arg_names = {
                     arg.name for arg in interface_field.arguments
@@ -67,7 +81,10 @@ def interface_consistency_errors(schema: "GraphQLSchema") -> list[str]:
                     ):
                         errors.append(
                             f"{where}: extra argument {interface_field.name}"
-                            f"({object_arg.name}) must not be non-null"
+                            f"({object_arg.name}) beyond interface "
+                            f"{interface_name} must have a nullable type, not "
+                            f"{object_arg.type} (Definition 4.3(3))"
+                            f"{_at(object_arg)}"
                         )
     return errors
 
@@ -78,25 +95,29 @@ def directives_consistency_errors(schema: "GraphQLSchema") -> list[str]:
     for where, directive in _all_applied_directives(schema):
         definition = schema.directive_definitions.get(directive.name)
         if definition is None:
-            errors.append(f"{where}: directive @{directive.name} is not defined")
+            errors.append(
+                f"{where}: directive @{directive.name} is not defined{_at(directive)}"
+            )
             continue
         supplied = dict(directive.arguments)
         for arg_name, arg_type in definition.arguments.items():
             if arg_type.non_null and arg_name not in supplied:
                 errors.append(
-                    f"{where}: @{directive.name} lacks required argument {arg_name}"
+                    f"{where}: @{directive.name} lacks required argument "
+                    f"{arg_name}{_at(directive)}"
                 )
         for arg_name, value in supplied.items():
             arg_type = definition.arguments.get(arg_name)
             if arg_type is None:
                 errors.append(
-                    f"{where}: @{directive.name} has undefined argument {arg_name}"
+                    f"{where}: @{directive.name} has undefined argument "
+                    f"{arg_name}{_at(directive)}"
                 )
                 continue
             if not schema.scalars.in_values_w(value, arg_type):
                 errors.append(
                     f"{where}: @{directive.name}({arg_name}: {value!r}) is not a "
-                    f"value of type {arg_type}"
+                    f"value of type {arg_type}{_at(directive)}"
                 )
     return errors
 

@@ -27,6 +27,12 @@ from .scalars import ScalarRegistry
 from .typerefs import TypeRef
 
 
+def _span_field() -> int:
+    """Source line/column carried over from the SDL document (0 when the
+    schema was assembled programmatically); excluded from equality."""
+    return field(default=0, compare=False)  # type: ignore[return-value]
+
+
 class FieldKind(enum.Enum):
     """The paper's two-way classification of field definitions (§3.1)."""
 
@@ -44,6 +50,8 @@ class AppliedDirective:
 
     name: str
     arguments: tuple[tuple[str, object], ...] = ()
+    line: int = _span_field()
+    column: int = _span_field()
 
     @staticmethod
     def of(name: str, **arguments: object) -> "AppliedDirective":
@@ -75,6 +83,8 @@ class ArgumentDefinition:
     default: object = None
     has_default: bool = False
     directives: tuple[AppliedDirective, ...] = ()
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)
@@ -87,6 +97,8 @@ class FieldDefinition:
     arguments: tuple[ArgumentDefinition, ...] = ()
     directives: tuple[AppliedDirective, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
     def argument(self, name: str) -> ArgumentDefinition | None:
         for arg in self.arguments:
@@ -115,6 +127,8 @@ class ObjectType:
     interfaces: tuple[str, ...] = ()
     directives: tuple[AppliedDirective, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
     def field(self, field_name: str) -> FieldDefinition | None:
         for field_def in self.fields:
@@ -140,6 +154,8 @@ class InterfaceType:
     fields: tuple[FieldDefinition, ...] = ()
     directives: tuple[AppliedDirective, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
     def field(self, field_name: str) -> FieldDefinition | None:
         for field_def in self.fields:
@@ -156,6 +172,8 @@ class UnionType:
     members: frozenset[str] = frozenset()
     directives: tuple[AppliedDirective, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)

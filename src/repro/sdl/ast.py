@@ -3,11 +3,19 @@
 All nodes are immutable dataclasses.  The AST is deliberately close to the
 grammar; interpretation (which fields are attributes vs relationships, what
 the directives mean, ...) happens in :mod:`repro.schema.build`, not here.
+
+Definition-level nodes carry the 1-based ``line``/``column`` of the token
+that opens them (0 when built programmatically).  The span fields are
+excluded from equality so hand-assembled ASTs compare equal to parsed ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
+def _span_field() -> int:
+    return field(default=0, compare=False)  # type: ignore[return-value]
 
 
 # --------------------------------------------------------------------------- #
@@ -104,12 +112,16 @@ class NonNullTypeNode(TypeNode):
 class ArgumentNode:
     name: str
     value: ValueNode
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)
 class DirectiveNode:
     name: str
     arguments: tuple[ArgumentNode, ...] = ()
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 # --------------------------------------------------------------------------- #
@@ -126,6 +138,8 @@ class InputValueDefinition:
     default_value: ValueNode | None = None
     directives: tuple[DirectiveNode, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)
@@ -135,6 +149,8 @@ class FieldDefinition:
     arguments: tuple[InputValueDefinition, ...] = ()
     directives: tuple[DirectiveNode, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 class Definition:
@@ -150,6 +166,8 @@ class SchemaDefinition(Definition):
 
     operation_types: tuple[tuple[str, str], ...]
     directives: tuple[DirectiveNode, ...] = ()
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)
@@ -157,6 +175,8 @@ class ScalarTypeDefinition(Definition):
     name: str
     directives: tuple[DirectiveNode, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)
@@ -166,6 +186,8 @@ class ObjectTypeDefinition(Definition):
     interfaces: tuple[str, ...] = ()
     directives: tuple[DirectiveNode, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)
@@ -174,6 +196,8 @@ class InterfaceTypeDefinition(Definition):
     fields: tuple[FieldDefinition, ...] = ()
     directives: tuple[DirectiveNode, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)
@@ -182,6 +206,8 @@ class UnionTypeDefinition(Definition):
     types: tuple[str, ...] = ()
     directives: tuple[DirectiveNode, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)
@@ -189,6 +215,8 @@ class EnumValueDefinition:
     name: str
     directives: tuple[DirectiveNode, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)
@@ -197,6 +225,8 @@ class EnumTypeDefinition(Definition):
     values: tuple[EnumValueDefinition, ...] = ()
     directives: tuple[DirectiveNode, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)
@@ -208,6 +238,8 @@ class InputObjectTypeDefinition(Definition):
     fields: tuple[InputValueDefinition, ...] = ()
     directives: tuple[DirectiveNode, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)
@@ -216,6 +248,8 @@ class DirectiveDefinition(Definition):
     arguments: tuple[InputValueDefinition, ...] = ()
     locations: tuple[str, ...] = ()
     description: str | None = None
+    line: int = _span_field()
+    column: int = _span_field()
 
 
 @dataclass(frozen=True)

@@ -145,7 +145,7 @@ class _Parser:
         return None
 
     def parse_schema_definition(self) -> ast.SchemaDefinition:
-        self.expect_keyword("schema")
+        keyword = self.expect_keyword("schema")
         directives = self.parse_directives()
         self.expect(TokenKind.BRACE_L)
         operations: list[tuple[str, str]] = []
@@ -153,36 +153,54 @@ class _Parser:
             operation = self.parse_name()
             self.expect(TokenKind.COLON)
             operations.append((operation, self.parse_name()))
-        return ast.SchemaDefinition(tuple(operations), directives)
+        return ast.SchemaDefinition(
+            tuple(operations), directives, line=keyword.line, column=keyword.column
+        )
 
     # ------------------------------------------------------------------ #
     # type definitions
     # ------------------------------------------------------------------ #
 
     def parse_scalar_definition(self, description: str | None) -> ast.ScalarTypeDefinition:
-        self.expect_keyword("scalar")
+        keyword = self.expect_keyword("scalar")
         name = self.parse_name()
-        return ast.ScalarTypeDefinition(name, self.parse_directives(), description)
+        return ast.ScalarTypeDefinition(
+            name,
+            self.parse_directives(),
+            description,
+            line=keyword.line,
+            column=keyword.column,
+        )
 
     def parse_object_definition(self, description: str | None) -> ast.ObjectTypeDefinition:
-        self.expect_keyword("type")
+        keyword = self.expect_keyword("type")
         name = self.parse_name()
         interfaces = self.parse_implements_interfaces()
         directives = self.parse_directives()
         fields = self.parse_fields_definition()
-        return ast.ObjectTypeDefinition(name, fields, interfaces, directives, description)
+        return ast.ObjectTypeDefinition(
+            name,
+            fields,
+            interfaces,
+            directives,
+            description,
+            line=keyword.line,
+            column=keyword.column,
+        )
 
     def parse_interface_definition(
         self, description: str | None
     ) -> ast.InterfaceTypeDefinition:
-        self.expect_keyword("interface")
+        keyword = self.expect_keyword("interface")
         name = self.parse_name()
         directives = self.parse_directives()
         fields = self.parse_fields_definition()
-        return ast.InterfaceTypeDefinition(name, fields, directives, description)
+        return ast.InterfaceTypeDefinition(
+            name, fields, directives, description, line=keyword.line, column=keyword.column
+        )
 
     def parse_union_definition(self, description: str | None) -> ast.UnionTypeDefinition:
-        self.expect_keyword("union")
+        keyword = self.expect_keyword("union")
         name = self.parse_name()
         directives = self.parse_directives()
         members: list[str] = []
@@ -191,45 +209,72 @@ class _Parser:
             members.append(self.parse_name())
             while self.skip(TokenKind.PIPE):
                 members.append(self.parse_name())
-        return ast.UnionTypeDefinition(name, tuple(members), directives, description)
+        return ast.UnionTypeDefinition(
+            name,
+            tuple(members),
+            directives,
+            description,
+            line=keyword.line,
+            column=keyword.column,
+        )
 
     def parse_enum_definition(self, description: str | None) -> ast.EnumTypeDefinition:
-        self.expect_keyword("enum")
+        keyword = self.expect_keyword("enum")
         name = self.parse_name()
         directives = self.parse_directives()
         values: list[ast.EnumValueDefinition] = []
         if self.skip(TokenKind.BRACE_L):
             while not self.skip(TokenKind.BRACE_R):
                 value_description = self.parse_description()
-                value_name = self.parse_name()
+                value_token = self.expect(TokenKind.NAME)
+                value_name = value_token.value
                 if value_name in ("true", "false", "null"):
-                    token = self.current
                     raise SDLSyntaxError(
-                        f"enum value must not be {value_name!r}", token.line, token.column
+                        f"enum value must not be {value_name!r}",
+                        value_token.line,
+                        value_token.column,
                     )
                 values.append(
                     ast.EnumValueDefinition(
-                        value_name, self.parse_directives(), value_description
+                        value_name,
+                        self.parse_directives(),
+                        value_description,
+                        line=value_token.line,
+                        column=value_token.column,
                     )
                 )
-        return ast.EnumTypeDefinition(name, tuple(values), directives, description)
+        return ast.EnumTypeDefinition(
+            name,
+            tuple(values),
+            directives,
+            description,
+            line=keyword.line,
+            column=keyword.column,
+        )
 
     def parse_input_object_definition(
         self, description: str | None
     ) -> ast.InputObjectTypeDefinition:
-        self.expect_keyword("input")
+        keyword = self.expect_keyword("input")
         name = self.parse_name()
         directives = self.parse_directives()
         fields: list[ast.InputValueDefinition] = []
         if self.skip(TokenKind.BRACE_L):
             while not self.skip(TokenKind.BRACE_R):
                 fields.append(self.parse_input_value_definition())
-        return ast.InputObjectTypeDefinition(name, tuple(fields), directives, description)
+        return ast.InputObjectTypeDefinition(
+            name,
+            tuple(fields),
+            directives,
+            description,
+            line=keyword.line,
+            column=keyword.column,
+        )
 
     def parse_directive_definition(
         self, description: str | None
     ) -> ast.DirectiveDefinition:
-        self.expect_keyword("directive")
+        keyword = self.expect_keyword("directive")
         self.expect(TokenKind.AT)
         name = self.parse_name()
         arguments = self.parse_arguments_definition()
@@ -238,7 +283,14 @@ class _Parser:
         locations = [self.parse_name()]
         while self.skip(TokenKind.PIPE):
             locations.append(self.parse_name())
-        return ast.DirectiveDefinition(name, arguments, tuple(locations), description)
+        return ast.DirectiveDefinition(
+            name,
+            arguments,
+            tuple(locations),
+            description,
+            line=keyword.line,
+            column=keyword.column,
+        )
 
     def parse_implements_interfaces(self) -> tuple[str, ...]:
         interfaces: list[str] = []
@@ -261,12 +313,20 @@ class _Parser:
 
     def parse_field_definition(self) -> ast.FieldDefinition:
         description = self.parse_description()
-        name = self.parse_name()
+        name_token = self.expect(TokenKind.NAME)
         arguments = self.parse_arguments_definition()
         self.expect(TokenKind.COLON)
         field_type = self.parse_type_reference()
         directives = self.parse_directives()
-        return ast.FieldDefinition(name, field_type, arguments, directives, description)
+        return ast.FieldDefinition(
+            name_token.value,
+            field_type,
+            arguments,
+            directives,
+            description,
+            line=name_token.line,
+            column=name_token.column,
+        )
 
     def parse_arguments_definition(self) -> tuple[ast.InputValueDefinition, ...]:
         arguments: list[ast.InputValueDefinition] = []
@@ -277,14 +337,22 @@ class _Parser:
 
     def parse_input_value_definition(self) -> ast.InputValueDefinition:
         description = self.parse_description()
-        name = self.parse_name()
+        name_token = self.expect(TokenKind.NAME)
         self.expect(TokenKind.COLON)
         value_type = self.parse_type_reference()
         default: ast.ValueNode | None = None
         if self.skip(TokenKind.EQUALS):
             default = self.parse_value_literal(const=True)
         directives = self.parse_directives()
-        return ast.InputValueDefinition(name, value_type, default, directives, description)
+        return ast.InputValueDefinition(
+            name_token.value,
+            value_type,
+            default,
+            directives,
+            description,
+            line=name_token.line,
+            column=name_token.column,
+        )
 
     # ------------------------------------------------------------------ #
     # types, values, directives
@@ -350,16 +418,31 @@ class _Parser:
 
     def parse_directives(self) -> tuple[ast.DirectiveNode, ...]:
         directives: list[ast.DirectiveNode] = []
-        while self.skip(TokenKind.AT):
+        while self.peek(TokenKind.AT):
+            at_token = self.advance()
             name = self.parse_name()
-            directives.append(ast.DirectiveNode(name, self.parse_arguments()))
+            directives.append(
+                ast.DirectiveNode(
+                    name,
+                    self.parse_arguments(),
+                    line=at_token.line,
+                    column=at_token.column,
+                )
+            )
         return tuple(directives)
 
     def parse_arguments(self) -> tuple[ast.ArgumentNode, ...]:
         arguments: list[ast.ArgumentNode] = []
         if self.skip(TokenKind.PAREN_L):
             while not self.skip(TokenKind.PAREN_R):
-                name = self.parse_name()
+                name_token = self.expect(TokenKind.NAME)
                 self.expect(TokenKind.COLON)
-                arguments.append(ast.ArgumentNode(name, self.parse_value_literal(const=True)))
+                arguments.append(
+                    ast.ArgumentNode(
+                        name_token.value,
+                        self.parse_value_literal(const=True),
+                        line=name_token.line,
+                        column=name_token.column,
+                    )
+                )
         return tuple(arguments)

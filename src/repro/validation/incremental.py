@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Mapping
 from ..pg.values import value_signature
 from ..schema.subtype import is_named_subtype
 from . import sites
-from .indexed import IndexedValidator, _GraphIndex, _ordered_pairs
+from .indexed import IndexedValidator, _ordered_pairs
 from .violations import ValidationReport, Violation
 
 if TYPE_CHECKING:  # pragma: no cover

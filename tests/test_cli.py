@@ -50,6 +50,57 @@ class TestCheck:
         assert "error" in capsys.readouterr().err
 
 
+class TestLint:
+    @pytest.fixture
+    def unsat_file(self, tmp_path):
+        path = tmp_path / "a.graphql"
+        path.write_text(CORPUS["example_6_1_a"].sdl)
+        return str(path)
+
+    def test_clean_schema_exits_zero(self, schema_file, capsys):
+        assert main(["lint", schema_file]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_unsat_schema_exits_nonzero_with_span(self, unsat_file, capsys):
+        assert main(["lint", unsat_file]) == 1
+        out = capsys.readouterr().out
+        # compiler-style line: file:line:column, stable code, location
+        assert f"{unsat_file}:5:3: error PG001 [conflicting-cardinality] OT1:" in out
+
+    def test_json_output(self, unsat_file, capsys):
+        assert main(["lint", unsat_file, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        pg001 = [f for f in payload if f["code"] == "PG001"]
+        assert pg001 and pg001[0]["unsatisfiableType"] == "OT1"
+        assert pg001[0]["line"] == 5 and pg001[0]["column"] == 3
+
+    def test_select_and_ignore(self, unsat_file, capsys):
+        assert main(["lint", unsat_file, "--select", "PG004"]) == 0
+        assert main(["lint", unsat_file, "--ignore", "PG004"]) == 1
+        out = capsys.readouterr().out
+        assert "PG004" not in out.split("\n")[-2]
+
+    def test_unknown_rule_is_usage_error(self, schema_file, capsys):
+        assert main(["lint", schema_file, "--select", "PG999"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_warnings_alone_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "warn.graphql"
+        path.write_text("type T { next: T @required @noLoops }")
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "PG002" in out and "1 warning(s)" in out
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_corpus_exit_codes(self, name, tmp_path):
+        """lint exits 0 on every satisfiable corpus schema, nonzero on the
+        two schemas with unsatisfiable types."""
+        path = tmp_path / f"{name}.graphql"
+        path.write_text(CORPUS[name].sdl)
+        expected = 1 if name in {"example_6_1_a", "diagram_c"} else 0
+        assert main(["lint", str(path)]) == expected
+
+
 class TestValidate:
     def test_conformant(self, schema_file, graph_file, capsys):
         assert main(["validate", schema_file, graph_file]) == 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.evolution import Impact, diff_schemas
+from repro.evolution import diff_schemas
 from repro.schema import parse_schema
 from repro.validation import validate
 from repro.workloads import library_graph, user_session_graph

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.fo import (
-    And,
     Atom,
     Const,
     Eq,
@@ -12,7 +11,6 @@ from repro.fo import (
     ForAll,
     Implies,
     Not,
-    Or,
     SENTENCES,
     Var,
     conj,

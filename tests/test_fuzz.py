@@ -1,6 +1,5 @@
 """Robustness fuzzing: the front end never crashes, it raises typed errors."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

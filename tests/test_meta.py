@@ -66,6 +66,7 @@ class TestPublicAPI:
             "repro.pg",
             "repro.sdl",
             "repro.schema",
+            "repro.lint",
             "repro.validation",
             "repro.fo",
             "repro.sat",

@@ -4,7 +4,6 @@ import itertools
 
 import pytest
 
-from repro.pg import PropertyGraph
 from repro.sat import CNF, random_ksat, solve
 from repro.satisfiability import (
     BoundedModelFinder,

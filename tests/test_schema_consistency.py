@@ -69,7 +69,12 @@ class TestInterfaceConsistency:
             )
 
     def test_extra_argument_must_be_nullable(self):
-        with pytest.raises(ConsistencyError, match="must not be non-null"):
+        # Definition 4.3(3): arguments beyond the interface's are allowed
+        # only at nullable types; the message must say so and cite the rule.
+        with pytest.raises(
+            ConsistencyError,
+            match=r"must have a nullable type, not Float! \(Definition 4.3\(3\)\)",
+        ):
             parse_schema(
                 """
                 type B { x: Int }
@@ -77,6 +82,19 @@ class TestInterfaceConsistency:
                 type T implements I { rel(a: Int extra: Float!): B }
                 """
             )
+
+    def test_extra_argument_message_names_interface_and_span(self):
+        schema = parse_schema(
+            "type B { x: Int }\n"
+            "interface I { rel(a: Int): B }\n"
+            "type T implements I { rel(a: Int extra: Float!): B }\n",
+            check=False,
+        )
+        errors = interface_consistency_errors(schema)
+        assert len(errors) == 1
+        assert "extra argument rel(extra) beyond interface I" in errors[0]
+        # the span points at the extra argument's name token on line 3
+        assert "(at line 3, column 34)" in errors[0]
 
     def test_extra_nullable_argument_allowed(self):
         schema = parse_schema(

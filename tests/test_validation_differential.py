@@ -12,7 +12,6 @@ from hypothesis import strategies as st
 
 from repro.fo import FOValidator
 from repro.pg import PropertyGraph, random_graph
-from repro.schema import parse_schema
 from repro.validation import IndexedValidator, NaiveValidator
 from repro.workloads import conformant_graph, corrupt_graph, random_schema
 from repro.workloads.paper_schemas import CORPUS

@@ -8,7 +8,6 @@ import pytest
 from repro.pg import GraphBuilder
 from repro.schema import parse_schema
 from repro.validation import validate
-from tests.conftest import rules_fired
 
 
 @pytest.fixture(params=["indexed", "naive"])
