@@ -11,6 +11,8 @@ naive engine, ~2x for the indexed engine.  The shape to check: the naive
 engine's quadratic growth and the widening gap to the indexed engine.
 """
 
+import os
+
 import pytest
 
 from repro.validation import IndexedValidator, NaiveValidator
@@ -19,8 +21,14 @@ from repro.workloads import load, user_session_graph
 SCHEMA = load("user_session_edge_props")
 
 #: |V| ≈ num_users * (1 + sessions); n = |V| + |E|
-NAIVE_SIZES = [50, 100, 200, 400]
-INDEXED_SIZES = [50, 100, 200, 400, 800, 1600, 3200]
+if os.environ.get("PGSCHEMA_BENCH_QUICK") == "1":
+    # CI smoke mode: tiny sizes, still one row per engine so the growth
+    # machinery and agreement anchor are exercised end to end.
+    NAIVE_SIZES = [50, 100]
+    INDEXED_SIZES = [50, 100]
+else:
+    NAIVE_SIZES = [50, 100, 200, 400]
+    INDEXED_SIZES = [50, 100, 200, 400, 800, 1600, 3200]
 
 
 def _graph(num_users: int):

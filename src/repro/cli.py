@@ -94,7 +94,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default="strong",
     )
     validate_cmd.add_argument(
-        "--engine", choices=("indexed", "naive"), default="indexed"
+        "--engine", choices=("indexed", "naive", "parallel"), default="indexed"
+    )
+    validate_cmd.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker count for --engine parallel (default: all usable cores)",
+    )
+    validate_cmd.add_argument(
+        "--profile", action="store_true",
+        help="print per-rule wall time to stderr (forces the indexed engine)",
     )
     validate_cmd.set_defaults(handler=_cmd_validate)
 
@@ -203,7 +211,19 @@ def _cmd_lint(args) -> int:
 def _cmd_validate(args) -> int:
     schema = _load_schema(args.schema)
     graph = _load_graph(args.graph)
-    report = validate(schema, graph, mode=args.mode, engine=args.engine)
+    if args.profile:
+        from .validation import IndexedValidator, compile_plan
+
+        validator = IndexedValidator(schema, plan=compile_plan(schema))
+        report, timings = validator.profile_rules(graph, mode=args.mode)
+        total = sum(timings.values())
+        for rule, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
+            print(f"  {rule:4s} {seconds * 1000:9.3f} ms", file=sys.stderr)
+        print(f"  {'all':4s} {total * 1000:9.3f} ms", file=sys.stderr)
+    else:
+        report = validate(
+            schema, graph, mode=args.mode, engine=args.engine, jobs=args.jobs
+        )
     print(report.summary())
     for violation in sorted(report.violations, key=str):
         print(f"  {violation}")

@@ -16,12 +16,16 @@ carry no semantics of their own.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, Mapping
+from typing import Hashable, Iterable, Iterator, Mapping
 
 from ..errors import GraphError
 from .values import PropertyValue, normalize_value
 
 ElementId = Hashable
+
+#: Shared empty mapping returned by :meth:`PropertyGraph.property_map` for
+#: elements without properties (callers must not mutate it).
+_EMPTY_PROPERTIES: dict = {}
 
 
 class PropertyGraph:
@@ -229,6 +233,32 @@ class PropertyGraph:
             return list(by_label.get(label, ()))
         return [edge for edges in by_label.values() for edge in edges]
 
+    def out_degree(self, node_id: ElementId, label: str) -> int:
+        """Number of outgoing edges with the given label (no list copy)."""
+        edges = self._out.get(node_id)
+        if not edges:
+            return 0
+        return len(edges.get(label, ()))
+
+    def iter_in_edges(
+        self, node_id: ElementId, label: str
+    ) -> tuple[ElementId, ...] | list[ElementId]:
+        """Incoming edges with the given label, without copying the index
+        bucket.  The result must be treated as read-only; use
+        :meth:`in_edges` for a mutable list."""
+        edges = self._in.get(node_id)
+        if not edges:
+            return ()
+        return edges.get(label, ())
+
+    def property_map(self, element_id: ElementId) -> Mapping[str, PropertyValue]:
+        """The element's property dict *without* copying (hot-path accessor
+        for the validators).  The result must be treated as read-only; use
+        :meth:`properties` for a detached copy.  Unlike :meth:`properties`
+        this does not verify the element exists -- absent elements simply
+        yield an empty mapping."""
+        return self._properties.get(element_id, _EMPTY_PROPERTIES)
+
     def nodes_with_label(self, label: str) -> list[ElementId]:
         """All nodes v with λ(v) = label (linear scan; validators keep their own index)."""
         return [node for node, node_label in self._node_labels.items() if node_label == label]
@@ -238,6 +268,26 @@ class PropertyGraph:
         for element, props in self._properties.items():
             for name, value in props.items():
                 yield element, name, value
+
+    def node_items(self) -> Iterable[tuple[ElementId, str]]:
+        """All (node, λ(node)) pairs as a read-only bulk view (one dict
+        iteration instead of a :meth:`label` call per node)."""
+        return self._node_labels.items()
+
+    def edge_records(
+        self,
+    ) -> list[tuple[ElementId, ElementId, ElementId, str, str, str]]:
+        """All (edge, source, target, λ(edge), λ(source), λ(target)) tuples
+        in one bulk pass (the validators' substitute for per-edge
+        :meth:`endpoints`/:meth:`label` calls)."""
+        endpoints = self._endpoints
+        node_labels = self._node_labels
+        records = []
+        append = records.append
+        for edge, label in self._edge_labels.items():
+            source, target = endpoints[edge]
+            append((edge, source, target, label, node_labels[source], node_labels[target]))
+        return records
 
     # ------------------------------------------------------------------ #
     # misc

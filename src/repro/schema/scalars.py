@@ -174,6 +174,55 @@ class ScalarRegistry:
             )
         return self.in_values(value, type_ref.base)
 
+    def checker_w(self, type_ref: TypeRef) -> ScalarPredicate:
+        """A compiled membership predicate for ``values_W(type_ref)``.
+
+        Returns a closure equivalent to ``lambda v: in_values_w(v, type_ref)``
+        with the wrapping shape resolved once instead of per value -- the
+        form the compiled validation plans feed to their hot loops.
+        """
+        base = type_ref.base
+        if base in self._enums:
+            allowed = self._enums[base]
+
+            def atom(value: object, _allowed=allowed) -> bool:
+                return isinstance(value, str) and value in _allowed
+
+        else:
+            atom = self._predicates.get(base)  # type: ignore[assignment]
+            if atom is None:
+                raise SchemaError(
+                    f"values_W is defined on scalar types only, got {type_ref}"
+                )
+        nullable = not type_ref.non_null
+        if type_ref.is_list:
+            if type_ref.inner_non_null:
+
+                def check(value: object) -> bool:
+                    if value is None:
+                        return nullable
+                    return isinstance(value, tuple) and all(
+                        atom(item) for item in value
+                    )
+
+            else:
+
+                def check(value: object) -> bool:
+                    if value is None:
+                        return nullable
+                    return isinstance(value, tuple) and all(
+                        item is None or atom(item) for item in value
+                    )
+
+        else:
+
+            def check(value: object) -> bool:
+                if value is None:
+                    return nullable
+                return atom(value)
+
+        return check
+
     def copy(self) -> "ScalarRegistry":
         clone = ScalarRegistry()
         clone._predicates = dict(self._predicates)

@@ -1,6 +1,7 @@
 """Schema validation: the satisfaction semantics of Section 5."""
 
 from .engine import (
+    ENGINES,
     make_validator,
     satisfies_directives,
     strongly_satisfies,
@@ -10,6 +11,14 @@ from .engine import (
 from .incremental import IncrementalValidator
 from .indexed import IndexedValidator
 from .naive import NaiveValidator
+from .parallel import ParallelValidator
+from .plan import (
+    ValidationPlan,
+    compile_plan,
+    plan_cache_clear,
+    plan_cache_info,
+)
+from .shard import GraphShard, partition_graph
 from .violations import (
     ALL_RULES,
     DIRECTIVE_RULES,
@@ -24,16 +33,24 @@ from .violations import (
 __all__ = [
     "ALL_RULES",
     "DIRECTIVE_RULES",
+    "ENGINES",
     "EXTENSION_RULES",
+    "GraphShard",
     "IncrementalValidator",
     "IndexedValidator",
     "NaiveValidator",
+    "ParallelValidator",
     "RULES",
     "STRONG_RULES",
+    "ValidationPlan",
     "ValidationReport",
     "Violation",
     "WEAK_RULES",
+    "compile_plan",
     "make_validator",
+    "partition_graph",
+    "plan_cache_clear",
+    "plan_cache_info",
     "satisfies_directives",
     "strongly_satisfies",
     "validate",

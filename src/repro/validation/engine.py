@@ -3,6 +3,11 @@
 :func:`validate` decides the Schema Validation Problem of Section 6.1 for
 one (schema, graph) pair; the convenience predicates mirror the paper's
 three satisfaction notions.
+
+Validator construction goes through the compiled-plan cache
+(:func:`repro.validation.plan.compile_plan`), so repeated ``validate()``
+calls against the same schema no longer repay the schema-analysis cost
+(site tables, label closures) on every call.
 """
 
 from __future__ import annotations
@@ -11,21 +16,41 @@ from typing import TYPE_CHECKING
 
 from .indexed import IndexedValidator
 from .naive import NaiveValidator
+from .parallel import ParallelValidator
+from .plan import compile_plan
 from .violations import ValidationReport
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..pg.model import PropertyGraph
     from ..schema.model import GraphQLSchema
 
-_ENGINES = {"indexed": IndexedValidator, "naive": NaiveValidator}
+ENGINES = ("indexed", "naive", "parallel")
 
 
-def make_validator(schema: "GraphQLSchema", engine: str = "indexed"):
-    """Instantiate a validator by engine name ("indexed" or "naive")."""
-    try:
-        return _ENGINES[engine](schema)
-    except KeyError:
-        raise ValueError(f"unknown validation engine: {engine!r}") from None
+def make_validator(
+    schema: "GraphQLSchema",
+    engine: str = "indexed",
+    jobs: int | None = None,
+    executor: str = "auto",
+):
+    """Instantiate a validator by engine name.
+
+    Args:
+        engine: ``"indexed"``, ``"naive"`` or ``"parallel"``.
+        jobs: Worker count for the parallel engine (default: all usable
+            cores); ignored by the sequential engines.
+        executor: Executor policy for the parallel engine (``"auto"``,
+            ``"serial"``, ``"thread"`` or ``"process"``).
+    """
+    if engine == "indexed":
+        return IndexedValidator(schema, plan=compile_plan(schema))
+    if engine == "naive":
+        return NaiveValidator(schema)
+    if engine == "parallel":
+        return ParallelValidator(
+            schema, jobs=jobs, executor=executor, plan=compile_plan(schema)
+        )
+    raise ValueError(f"unknown validation engine: {engine!r}")
 
 
 def validate(
@@ -33,6 +58,7 @@ def validate(
     graph: "PropertyGraph",
     mode: str = "strong",
     engine: str = "indexed",
+    jobs: int | None = None,
 ) -> ValidationReport:
     """Validate *graph* against *schema*.
 
@@ -40,10 +66,12 @@ def validate(
         mode: ``"weak"`` (Definition 5.1), ``"directives"`` (Definition 5.2)
             or ``"strong"`` (Definition 5.3, the default -- this is the
             Schema Validation Problem).
-        engine: ``"indexed"`` (near-linear; default) or ``"naive"``
-            (quantifier-faithful baseline).
+        engine: ``"indexed"`` (near-linear; default), ``"naive"``
+            (quantifier-faithful baseline) or ``"parallel"`` (compiled
+            plans fanned over worker shards).
+        jobs: Worker count for the parallel engine.
     """
-    return make_validator(schema, engine).validate(graph, mode)
+    return make_validator(schema, engine, jobs=jobs).validate(graph, mode)
 
 
 def weakly_satisfies(schema: "GraphQLSchema", graph: "PropertyGraph") -> bool:

@@ -20,9 +20,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Mapping
 
 from ..pg.values import value_signature
-from ..schema.subtype import is_named_subtype
-from . import sites
 from .indexed import IndexedValidator, _ordered_pairs
+from .plan import ValidationPlan
 from .violations import ValidationReport, Violation
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,11 +36,18 @@ ScopeKey = tuple
 class IncrementalValidator:
     """Keeps a graph's strong-validation report current across mutations."""
 
-    def __init__(self, schema: "GraphQLSchema", graph: "PropertyGraph") -> None:
+    def __init__(
+        self,
+        schema: "GraphQLSchema",
+        graph: "PropertyGraph",
+        plan: ValidationPlan | None = None,
+    ) -> None:
         self.schema = schema
         self.graph = graph
-        self._engine = IndexedValidator(schema)
-        self._key_sites = sites.key_sites(schema)
+        self._engine = IndexedValidator(schema, plan=plan)
+        # schema analysis is shared with the other engines via the plan
+        self.plan = self._engine.plan
+        self._key_sites = self.plan.key_sites
         # scope key -> violations found in that scope
         self._violations: dict[ScopeKey, list[Violation]] = {}
         # key-site index -> signature -> set of nodes
@@ -221,7 +227,7 @@ class IncrementalValidator:
                         f"edge label {field_name} corresponds to an attribute field",
                     )
                 )
-            if not is_named_subtype(schema, graph.label(target), ref.base):
+            if not self.plan.is_below(graph.label(target), ref.base):
                 found.append(
                     Violation(
                         "WS3",
@@ -260,7 +266,7 @@ class IncrementalValidator:
             for site in self._engine._distinct:
                 if site.field_name != label:
                     continue
-                if not is_named_subtype(schema, graph.label(node), site.type_name):
+                if not self.plan.is_below(graph.label(node), site.type_name):
                     continue
                 for group in by_endpoints.values():
                     for e1, e2 in _ordered_pairs(group):
@@ -280,8 +286,8 @@ class IncrementalValidator:
                 qualifying = [
                     edge
                     for edge in edges
-                    if is_named_subtype(
-                        schema, graph.label(graph.endpoints(edge)[0]), site.type_name
+                    if self.plan.is_below(
+                        graph.label(graph.endpoints(edge)[0]), site.type_name
                     )
                 ]
                 for e1, e2 in _ordered_pairs(qualifying):
@@ -328,16 +334,12 @@ class IncrementalValidator:
     # signature index maintenance
     # ------------------------------------------------------------------ #
 
-    def _signature_for(self, node: "ElementId", site: sites.KeySite) -> tuple | None:
-        graph, schema = self.graph, self.schema
-        if not is_named_subtype(schema, graph.label(node), site.type_name):
+    def _signature_for(self, node: "ElementId", site_index: int) -> tuple | None:
+        graph = self.graph
+        site = self._key_sites[site_index]
+        if not self.plan.is_below(graph.label(node), site.type_name):
             return None
-        scalar_fields = [
-            field_name
-            for field_name in site.fields
-            if (ref := schema.type_f(site.type_name, field_name)) is not None
-            and schema.is_scalar_type(ref.base)
-        ]
+        scalar_fields = self.plan.key_scalar_fields[site_index]
         return tuple(
             value_signature(graph.property_value(node, field_name))
             if graph.has_property(node, field_name)
@@ -347,8 +349,8 @@ class IncrementalValidator:
 
     def _index_node_signatures(self, node: "ElementId") -> None:
         per_site: list[tuple | None] = []
-        for site_index, site in enumerate(self._key_sites):
-            signature = self._signature_for(node, site)
+        for site_index in range(len(self._key_sites)):
+            signature = self._signature_for(node, site_index)
             per_site.append(signature)
             if signature is not None:
                 self._signatures[site_index].setdefault(signature, set()).add(node)

@@ -15,11 +15,12 @@ which experiment E1 contrasts against the naive engine's quadratic growth.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Iterator
 
 from ..pg.values import value_signature
 from ..schema.subtype import is_named_subtype
-from . import sites
+from .plan import ValidationPlan, compile_plan
 from .violations import (
     ValidationReport,
     Violation,
@@ -35,26 +36,58 @@ _MISSING = ("<missing>",)
 
 
 class IndexedValidator:
-    """Hash-indexed validator; the production engine of this library."""
+    """Hash-indexed validator; the sequential production engine."""
 
-    def __init__(self, schema: "GraphQLSchema") -> None:
+    def __init__(
+        self, schema: "GraphQLSchema", plan: ValidationPlan | None = None
+    ) -> None:
         self.schema = schema
-        # site lists depend only on the schema, so compute them once
-        self._distinct = sites.distinct_sites(schema)
-        self._no_loops = sites.no_loops_sites(schema)
-        self._unique_ft = sites.unique_for_target_sites(schema)
-        self._required_ft = sites.required_for_target_sites(schema)
-        self._required_attr = sites.required_attribute_sites(schema)
-        self._required_edge = sites.required_edge_sites(schema)
-        self._keys = sites.key_sites(schema)
-        self._labels_below: dict[str, frozenset[str]] = {}
+        # all schema analysis (site tables, label closures) lives in the
+        # compiled plan, shared across validators via the plan cache
+        self.plan = plan if plan is not None else compile_plan(schema)
+        self._distinct = self.plan.distinct_sites
+        self._no_loops = self.plan.no_loops_sites
+        self._unique_ft = self.plan.unique_ft_sites
+        self._required_ft = self.plan.required_ft_sites
+        self._required_attr = self.plan.required_attr_sites
+        self._required_edge = self.plan.required_edge_sites
+        self._keys = self.plan.key_sites
 
     def validate(self, graph: "PropertyGraph", mode: str = "strong") -> ValidationReport:
         """Check *graph* for weak / directives / strong satisfaction."""
         rules = rules_for_mode(mode)
         report = ValidationReport(mode=mode, rules_checked=rules)
         index = _GraphIndex(graph)
-        checkers = {
+        checkers = self._checkers()
+        for rule in rules:
+            report.extend(checkers[rule](graph, index))
+        return report
+
+    def profile_rules(
+        self, graph: "PropertyGraph", mode: str = "strong"
+    ) -> tuple[ValidationReport, dict[str, float]]:
+        """Like :meth:`validate`, but also time each rule's pass.
+
+        Returns ``(report, {rule id: wall seconds})``; the timing dict feeds
+        ``pgschema validate --profile`` and the E12 experiment table.
+        """
+        rules = rules_for_mode(mode)
+        report = ValidationReport(mode=mode, rules_checked=rules)
+        index = _GraphIndex(graph)
+        checkers = self._checkers()
+        timings: dict[str, float] = {}
+        for rule in rules:
+            started = time.perf_counter()
+            report.extend(checkers[rule](graph, index))
+            timings[rule] = time.perf_counter() - started
+        return report, timings
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _checkers(self):
+        return {
             "WS1": self._ws1,
             "WS2": self._ws2,
             "WS3": self._ws3,
@@ -72,20 +105,9 @@ class IndexedValidator:
             "SS4": self._ss4,
             "EP1": self._ep1,
         }
-        for rule in rules:
-            report.extend(checkers[rule](graph, index))
-        return report
-
-    # ------------------------------------------------------------------ #
-    # helpers
-    # ------------------------------------------------------------------ #
 
     def _below(self, type_name: str) -> frozenset[str]:
-        found = self._labels_below.get(type_name)
-        if found is None:
-            found = sites.labels_below(self.schema, type_name)
-            self._labels_below[type_name] = found
-        return found
+        return self.plan.labels_below(type_name)
 
     # ------------------------------------------------------------------ #
     # weak satisfaction
@@ -254,14 +276,8 @@ class IndexedValidator:
                         )
 
     def _ds7(self, graph: "PropertyGraph", index: "_GraphIndex") -> Iterator[Violation]:
-        schema = self.schema
-        for site in self._keys:
-            scalar_fields = [
-                field_name
-                for field_name in site.fields
-                if (ref := schema.type_f(site.type_name, field_name)) is not None
-                and schema.is_scalar_type(ref.base)
-            ]
+        for site_index, site in enumerate(self._keys):
+            scalar_fields = self.plan.key_scalar_fields[site_index]
             groups: dict[tuple, list["ElementId"]] = {}
             for label in self._below(site.type_name):
                 for node in index.nodes_by_label.get(label, ()):

@@ -1,7 +1,7 @@
-"""Differential testing: the three implementations of Section 5 must agree.
+"""Differential testing: the implementations of Section 5 must agree.
 
-* NaiveValidator and IndexedValidator must produce *identical violation
-  sets* on every input;
+* NaiveValidator, IndexedValidator and ParallelValidator (at every worker
+  count) must produce *identical violation sets* on every input;
 * FOValidator (the executable Theorem-1 encoding) must agree on the
   per-rule boolean verdicts.
 """
@@ -12,9 +12,12 @@ from hypothesis import strategies as st
 
 from repro.fo import FOValidator
 from repro.pg import PropertyGraph, random_graph
-from repro.validation import IndexedValidator, NaiveValidator
+from repro.validation import IndexedValidator, NaiveValidator, ParallelValidator
 from repro.workloads import conformant_graph, corrupt_graph, random_schema
 from repro.workloads.paper_schemas import CORPUS
+
+#: Worker counts the parallel engine joins the agreement matrix with.
+PARALLEL_JOBS = (1, 2, 4)
 
 SCHEMAS = {
     name: CORPUS[name].load()
@@ -53,6 +56,12 @@ def engines_agree(schema, graph):
     assert naive.keys() == indexed.keys(), (
         naive.keys() ^ indexed.keys()
     )
+    for jobs in PARALLEL_JOBS:
+        parallel = ParallelValidator(schema, jobs=jobs).validate(graph)
+        assert parallel.keys() == indexed.keys(), (
+            jobs,
+            parallel.keys() ^ indexed.keys(),
+        )
     return indexed
 
 
@@ -141,6 +150,34 @@ class TestEmptyGraph:
         fo_agrees(schema, PropertyGraph(), report)
 
 
+class TestParallelDeterminism:
+    """Two parallel runs over the same input render byte-identical reports,
+    regardless of worker count or executor (stable shard hash + canonical
+    merge order)."""
+
+    @pytest.mark.parametrize("rule", ("WS4", "DS1", "DS7"))
+    def test_reports_are_byte_identical(self, rule):
+        from repro.workloads import library_graph
+
+        schema = SCHEMAS["library"]
+        base = library_graph(4, 6, num_series=1, num_publishers=2, seed=1)
+        corrupted = corrupt_graph(base, schema, rule, seed=1)
+        if corrupted is None:
+            pytest.skip(f"no corruption opportunity for {rule} in this schema")
+
+        def render(jobs, executor):
+            report = ParallelValidator(schema, jobs=jobs, executor=executor).validate(
+                corrupted
+            )
+            return "\n".join(str(violation) for violation in report.violations)
+
+        reference = render(1, "serial")
+        assert reference  # the corruption must actually produce violations
+        for jobs in PARALLEL_JOBS:
+            assert render(jobs, "serial") == reference, jobs
+            assert render(jobs, "thread") == reference, jobs
+
+
 class TestExtendedMode:
     def test_ep1_agreement_on_random_graphs(self):
         schema = SCHEMAS["user_session_edge_props"]
@@ -159,6 +196,10 @@ class TestExtendedMode:
             left = naive.validate(graph, mode="extended")
             right = indexed.validate(graph, mode="extended")
             assert left.keys() == right.keys(), seed
+            parallel = ParallelValidator(schema, jobs=2).validate(
+                graph, mode="extended"
+            )
+            assert parallel.keys() == right.keys(), seed
 
     def test_ep1_fires_only_in_extended_mode(self):
         from repro.pg import GraphBuilder
