@@ -7,14 +7,17 @@ shard kernel (one pass over nodes, one over edges, one plan-record dict hit
 per element) beats the per-rule indexed engine even on a single core, and
 the shard fan-out adds multi-core scaling on top.
 
-Three things are measured/asserted here:
+Four things are measured/asserted here:
 
 1. speedup: ``ParallelValidator`` at jobs ∈ {1, 2, 4} vs ``IndexedValidator``
    on the n=16000 user/session graph -- the jobs=4 configuration must be at
    least 1.8x faster than the indexed engine;
 2. plan caching: a warm ``validate()`` (plan already compiled) must be
    measurably cheaper than a cold one (cache cleared before every call);
-3. agreement: the parallel engine returns the identical violation set as the
+3. resilience overhead: disabled fault points cost a None check, and an
+   installed-but-never-matching fault plan keeps healthy validation within
+   noise of a clean run -- the zero-overhead contract of the fault harness;
+4. agreement: the parallel engine returns the identical violation set as the
    indexed engine on the conformant corpus graph and on every corrupted
    differential fixture, for jobs ∈ {1, 2, 4} -- asserted inside the bench,
    so a bench run doubles as an end-to-end check.
@@ -151,7 +154,58 @@ def test_plan_cache_makes_repeat_validation_cheaper():
 
 
 # --------------------------------------------------------------------------- #
-# 3. agreement (asserted even in quick mode)
+# 3. resilience layer overhead (asserted even in quick mode)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.experiment("E12")
+def test_disabled_fault_points_are_noise():
+    """The zero-overhead contract: with no plan installed, a fault_point
+    call is one global load and a None check -- sub-microsecond-scale, so
+    hot loops (tableau expansion, DPLL decisions) can afford it."""
+    from repro.resilience import faults
+
+    faults.uninstall()
+    if faults.enabled():  # an env-configured PGSCHEMA_FAULTS plan is active
+        pytest.skip("cannot measure the disabled path with PGSCHEMA_FAULTS set")
+    calls = 200_000
+    start = time.perf_counter()
+    for index in range(calls):
+        faults.fault_point("bench.site", index=index)
+    per_call = (time.perf_counter() - start) / calls
+    print(f"\nE12 disabled fault_point: {per_call * 1e9:.0f} ns/call")
+    assert per_call < 2e-6, f"disabled fault_point costs {per_call * 1e6:.2f} us"
+
+
+@pytest.mark.experiment("E12")
+def test_resilience_plumbing_overhead_within_noise():
+    """An installed-but-never-matching fault plan plus budget plumbing must
+    not measurably slow a healthy validation run (ratio floor is generous:
+    small absolute times make the quotient noisy)."""
+    from repro.resilience import faults
+
+    graph = _graph()
+    plan = compile_plan(SCHEMA)
+    baseline = ParallelValidator(SCHEMA, jobs=1, plan=plan)
+    shadowed = ParallelValidator(SCHEMA, jobs=1, plan=plan)
+    baseline.validate(graph)  # warm both instances' code paths
+    shadowed.validate(graph)
+    t_clean = _best_of(lambda: baseline.validate(graph), repeats=5)
+    faults.install("crash@no.such.site:shard=999")
+    try:
+        t_shadowed = _best_of(lambda: shadowed.validate(graph), repeats=5)
+    finally:
+        faults.uninstall()
+    ratio = t_shadowed / t_clean
+    print(
+        f"\nE12 resilience overhead: clean {t_clean * 1000:.2f} ms, "
+        f"non-matching plan {t_shadowed * 1000:.2f} ms ({ratio:.2f}x)"
+    )
+    assert ratio < 1.4, f"non-matching fault plan cost {ratio:.2f}x"
+
+
+# --------------------------------------------------------------------------- #
+# 4. agreement (asserted even in quick mode)
 # --------------------------------------------------------------------------- #
 
 

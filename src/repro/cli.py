@@ -25,7 +25,10 @@ Subcommands:
   optionally the data) with a report of the inexpressible constraints.
 
 Exit status: 0 on success/conformance, 1 on violations or unsatisfiable
-types, 2 on usage or input errors.
+types, 2 on usage or input errors, 3 when an execution budget
+(``--timeout`` / ``--max-nodes``) ran out before a decision -- the answer
+is then UNKNOWN, not wrong.  Errors print one uniform line,
+``error[E_CODE]: message`` (see :mod:`repro.errors`).
 """
 
 from __future__ import annotations
@@ -36,8 +39,9 @@ import sys
 
 from .api import GraphQLExecutor, extend_to_api_schema
 from .dl import schema_to_tbox
-from .errors import ReproError
+from .errors import ReproError, exit_code_for, render_error
 from .pg import load_graph
+from .resilience import Budget, faults
 from .satisfiability import SatisfiabilityChecker
 from .schema import consistency_errors, parse_schema
 from .validation import validate
@@ -47,13 +51,13 @@ def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
+        # fail fast (and uniformly) on a malformed PGSCHEMA_FAULTS spec
+        # instead of surfacing it mid-run from some fault site
+        faults.load_env_plan()
         return args.handler(args)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    except (ReproError, OSError) as error:
+        print(render_error(error), file=sys.stderr)
+        return exit_code_for(error)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -104,6 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print per-rule wall time to stderr (forces the indexed engine)",
     )
+    _add_budget_arguments(validate_cmd)
     validate_cmd.set_defaults(handler=_cmd_validate)
 
     sat = subparsers.add_parser("sat", help="check object-type satisfiability")
@@ -114,6 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-witness-nodes", type=int, default=4, metavar="N",
         help="bound for the finite witness search (default 4)",
     )
+    _add_budget_arguments(sat)
     sat.set_defaults(handler=_cmd_sat)
 
     translate = subparsers.add_parser(
@@ -155,6 +161,29 @@ def _build_parser() -> argparse.ArgumentParser:
     export.set_defaults(handler=_cmd_export_cypher)
 
     return parser
+
+
+def _add_budget_arguments(subparser: argparse.ArgumentParser) -> None:
+    group = subparser.add_argument_group("execution budget")
+    group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline for the whole command",
+    )
+    group.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N",
+        help="cap on elements processed / tableau nodes created",
+    )
+    group.add_argument(
+        "--on-budget", choices=("unknown", "error"), default="unknown",
+        help='when the budget runs out: report UNKNOWN partial results and '
+        'exit 3 (default), or fail with error[E_BUDGET]',
+    )
+
+
+def _budget_from_args(args) -> Budget | None:
+    if args.timeout is None and args.max_nodes is None:
+        return None
+    return Budget(deadline=args.timeout, max_nodes=args.max_nodes)
 
 
 def _load_schema(path: str, check: bool = True):
@@ -222,26 +251,42 @@ def _cmd_validate(args) -> int:
         print(f"  {'all':4s} {total * 1000:9.3f} ms", file=sys.stderr)
     else:
         report = validate(
-            schema, graph, mode=args.mode, engine=args.engine, jobs=args.jobs
+            schema,
+            graph,
+            mode=args.mode,
+            engine=args.engine,
+            jobs=args.jobs,
+            budget=_budget_from_args(args),
+            on_budget=args.on_budget,
         )
     print(report.summary())
     for violation in sorted(report.violations, key=str):
         print(f"  {violation}")
-    return 0 if report.conforms else 1
+    if report.violations:
+        return 1
+    return 0 if report.complete else 3
 
 
 def _cmd_sat(args) -> int:
     schema = _load_schema(args.schema, check=False)
     checker = SatisfiabilityChecker(
-        schema, bounded_max_nodes=args.max_witness_nodes
+        schema,
+        bounded_max_nodes=args.max_witness_nodes,
+        budget=_budget_from_args(args),
+        on_budget=args.on_budget,
     )
     type_names = (
         [args.type_name] if args.type_name else sorted(schema.object_types)
     )
     any_unsat = False
+    any_unknown = False
     for type_name in type_names:
         result = checker.check_type(type_name, find_witness=not args.no_witness)
-        if result.tableau_satisfiable:
+        if result.verdict == "unknown":
+            any_unknown = True
+            reason = f" ({result.reason})" if result.reason is not None else ""
+            print(f"{type_name}: UNKNOWN (budget exhausted){reason}")
+        elif result.verdict == "sat":
             finite = result.finitely_satisfiable
             note = (
                 f"finite witness with {result.witness.num_nodes} node(s)"
@@ -253,7 +298,9 @@ def _cmd_sat(args) -> int:
         else:
             any_unsat = True
             print(f"{type_name}: UNSATISFIABLE")
-    return 1 if any_unsat else 0
+    if any_unsat:
+        return 1
+    return 3 if any_unknown else 0
 
 
 def _cmd_translate(args) -> int:

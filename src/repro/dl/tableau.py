@@ -27,16 +27,34 @@ restrictions (Horrocks & Sattler style):
 Internally every concept is *interned* to a small integer id
 (:class:`_ConceptTable`), so node labels are integer sets and all the hot
 membership/label-equality operations avoid re-hashing nested concept
-structures; complements are computed once per id.  A ``max_nodes`` safety
-cap turns runaway growth into an explicit :class:`TableauLimitError`.
+structures; complements are computed once per id.
+
+Satisfiability w.r.t. a TBox is PSPACE-complete (the paper's Theorem 3
+territory), so a pathological schema can make this search run essentially
+forever.  Two cooperative limits turn runaway growth into *typed*, structured
+failures instead:
+
+* the ``max_nodes`` safety cap raises :class:`TableauLimitError` when one
+  completion tree grows too large (the historical behaviour, now carrying a
+  structured :class:`~repro.errors.BudgetReason`);
+* an optional :class:`~repro.resilience.Budget` bounds the whole search --
+  wall-clock deadline, expansion count, and a cooperative memory estimate
+  covering branch clones -- raising
+  :class:`~repro.errors.BudgetExhaustedError`.
+
+Both exceptions share the ``BudgetExhaustedError`` base, so callers (the
+satisfiability checker, the CLI) catch one type and report a typed UNKNOWN
+verdict; a budget trip never yields a wrong SAT/UNSAT answer.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from ..errors import ReproError
+from ..errors import BudgetExhaustedError, BudgetReason
+from ..resilience import faults
 from .concepts import (
     And,
     AtLeast,
@@ -54,9 +72,20 @@ from .concepts import (
 from .nnf import complement, nnf
 from .tbox import TBox
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..resilience import Budget
 
-class TableauLimitError(ReproError):
-    """The completion tree exceeded the configured node limit."""
+#: Cooperative memory estimate: bytes charged per completion-tree node
+#: (label set + parent/role/children bookkeeping, order-of-magnitude).
+_NODE_MEMORY_ESTIMATE = 512
+
+
+class TableauLimitError(BudgetExhaustedError):
+    """The completion tree exceeded the configured node limit.
+
+    A specialisation of :class:`~repro.errors.BudgetExhaustedError` kept for
+    its long-standing name; ``reason.dimension`` is ``"nodes"``.
+    """
 
 
 @dataclass
@@ -67,6 +96,7 @@ class TableauStats:
     branches: int = 0
     merges: int = 0
     max_tree_size: int = 0
+    expansions: int = 0
 
 
 class _ConceptTable:
@@ -177,12 +207,15 @@ class Tableau:
         tbox: TBox | None = None,
         max_nodes: int = 5000,
         *,
+        budget: "Budget | None" = None,
         bcp: bool = True,
         guarded_axioms: bool = True,
         lazy_definitions: bool = True,
         disjointness_propagation: bool = True,
     ) -> None:
-        """The keyword flags disable individual optimisations (all purely
+        """``budget`` bounds the whole search (deadline / expansions /
+        memory estimate); ``max_nodes`` additionally caps one completion
+        tree.  The keyword flags disable individual optimisations (all purely
         performance-affecting; every configuration decides the same
         satisfiability relation).  They exist for the ablation benchmark:
 
@@ -198,6 +231,8 @@ class Tableau:
         # carries definitions/disjointness (TBox.__len__ counts axioms only)
         self.tbox = tbox if tbox is not None else TBox()
         self.max_nodes = max_nodes
+        self.budget = budget
+        self._run_budget: "Budget | None" = None
         self._bcp = bcp
         self.stats = TableauStats()
         self._table = _ConceptTable()
@@ -291,14 +326,32 @@ class Tableau:
         if consequence not in existing:
             self._unfold[trigger] = existing + (consequence,)
 
-    def is_satisfiable(self, concept: Concept) -> bool:
-        """Is *concept* satisfiable w.r.t. the TBox?"""
+    def is_satisfiable(
+        self, concept: Concept, budget: "Budget | None" = None
+    ) -> bool:
+        """Is *concept* satisfiable w.r.t. the TBox?
+
+        ``budget`` (default: the instance budget) bounds this one check;
+        exhaustion raises :class:`~repro.errors.BudgetExhaustedError` --
+        never a wrong verdict.
+        """
         self.stats = TableauStats()
+        self._run_budget = budget if budget is not None else self.budget
         state = _State()
         root = state.create_node(parent=None, roles=frozenset())
         self.stats.nodes_created += 1
+        self._charge_nodes(1)
         state.add(root, (self._table.intern(nnf(concept)),) + self._universal)
-        return self._expand(state)
+        try:
+            return self._expand(state)
+        finally:
+            self._run_budget = None
+
+    def _charge_nodes(self, count: int) -> None:
+        budget = self._run_budget
+        if budget is not None:
+            budget.charge_nodes(count, site="dl.tableau")
+            budget.charge_memory(count * _NODE_MEMORY_ESTIMATE, site="dl.tableau")
 
     # ------------------------------------------------------------------ #
     # the expansion loop (explicit DFS stack)
@@ -316,10 +369,17 @@ class Tableau:
         """Saturate one state; True when complete and clash-free.  On a
         nondeterministic choice, push one branch per alternative (first
         alternative on top) and return False."""
+        budget = self._run_budget
         while True:
+            self.stats.expansions += 1
+            if budget is not None:
+                budget.charge_expansions(1, site="dl.tableau")
+                if not self.stats.expansions % 32:
+                    budget.check_deadline(site="dl.tableau")
+            faults.fault_point("dl.tableau", expansions=self.stats.expansions)
             if state.size() > self.max_nodes:
                 raise TableauLimitError(
-                    f"completion tree exceeded {self.max_nodes} nodes"
+                    BudgetReason("nodes", self.max_nodes, state.size(), "dl.tableau")
                 )
             if state.size() > self.stats.max_tree_size:
                 self.stats.max_tree_size = state.size()
@@ -330,6 +390,12 @@ class Tableau:
             alternatives = self._find_choice(state)
             if alternatives is not None:
                 self.stats.branches += 1
+                if budget is not None:
+                    # each pushed branch clones the whole tree
+                    budget.charge_memory(
+                        len(alternatives) * state.size() * _NODE_MEMORY_ESTIMATE,
+                        site="dl.tableau",
+                    )
                 for mutate in reversed(alternatives):
                     branch = state.clone()
                     mutate(branch)
@@ -515,6 +581,7 @@ class Tableau:
         role = table.role[cid]
         body = table.body[cid]
         created = []
+        self._charge_nodes(count)
         for _ in range(count):
             child = state.create_node(parent=node, roles=frozenset({role}))
             self.stats.nodes_created += 1

@@ -11,6 +11,15 @@ The on-disk format is a small, explicit JSON document::
 Array-valued properties serialise as JSON arrays.  Because JSON has no
 tuple/list distinction and no non-string keys, identifiers round-trip as
 strings or numbers only; that covers every workload in this repository.
+
+Loading is hardened: every way a document can be malformed -- truncated or
+invalid JSON, a non-object top level, non-array ``nodes``/``edges``,
+non-object elements, missing required keys, wrongly-typed ``properties``,
+or absurdly deep nesting -- raises a typed
+:class:`~repro.errors.GraphLoadError` carrying the source name and, for
+JSON syntax errors, the line/column/offset of the problem.  Loaders never
+leak ``KeyError``/``TypeError``/``RecursionError`` to callers; the fuzz
+suite mutates real documents byte-by-byte to enforce this.
 """
 
 from __future__ import annotations
@@ -18,7 +27,7 @@ from __future__ import annotations
 import json
 from typing import IO, Any
 
-from ..errors import GraphError
+from ..errors import GraphLoadError
 from .model import PropertyGraph
 
 
@@ -49,23 +58,99 @@ def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
     }
 
 
-def graph_from_dict(data: dict[str, Any]) -> PropertyGraph:
-    """Decode a dictionary produced by :func:`graph_to_dict`."""
+def _element(
+    record: Any,
+    kind: str,
+    index: int,
+    required: tuple[str, ...],
+    source: str | None,
+) -> dict[str, Any]:
+    """Check one node/edge record's shape; raise with element context."""
+    where = f"{kind}[{index}]"
+    if not isinstance(record, dict):
+        raise GraphLoadError(
+            f"{where} must be an object, got {type(record).__name__}",
+            source=source,
+        )
+    for key in required:
+        if key not in record:
+            raise GraphLoadError(
+                f"{where} is missing required key {key!r}", source=source
+            )
+    properties = record.get("properties")
+    if properties is not None and not isinstance(properties, dict):
+        raise GraphLoadError(
+            f"{where}.properties must be an object, "
+            f"got {type(properties).__name__}",
+            source=source,
+        )
+    return record
+
+
+def graph_from_dict(data: Any, source: str | None = None) -> PropertyGraph:
+    """Decode a dictionary produced by :func:`graph_to_dict`.
+
+    *source* names the document (a file path, ``"<stdin>"``, ...) in error
+    messages.  Shape problems raise :class:`~repro.errors.GraphLoadError`;
+    structural problems (duplicate ids, dangling endpoints) keep raising
+    the narrower :class:`~repro.errors.GraphError` subtypes.
+    """
+    if not isinstance(data, dict):
+        raise GraphLoadError(
+            f"graph document must be a JSON object, got {type(data).__name__}",
+            source=source,
+        )
+    nodes = data.get("nodes", [])
+    edges = data.get("edges", [])
+    if not isinstance(nodes, list):
+        raise GraphLoadError(
+            f'"nodes" must be an array, got {type(nodes).__name__}', source=source
+        )
+    if not isinstance(edges, list):
+        raise GraphLoadError(
+            f'"edges" must be an array, got {type(edges).__name__}', source=source
+        )
     graph = PropertyGraph()
     try:
-        for node in data.get("nodes", []):
-            graph.add_node(node["id"], node["label"], node.get("properties") or None)
-        for edge in data.get("edges", []):
-            graph.add_edge(
-                edge["id"],
-                edge["source"],
-                edge["target"],
-                edge["label"],
-                edge.get("properties") or None,
+        for index, node in enumerate(nodes):
+            record = _element(node, "nodes", index, ("id", "label"), source)
+            graph.add_node(
+                record["id"], record["label"], record.get("properties") or None
             )
-    except KeyError as missing:
-        raise GraphError(f"missing required field in graph document: {missing}") from None
+        for index, edge in enumerate(edges):
+            record = _element(
+                edge, "edges", index, ("id", "source", "target", "label"), source
+            )
+            graph.add_edge(
+                record["id"],
+                record["source"],
+                record["target"],
+                record["label"],
+                record.get("properties") or None,
+            )
+    except (TypeError, ValueError) as bad:
+        # unhashable ids, tuple-hostile property values, ...
+        raise GraphLoadError(
+            f"malformed graph element: {bad}", source=source
+        ) from bad
     return graph
+
+
+def _decode(text: str, source: str | None) -> Any:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as bad:
+        raise GraphLoadError(
+            f"invalid JSON: {bad.msg}",
+            source=source,
+            line=bad.lineno,
+            column=bad.colno,
+            offset=bad.pos,
+        ) from None
+    except RecursionError:
+        raise GraphLoadError(
+            "JSON document is nested too deeply", source=source
+        ) from None
 
 
 def dump_graph(graph: PropertyGraph, fp: IO[str], indent: int | None = 2) -> None:
@@ -78,11 +163,21 @@ def dumps_graph(graph: PropertyGraph, indent: int | None = 2) -> str:
     return json.dumps(graph_to_dict(graph), indent=indent)
 
 
-def load_graph(fp: IO[str]) -> PropertyGraph:
+def load_graph(fp: IO[str], source: str | None = None) -> PropertyGraph:
     """Read a graph from an open JSON text file."""
-    return graph_from_dict(json.load(fp))
+    if source is None:
+        source = getattr(fp, "name", None)
+    try:
+        text = fp.read()
+    except UnicodeDecodeError as bad:
+        raise GraphLoadError(
+            f"graph document is not valid text: {bad.reason}",
+            source=source,
+            offset=bad.start,
+        ) from None
+    return graph_from_dict(_decode(text, source), source)
 
 
-def loads_graph(text: str) -> PropertyGraph:
+def loads_graph(text: str, source: str | None = None) -> PropertyGraph:
     """Read a graph from a JSON string."""
-    return graph_from_dict(json.loads(text))
+    return graph_from_dict(_decode(text, source), source)

@@ -1,0 +1,34 @@
+"""Resilient execution: budgets, typed failure reasons, fault injection.
+
+Under the project's production north star a single pathological schema, a
+killed worker, or a malformed upload must degrade gracefully -- a typed
+UNKNOWN/partial verdict or a recovered retry -- instead of hanging or
+tracebacking the service.  This package holds the shared machinery:
+
+* :class:`Budget` (:mod:`repro.resilience.budget`) -- cooperative
+  deadline / node-count / expansion-count / memory-estimate limits threaded
+  through the tableau, bounded model search, the SAT solver and the
+  validation engines;
+* :mod:`repro.resilience.faults` -- deterministic fault injection
+  (``PGSCHEMA_FAULTS``) used by the chaos tests to prove every recovery
+  path: injected worker crashes, delays and allocation spikes at named
+  sites.
+
+The structured failure types (:class:`~repro.errors.BudgetReason`,
+:class:`~repro.errors.BudgetExhaustedError`,
+:class:`~repro.errors.WorkerFailureError`) live in :mod:`repro.errors` with
+the rest of the taxonomy; they are re-exported here for convenience.
+"""
+
+from ..errors import BudgetExhaustedError, BudgetReason, WorkerFailureError
+from . import faults
+from .budget import UNLIMITED, Budget
+
+__all__ = [
+    "UNLIMITED",
+    "Budget",
+    "BudgetExhaustedError",
+    "BudgetReason",
+    "WorkerFailureError",
+    "faults",
+]

@@ -11,8 +11,13 @@ growth *is* the NP-hardness story experiment E5 plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from ..resilience import faults
 from .cnf import CNF, Clause
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..resilience import Budget
 
 
 @dataclass
@@ -37,19 +42,27 @@ class SolverResult:
     stats: SolverStats = field(default_factory=SolverStats)
 
 
-def solve(cnf: CNF) -> SolverResult:
-    """Decide satisfiability of *cnf* and produce a model when satisfiable."""
-    return _DPLL(cnf).run()
+def solve(cnf: CNF, budget: "Budget | None" = None) -> SolverResult:
+    """Decide satisfiability of *cnf* and produce a model when satisfiable.
+
+    ``budget`` bounds the search (deadline and decision count, charged as
+    expansions); exhaustion raises
+    :class:`~repro.errors.BudgetExhaustedError` -- the DPLL search is
+    exponential in the worst case (that *is* the Theorem-2 story), so
+    service callers must be able to bail out with a typed UNKNOWN.
+    """
+    return _DPLL(cnf, budget).run()
 
 
-def is_satisfiable(cnf: CNF) -> bool:
+def is_satisfiable(cnf: CNF, budget: "Budget | None" = None) -> bool:
     """Convenience wrapper: just the boolean answer."""
-    return solve(cnf).satisfiable
+    return solve(cnf, budget).satisfiable
 
 
 class _DPLL:
-    def __init__(self, cnf: CNF) -> None:
+    def __init__(self, cnf: CNF, budget: "Budget | None" = None) -> None:
         self.cnf = cnf
+        self.budget = budget
         self.stats = SolverStats()
 
     def run(self) -> SolverResult:
@@ -74,6 +87,12 @@ class _DPLL:
             return assignment
         literal = self._choose_literal(clauses)
         self.stats.decisions += 1
+        if self.budget is not None:
+            # a decision already scans every clause, so a per-decision
+            # deadline read is noise by comparison
+            self.budget.charge_expansions(1, site="sat.dpll")
+            self.budget.check_deadline(site="sat.dpll")
+        faults.fault_point("sat.decision", decision=self.stats.decisions)
         for chosen in (literal, -literal):
             branch = dict(assignment)
             branch[abs(chosen)] = chosen > 0

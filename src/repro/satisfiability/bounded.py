@@ -32,24 +32,39 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
+from ..errors import BudgetExhaustedError, BudgetReason
 from ..pg.model import PropertyGraph
+from ..resilience import faults
 from ..schema.subtype import is_named_subtype
 from ..validation import sites
 from ..validation.indexed import IndexedValidator
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..resilience import Budget
     from ..schema.model import GraphQLSchema
 
 
 @dataclass
 class BoundedSearchResult:
-    """Outcome of a bounded model search."""
+    """Outcome of a bounded model search.
+
+    ``reason`` is set when the search stopped early -- the assignment cap,
+    a deadline, or another budget dimension ran out before every label
+    multiset up to the bound was tried.  ``satisfiable=False`` with a
+    ``reason`` therefore means *unknown below the bound*, not refuted.
+    """
 
     satisfiable: bool
     witness: PropertyGraph | None = None
     nodes_tried: int = 0
     assignments_tried: int = 0
     bound: int = 0
+    reason: "BudgetReason | None" = None
+
+    @property
+    def exhausted(self) -> bool:
+        """Did the search stop on a budget rather than completing?"""
+        return self.reason is not None
 
 
 @dataclass(frozen=True)
@@ -67,9 +82,15 @@ class _Obligation:
 class BoundedModelFinder:
     """Exhaustive finite-model search up to a node bound."""
 
-    def __init__(self, schema: "GraphQLSchema", max_assignments: int = 20000) -> None:
+    def __init__(
+        self,
+        schema: "GraphQLSchema",
+        max_assignments: int = 20000,
+        budget: "Budget | None" = None,
+    ) -> None:
         self.schema = schema
         self.max_assignments = max_assignments
+        self.budget = budget
         self._validator = IndexedValidator(schema)
         self._required_edge = sites.required_edge_sites(schema)
         self._required_ft = sites.required_for_target_sites(schema)
@@ -77,25 +98,51 @@ class BoundedModelFinder:
             (site.type_name, site.field_name) for site in sites.no_loops_sites(schema)
         }
 
-    def find_model(self, object_type: str, max_nodes: int = 4) -> BoundedSearchResult:
-        """Search for a strongly-satisfying graph with a node of *object_type*."""
+    def find_model(
+        self,
+        object_type: str,
+        max_nodes: int = 4,
+        budget: "Budget | None" = None,
+    ) -> BoundedSearchResult:
+        """Search for a strongly-satisfying graph with a node of *object_type*.
+
+        Never raises on exhaustion: the search is best-effort below a bound
+        by construction, so a tripped budget (deadline, expansion count, or
+        the historical assignment cap) is reported as ``result.reason``.
+        """
         result = BoundedSearchResult(satisfiable=False, bound=max_nodes)
         if object_type not in self.schema.object_types:
             return result
+        budget = budget if budget is not None else self.budget
         other_types = sorted(self.schema.object_types)
-        for size in range(1, max_nodes + 1):
-            for extra in itertools.combinations_with_replacement(
-                other_types, size - 1
-            ):
-                result.assignments_tried += 1
-                if result.assignments_tried > self.max_assignments:
-                    return result
-                labels = (object_type,) + extra
-                witness = self._try_labels(labels)
-                if witness is not None:
-                    result.satisfiable = True
-                    result.witness = witness
-                    return result
+        try:
+            for size in range(1, max_nodes + 1):
+                for extra in itertools.combinations_with_replacement(
+                    other_types, size - 1
+                ):
+                    result.assignments_tried += 1
+                    if result.assignments_tried > self.max_assignments:
+                        result.reason = BudgetReason(
+                            "assignments",
+                            self.max_assignments,
+                            result.assignments_tried,
+                            "satisfiability.bounded",
+                        )
+                        return result
+                    if budget is not None:
+                        budget.charge_expansions(1, site="satisfiability.bounded")
+                        budget.check_deadline(site="satisfiability.bounded")
+                    faults.fault_point(
+                        "bounded.assignment", assignment=result.assignments_tried
+                    )
+                    labels = (object_type,) + extra
+                    witness = self._try_labels(labels)
+                    if witness is not None:
+                        result.satisfiable = True
+                        result.witness = witness
+                        return result
+        except BudgetExhaustedError as stop:
+            result.reason = stop.reason
         return result
 
     # ------------------------------------------------------------------ #

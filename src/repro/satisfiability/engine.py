@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING
 from ..dl.concepts import And, Exists, Name, Role
 from ..dl.tableau import Tableau
 from ..dl.translate import schema_to_tbox
+from ..errors import BudgetExhaustedError, BudgetReason
 from ..lint.diagnostics import Diagnostic
 from ..lint.engine import unsat_diagnostics
 from .bounded import BoundedModelFinder, BoundedSearchResult
@@ -38,24 +39,38 @@ from .bounded import BoundedModelFinder, BoundedSearchResult
 if TYPE_CHECKING:  # pragma: no cover
     from ..dl.tbox import TBox
     from ..pg.model import PropertyGraph
+    from ..resilience import Budget
     from ..schema.model import GraphQLSchema
+
+_ON_BUDGET = ("unknown", "error")
 
 
 @dataclass
 class TypeSatisfiability:
     """The verdicts for one object type.
 
-    ``decided_by`` records which engine produced the verdict: ``"lint"``
-    when a polynomial unsat pre-check proved the type unsatisfiable (in
-    which case ``diagnostic`` holds the finding and no tableau ran), or
-    ``"tableau"`` for the Theorem-3 decision.
+    ``tableau_satisfiable`` is three-valued: True/False for a decided
+    SAT/UNSAT, None when an execution budget ran out first -- the
+    structured cause is then in ``reason`` and ``decided_by`` is
+    ``"budget"``.  ``decided_by`` otherwise records which engine produced
+    the verdict: ``"lint"`` when a polynomial unsat pre-check proved the
+    type unsatisfiable (in which case ``diagnostic`` holds the finding and
+    no tableau ran), or ``"tableau"`` for the Theorem-3 decision.
     """
 
     type_name: str
-    tableau_satisfiable: bool
+    tableau_satisfiable: bool | None
     bounded: BoundedSearchResult | None = None
     decided_by: str = "tableau"
     diagnostic: Diagnostic | None = None
+    reason: "BudgetReason | None" = None
+
+    @property
+    def verdict(self) -> str:
+        """``"sat"``, ``"unsat"`` or ``"unknown"`` (budget exhausted)."""
+        if self.tableau_satisfiable is None:
+            return "unknown"
+        return "sat" if self.tableau_satisfiable else "unsat"
 
     @property
     def witness(self) -> "PropertyGraph | None":
@@ -64,12 +79,12 @@ class TypeSatisfiability:
     @property
     def finitely_satisfiable(self) -> bool | None:
         """True when a finite witness exists, None when unknown (the bounded
-        search failed but the tableau says satisfiable -- either the bound
-        was too small or only infinite models exist), False when the
+        search failed -- or never completed -- but the tableau says
+        satisfiable, or the whole check ran out of budget), False when the
         tableau proves unsatisfiability (no models at all)."""
         if self.bounded is not None and self.bounded.satisfiable:
             return True
-        if not self.tableau_satisfiable:
+        if self.tableau_satisfiable is False:
             return False
         return None
 
@@ -79,24 +94,44 @@ class SchemaSatisfiabilityReport:
     """Per-element satisfiability of a whole schema (§6.2's soundness check)."""
 
     types: dict[str, TypeSatisfiability] = field(default_factory=dict)
-    fields: dict[tuple[str, str], bool] = field(default_factory=dict)
+    fields: dict[tuple[str, str], bool | None] = field(default_factory=dict)
 
     @property
     def unsatisfiable_types(self) -> list[str]:
         return sorted(
             name
             for name, verdict in self.types.items()
-            if not verdict.tableau_satisfiable
+            if verdict.tableau_satisfiable is False
+        )
+
+    @property
+    def unknown_types(self) -> list[str]:
+        """Types whose check ran out of budget (no verdict either way)."""
+        return sorted(
+            name
+            for name, verdict in self.types.items()
+            if verdict.tableau_satisfiable is None
         )
 
     @property
     def unsatisfiable_fields(self) -> list[tuple[str, str]]:
-        return sorted(key for key, ok in self.fields.items() if not ok)
+        return sorted(key for key, ok in self.fields.items() if ok is False)
+
+    @property
+    def unknown_fields(self) -> list[tuple[str, str]]:
+        return sorted(key for key, ok in self.fields.items() if ok is None)
 
     @property
     def sound(self) -> bool:
-        """Every object type and every relationship definition is populatable."""
-        return not self.unsatisfiable_types and not self.unsatisfiable_fields
+        """Every object type and every relationship definition is *proven*
+        populatable -- budget-exhausted (unknown) elements count against
+        soundness because nothing was proven about them."""
+        return not (
+            self.unsatisfiable_types
+            or self.unsatisfiable_fields
+            or self.unknown_types
+            or self.unknown_fields
+        )
 
     def summary(self) -> str:
         if self.sound:
@@ -108,6 +143,15 @@ class SchemaSatisfiabilityReport:
             parts.append(
                 "unpopulatable edges: "
                 + ", ".join(f"{t}.{f}" for t, f in self.unsatisfiable_fields)
+            )
+        if self.unknown_types:
+            parts.append(
+                "undecided (budget): " + ", ".join(self.unknown_types)
+            )
+        if self.unknown_fields:
+            parts.append(
+                "undecided edges (budget): "
+                + ", ".join(f"{t}.{f}" for t, f in self.unknown_fields)
             )
         return "; ".join(parts)
 
@@ -121,10 +165,26 @@ class SatisfiabilityChecker:
         max_nodes: int = 5000,
         bounded_max_nodes: int = 4,
         lint_precheck: bool = True,
+        budget: "Budget | None" = None,
+        on_budget: str = "unknown",
     ) -> None:
+        """``budget`` is a *template*: every ``check_type``/``check_field``
+        call runs under a fresh :meth:`~repro.resilience.Budget.renew` of
+        it, so one pathological type cannot starve the rest of a
+        ``check_schema`` sweep.  ``on_budget`` decides what exhaustion
+        yields: ``"unknown"`` (default) returns a typed UNKNOWN verdict
+        with the structured reason attached, ``"error"`` re-raises the
+        :class:`~repro.errors.BudgetExhaustedError`.
+        """
+        if on_budget not in _ON_BUDGET:
+            raise ValueError(
+                f"unknown on_budget policy {on_budget!r}; expected one of {_ON_BUDGET}"
+            )
         self.schema = schema
         self.bounded_max_nodes = bounded_max_nodes
         self.lint_precheck = lint_precheck
+        self.budget = budget
+        self.on_budget = on_budget
         self._max_nodes = max_nodes
         self._tbox: "TBox | None" = None
         self._tableau: Tableau | None = None
@@ -159,27 +219,47 @@ class SatisfiabilityChecker:
             self._lint_verdicts = unsat_diagnostics(self.schema)
         return self._lint_verdicts.get(object_type)
 
+    def _fresh_budget(self, override: "Budget | None") -> "Budget | None":
+        """The per-call budget: an explicit override as-is, else a renewed
+        copy of the template (fresh deadline/counters per check)."""
+        if override is not None:
+            return override
+        return self.budget.renew() if self.budget is not None else None
+
     # ------------------------------------------------------------------ #
 
-    def is_satisfiable(self, object_type: str) -> bool:
+    def is_satisfiable(
+        self, object_type: str, budget: "Budget | None" = None
+    ) -> bool:
         """The Section-6.2 decision: polynomial pre-checks, then Theorem 3.
 
         When the lint pre-pass proves the type unsatisfiable the tableau is
         bypassed (and never constructed); otherwise the tableau decides.
+        A boolean cannot express UNKNOWN, so budget exhaustion always
+        raises here regardless of ``on_budget``; use :meth:`check_type`
+        for the graceful three-valued verdict.
         """
         if self.lint_precheck and self.lint_verdict(object_type) is not None:
             return False
-        return self.tableau.is_satisfiable(Name(object_type))
+        return self.tableau.is_satisfiable(
+            Name(object_type), budget=self._fresh_budget(budget)
+        )
 
     def check_type(
-        self, object_type: str, find_witness: bool = True
+        self,
+        object_type: str,
+        find_witness: bool = True,
+        budget: "Budget | None" = None,
     ) -> TypeSatisfiability:
         """The full verdict for one object type.
 
         Runs the unsat-class lint rules first; a hit yields an immediate
         UNSAT verdict with ``decided_by="lint"`` and the proving diagnostic
         attached.  Otherwise falls back to the tableau (plus the bounded
-        witness search when requested).
+        witness search when requested).  Under an exhausted budget the
+        result is a typed UNKNOWN (``verdict == "unknown"``, structured
+        ``reason``) -- never a wrong SAT/UNSAT -- unless
+        ``on_budget="error"`` asked for the exception.
         """
         if self.lint_precheck:
             diagnostic = self.lint_verdict(object_type)
@@ -190,26 +270,49 @@ class SatisfiabilityChecker:
                     decided_by="lint",
                     diagnostic=diagnostic,
                 )
-        tableau_verdict = self.tableau.is_satisfiable(Name(object_type))
+        run_budget = self._fresh_budget(budget)
+        try:
+            tableau_verdict = self.tableau.is_satisfiable(
+                Name(object_type), budget=run_budget
+            )
+        except BudgetExhaustedError as stop:
+            if self.on_budget == "error":
+                raise
+            return TypeSatisfiability(
+                object_type,
+                tableau_satisfiable=None,
+                decided_by="budget",
+                reason=stop.reason,
+            )
         bounded = None
         if find_witness and tableau_verdict:
-            bounded = self._finder.find_model(object_type, self.bounded_max_nodes)
+            bounded = self._finder.find_model(
+                object_type, self.bounded_max_nodes, budget=run_budget
+            )
         return TypeSatisfiability(object_type, tableau_verdict, bounded)
 
     def check_type_finite(
-        self, object_type: str, max_nodes: int | None = None
+        self,
+        object_type: str,
+        max_nodes: int | None = None,
+        budget: "Budget | None" = None,
     ) -> BoundedSearchResult:
         """Finite-model search only (the paper's literal semantics)."""
         return self._finder.find_model(
-            object_type, max_nodes or self.bounded_max_nodes
+            object_type,
+            max_nodes or self.bounded_max_nodes,
+            budget=self._fresh_budget(budget),
         )
 
-    def check_field(self, type_name: str, field_name: str) -> bool:
+    def check_field(
+        self, type_name: str, field_name: str, budget: "Budget | None" = None
+    ) -> bool | None:
         """§6.2: is the edge definition (t, f) populatable?
 
         Equivalent to adding ``@required`` to the field and asking whether
         the declaring type remains satisfiable: the concept
-        ``t ⊓ ∃f.basetype`` must be satisfiable.
+        ``t ⊓ ∃f.basetype`` must be satisfiable.  Returns None (unknown)
+        when the budget runs out under ``on_budget="unknown"``.
         """
         field_def = self.schema.field(type_name, field_name)
         if field_def is None or field_def.is_attribute:
@@ -223,7 +326,14 @@ class SatisfiabilityChecker:
                 Exists(Role(field_name), Name(field_def.type.base)),
             )
         )
-        return self.tableau.is_satisfiable(concept)
+        try:
+            return self.tableau.is_satisfiable(
+                concept, budget=self._fresh_budget(budget)
+            )
+        except BudgetExhaustedError:
+            if self.on_budget == "error":
+                raise
+            return None
 
     def check_schema(self, find_witnesses: bool = False) -> SchemaSatisfiabilityReport:
         """Check every object type and every relationship definition."""

@@ -19,14 +19,25 @@ from .tokens import Token, TokenKind
 
 
 def parse_document(source: str) -> ast.Document:
-    """Parse an SDL document from source text."""
-    return _Parser(tokenize(source)).parse_document()
+    """Parse an SDL document from source text.
+
+    Raises :class:`~repro.errors.SDLSyntaxError` for every malformed input,
+    including pathologically nested documents that would otherwise escape
+    as ``RecursionError`` (the parser recurses on list/wrapping nesting).
+    """
+    try:
+        return _Parser(tokenize(source)).parse_document()
+    except RecursionError:
+        raise SDLSyntaxError("document is nested too deeply") from None
 
 
 def parse_type(source: str) -> ast.TypeNode:
     """Parse a single type reference such as ``[String!]!`` (for tests/tools)."""
     parser = _Parser(tokenize(source))
-    node = parser.parse_type_reference()
+    try:
+        node = parser.parse_type_reference()
+    except RecursionError:
+        raise SDLSyntaxError("type reference is nested too deeply") from None
     parser.expect(TokenKind.EOF)
     return node
 
@@ -34,7 +45,10 @@ def parse_type(source: str) -> ast.TypeNode:
 def parse_value(source: str) -> ast.ValueNode:
     """Parse a single constant value literal such as ``["id", 3]``."""
     parser = _Parser(tokenize(source))
-    node = parser.parse_value_literal(const=True)
+    try:
+        node = parser.parse_value_literal(const=True)
+    except RecursionError:
+        raise SDLSyntaxError("value literal is nested too deeply") from None
     parser.expect(TokenKind.EOF)
     return node
 

@@ -22,6 +22,7 @@ from .violations import ValidationReport
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..pg.model import PropertyGraph
+    from ..resilience import Budget
     from ..schema.model import GraphQLSchema
 
 ENGINES = ("indexed", "naive", "parallel")
@@ -32,6 +33,8 @@ def make_validator(
     engine: str = "indexed",
     jobs: int | None = None,
     executor: str = "auto",
+    budget: "Budget | None" = None,
+    on_budget: str = "unknown",
 ):
     """Instantiate a validator by engine name.
 
@@ -41,14 +44,26 @@ def make_validator(
             cores); ignored by the sequential engines.
         executor: Executor policy for the parallel engine (``"auto"``,
             ``"serial"``, ``"thread"`` or ``"process"``).
+        budget: Template :class:`~repro.resilience.Budget`; each
+            ``validate()`` call runs under a fresh renewal of it.
+        on_budget: ``"unknown"`` (default) turns budget exhaustion into a
+            partial report with ``complete=False``; ``"error"`` raises
+            :class:`~repro.errors.BudgetExhaustedError` instead.
     """
     if engine == "indexed":
-        return IndexedValidator(schema, plan=compile_plan(schema))
+        return IndexedValidator(
+            schema, plan=compile_plan(schema), budget=budget, on_budget=on_budget
+        )
     if engine == "naive":
-        return NaiveValidator(schema)
+        return NaiveValidator(schema, budget=budget, on_budget=on_budget)
     if engine == "parallel":
         return ParallelValidator(
-            schema, jobs=jobs, executor=executor, plan=compile_plan(schema)
+            schema,
+            jobs=jobs,
+            executor=executor,
+            plan=compile_plan(schema),
+            budget=budget,
+            on_budget=on_budget,
         )
     raise ValueError(f"unknown validation engine: {engine!r}")
 
@@ -59,6 +74,8 @@ def validate(
     mode: str = "strong",
     engine: str = "indexed",
     jobs: int | None = None,
+    budget: "Budget | None" = None,
+    on_budget: str = "unknown",
 ) -> ValidationReport:
     """Validate *graph* against *schema*.
 
@@ -70,8 +87,14 @@ def validate(
             (quantifier-faithful baseline) or ``"parallel"`` (compiled
             plans fanned over worker shards).
         jobs: Worker count for the parallel engine.
+        budget: Optional execution budget; when it runs out the report is
+            returned *partial* (``complete=False``, ``verdict=="unknown"``
+            unless violations were already found) rather than wrong.
+        on_budget: ``"unknown"`` or ``"error"`` -- see :func:`make_validator`.
     """
-    return make_validator(schema, engine, jobs=jobs).validate(graph, mode)
+    return make_validator(
+        schema, engine, jobs=jobs, budget=budget, on_budget=on_budget
+    ).validate(graph, mode)
 
 
 def weakly_satisfies(schema: "GraphQLSchema", graph: "PropertyGraph") -> bool:

@@ -26,6 +26,7 @@ from .violations import ValidationReport, Violation
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..pg.model import ElementId, PropertyGraph
+    from ..resilience import Budget
     from ..schema.model import GraphQLSchema
 
 _MISSING = ("<missing>",)
@@ -41,9 +42,16 @@ class IncrementalValidator:
         schema: "GraphQLSchema",
         graph: "PropertyGraph",
         plan: ValidationPlan | None = None,
+        budget: "Budget | None" = None,
     ) -> None:
+        """``budget`` bounds the initial full rebuild (the only unbounded
+        sweep this engine performs).  Exhaustion *raises*
+        :class:`~repro.errors.BudgetExhaustedError` rather than returning a
+        partial validator: a half-built violation cache would silently
+        misreport every later incremental answer."""
         self.schema = schema
         self.graph = graph
+        self.budget = budget
         self._engine = IndexedValidator(schema, plan=plan)
         # schema analysis is shared with the other engines via the plan
         self.plan = self._engine.plan
@@ -161,14 +169,24 @@ class IncrementalValidator:
     # ------------------------------------------------------------------ #
 
     def _full_rebuild(self) -> None:
+        budget = self.budget.renew() if self.budget is not None else None
+        rebuilt = 0
         self._violations.clear()
         for holder in self._signatures:
             holder.clear()
         self._node_signatures.clear()
         for node in self.graph.nodes:
+            if budget is not None:
+                rebuilt += 1
+                if not rebuilt % 1024:
+                    budget.check_deadline(site="validation.incremental")
             self._index_node_signatures(node)
             self._recheck_node(node)
         for edge in self.graph.edges:
+            if budget is not None:
+                rebuilt += 1
+                if not rebuilt % 1024:
+                    budget.check_deadline(site="validation.incremental")
             self._recheck_edge(edge)
         seen_groups: set[ScopeKey] = set()
         for edge in self.graph.edges:

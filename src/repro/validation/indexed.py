@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Iterator
 
+from ..errors import BudgetExhaustedError
 from ..pg.values import value_signature
 from ..schema.subtype import is_named_subtype
 from .plan import ValidationPlan, compile_plan
@@ -30,21 +31,34 @@ from .violations import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..pg.model import ElementId, PropertyGraph
+    from ..resilience import Budget
     from ..schema.model import GraphQLSchema
 
 _MISSING = ("<missing>",)
+
+_ON_BUDGET = ("unknown", "error")
 
 
 class IndexedValidator:
     """Hash-indexed validator; the sequential production engine."""
 
     def __init__(
-        self, schema: "GraphQLSchema", plan: ValidationPlan | None = None
+        self,
+        schema: "GraphQLSchema",
+        plan: ValidationPlan | None = None,
+        budget: "Budget | None" = None,
+        on_budget: str = "unknown",
     ) -> None:
+        if on_budget not in _ON_BUDGET:
+            raise ValueError(
+                f"unknown on_budget policy {on_budget!r}; expected one of {_ON_BUDGET}"
+            )
         self.schema = schema
         # all schema analysis (site tables, label closures) lives in the
         # compiled plan, shared across validators via the plan cache
         self.plan = plan if plan is not None else compile_plan(schema)
+        self.budget = budget
+        self.on_budget = on_budget
         self._distinct = self.plan.distinct_sites
         self._no_loops = self.plan.no_loops_sites
         self._unique_ft = self.plan.unique_ft_sites
@@ -53,14 +67,37 @@ class IndexedValidator:
         self._required_edge = self.plan.required_edge_sites
         self._keys = self.plan.key_sites
 
-    def validate(self, graph: "PropertyGraph", mode: str = "strong") -> ValidationReport:
-        """Check *graph* for weak / directives / strong satisfaction."""
+    def validate(
+        self,
+        graph: "PropertyGraph",
+        mode: str = "strong",
+        budget: "Budget | None" = None,
+    ) -> ValidationReport:
+        """Check *graph* for weak / directives / strong satisfaction.
+
+        Under a ``budget``, element counts are charged up front and the
+        deadline is read between rule passes; exhaustion yields a *partial*
+        report (violations found so far, ``complete=False``) unless the
+        validator was built with ``on_budget="error"``.
+        """
         rules = rules_for_mode(mode)
+        if budget is None and self.budget is not None:
+            budget = self.budget.renew()
         report = ValidationReport(mode=mode, rules_checked=rules)
-        index = _GraphIndex(graph)
-        checkers = self._checkers()
-        for rule in rules:
-            report.extend(checkers[rule](graph, index))
+        try:
+            if budget is not None:
+                budget.charge_nodes(len(graph), site="validation.indexed")
+            index = _GraphIndex(graph)
+            checkers = self._checkers()
+            for rule in rules:
+                if budget is not None:
+                    budget.check_deadline(site="validation.indexed")
+                report.extend(checkers[rule](graph, index))
+        except BudgetExhaustedError as stop:
+            if self.on_budget == "error":
+                raise
+            report.complete = False
+            report.interruption = stop.reason
         return report
 
     def profile_rules(

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from ..errors import BudgetExhaustedError
 from ..pg.values import values_equal
 from ..schema.subtype import is_named_subtype
 from . import sites
@@ -28,22 +29,48 @@ from .violations import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..pg.model import PropertyGraph
+    from ..resilience import Budget
     from ..schema.model import GraphQLSchema
+
+_ON_BUDGET = ("unknown", "error")
 
 
 class NaiveValidator:
     """Quantifier-faithful validator (the Theorem-1 baseline algorithm)."""
 
-    def __init__(self, schema: "GraphQLSchema") -> None:
+    def __init__(
+        self,
+        schema: "GraphQLSchema",
+        budget: "Budget | None" = None,
+        on_budget: str = "unknown",
+    ) -> None:
+        if on_budget not in _ON_BUDGET:
+            raise ValueError(
+                f"unknown on_budget policy {on_budget!r}; expected one of {_ON_BUDGET}"
+            )
         self.schema = schema
+        self.budget = budget
+        self.on_budget = on_budget
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
 
-    def validate(self, graph: "PropertyGraph", mode: str = "strong") -> ValidationReport:
-        """Check *graph* for weak / directives / strong satisfaction."""
+    def validate(
+        self,
+        graph: "PropertyGraph",
+        mode: str = "strong",
+        budget: "Budget | None" = None,
+    ) -> ValidationReport:
+        """Check *graph* for weak / directives / strong satisfaction.
+
+        The quadratic passes make this the engine most in need of a
+        ``budget``: the deadline is read between rule passes and exhaustion
+        yields a partial report unless ``on_budget="error"``.
+        """
         rules = rules_for_mode(mode)
+        if budget is None and self.budget is not None:
+            budget = self.budget.renew()
         report = ValidationReport(mode=mode, rules_checked=rules)
         checkers = {
             "WS1": self._ws1,
@@ -63,8 +90,18 @@ class NaiveValidator:
             "SS4": self._ss4,
             "EP1": self._ep1,
         }
-        for rule in rules:
-            report.extend(checkers[rule](graph))
+        try:
+            if budget is not None:
+                budget.charge_nodes(len(graph), site="validation.naive")
+            for rule in rules:
+                if budget is not None:
+                    budget.check_deadline(site="validation.naive")
+                report.extend(checkers[rule](graph))
+        except BudgetExhaustedError as stop:
+            if self.on_budget == "error":
+                raise
+            report.complete = False
+            report.interruption = stop.reason
         return report
 
     # ------------------------------------------------------------------ #

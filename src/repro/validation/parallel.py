@@ -29,22 +29,59 @@ Executor selection (``executor="auto"``):
 Two runs over the same graph produce byte-identical reports regardless of
 the executor: shard assignment uses a process-stable hash, shard results are
 merged in shard order, and the final violation list is canonically sorted.
+
+**Worker-failure recovery.**  A shard attempt can die three ways: the worker
+process crashes (``BrokenProcessPool`` -- a segfault or an OOM-kill), the
+worker raises, or the attempt exceeds ``shard_timeout``.  Failed shards are
+retried with exponential backoff (``retry_base_delay * 2**attempt``); once
+``max_retries`` retries on the current executor are spent, the *failing
+shards* fall down the executor ladder process → thread → serial, while
+already-completed shard results are kept.  Because merging is positional
+(results land in a shard-indexed array) the recovered report is
+byte-identical to an undisturbed run no matter which executor finally
+produced each shard.  When even the serial rung fails, the last cause is
+re-raised wrapped in :class:`~repro.errors.WorkerFailureError`.  Recovery
+decisions are recorded in :attr:`ParallelValidator.recovery_log` so chaos
+tests can assert a fault actually fired and was survived.
+
+**Budgets.**  An optional :class:`~repro.resilience.Budget` bounds the run:
+elements are charged against ``max_nodes`` up front, and the deadline is
+checked between attempts, inside the shard kernel (every
+``_DEADLINE_CHECK_EVERY`` elements), and while waiting on workers.
+Exhaustion surfaces as :class:`~repro.errors.BudgetExhaustedError`; the
+:meth:`ParallelValidator.validate` entry point converts it into a *partial*
+report (``complete=False``, violations found so far, structured
+``interruption``) unless ``on_budget="error"`` asked for the exception.
+
+Fault-injection sites (see :mod:`repro.resilience.faults`):
+``parallel.worker`` fires at every shard attempt (context: ``shard``,
+``attempt``, ``executor``) and ``parallel.merge`` before the merge step.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import TYPE_CHECKING, Iterable, Sequence
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import TYPE_CHECKING, Sequence
 
+from ..errors import BudgetExhaustedError, WorkerFailureError
 from ..pg.values import value_signature
+from ..resilience import faults
 from .indexed import _ordered_pairs
 from .plan import ValidationPlan, compile_plan
 from .shard import GraphShard, partition_graph
 from .violations import ValidationReport, Violation, rules_for_mode
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..errors import BudgetReason
     from ..pg.model import ElementId, PropertyGraph
+    from ..resilience import Budget
     from ..schema.model import GraphQLSchema
 
 #: (key-site index, key-value signature, node) emitted by shard kernels;
@@ -56,6 +93,14 @@ ShardResult = tuple[list[Violation], list[SignatureTriple]]
 _MISSING = ("<missing>",)
 
 _EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: Executor fallback ladder for failing shards.
+_FALLBACK = {"process": "thread", "thread": "serial"}
+
+#: Deadline-check cadence inside the shard kernel (elements per check).
+_DEADLINE_CHECK_EVERY = 2048
+
+_ON_BUDGET = ("unknown", "error")
 
 
 def usable_cores() -> int:
@@ -79,22 +124,72 @@ class ParallelValidator:
         jobs: int | None = None,
         executor: str = "auto",
         plan: ValidationPlan | None = None,
+        budget: "Budget | None" = None,
+        on_budget: str = "unknown",
+        max_retries: int = 2,
+        retry_base_delay: float = 0.05,
+        shard_timeout: float | None = None,
+        fallback: bool = True,
     ) -> None:
+        """Resilience knobs (all optional; defaults preserve PR-2 behaviour
+        on healthy runs):
+
+        * ``budget`` -- a template :class:`~repro.resilience.Budget`; every
+          ``validate()`` call runs under a fresh renewal of it.
+        * ``on_budget`` -- ``"unknown"`` returns a partial report on
+          exhaustion, ``"error"`` raises.
+        * ``max_retries`` -- same-executor retries per ladder rung before
+          failing shards fall down process → thread → serial.
+        * ``retry_base_delay`` -- base of the exponential backoff sleep.
+        * ``shard_timeout`` -- wall seconds one shard attempt may take
+          before it is treated as a stuck worker and recovered.
+        * ``fallback`` -- disable the executor ladder (then exhausted
+          retries raise :class:`~repro.errors.WorkerFailureError`).
+        """
         if executor not in _EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
+            )
+        if on_budget not in _ON_BUDGET:
+            raise ValueError(
+                f"unknown on_budget policy {on_budget!r}; expected one of {_ON_BUDGET}"
             )
         self.schema = schema
         self.plan = plan if plan is not None else compile_plan(schema)
         self.jobs = max(1, jobs) if jobs is not None else usable_cores()
         self.executor = executor
+        self.budget = budget
+        self.on_budget = on_budget
+        self.max_retries = max(0, max_retries)
+        self.retry_base_delay = retry_base_delay
+        self.shard_timeout = shard_timeout
+        self.fallback = fallback
+        #: recovery events of the last run: one dict per failed attempt
+        #: (keys: shard, executor, attempt, error).
+        self.recovery_log: list[dict] = []
 
-    def validate(self, graph: "PropertyGraph", mode: str = "strong") -> ValidationReport:
+    def validate(
+        self,
+        graph: "PropertyGraph",
+        mode: str = "strong",
+        budget: "Budget | None" = None,
+    ) -> ValidationReport:
         """Check *graph* for weak / directives / strong satisfaction."""
         rules = rules_for_mode(mode)
+        if budget is None and self.budget is not None:
+            budget = self.budget.renew()
         shards = partition_graph(graph, self.jobs)
-        results = self._run_shards(graph, shards, rules)
-        return self._merge(results, mode, rules)
+        results: list[ShardResult | None] = [None] * len(shards)
+        interruption: "BudgetReason | None" = None
+        try:
+            if budget is not None:
+                budget.charge_nodes(len(graph), site="validation.parallel")
+            self._run_shards(graph, shards, rules, results, budget)
+        except BudgetExhaustedError as stop:
+            if self.on_budget == "error":
+                raise
+            interruption = stop.reason
+        return self._merge(results, mode, rules, interruption)
 
     def choose_executor(self, graph: "PropertyGraph") -> str:
         """The executor "auto" resolves to for this graph."""
@@ -110,7 +205,7 @@ class ParallelValidator:
         return "process"
 
     # ------------------------------------------------------------------ #
-    # execution
+    # execution: attempts, retries, the executor fallback ladder
     # ------------------------------------------------------------------ #
 
     def _run_shards(
@@ -118,34 +213,229 @@ class ParallelValidator:
         graph: "PropertyGraph",
         shards: Sequence[GraphShard],
         rules: tuple[str, ...],
-    ) -> list[ShardResult]:
-        executor = self.choose_executor(graph)
-        if executor == "serial":
-            return [validate_shard(self.plan, graph, shard, rules) for shard in shards]
-        if executor == "thread":
-            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                return list(
-                    pool.map(
-                        lambda shard: validate_shard(self.plan, graph, shard, rules),
-                        shards,
+        results: "list[ShardResult | None]",
+        budget: "Budget | None",
+    ) -> None:
+        """Fill ``results`` (shard-indexed, so merging stays deterministic),
+        retrying and falling back until every shard completed or recovery is
+        out of options."""
+        mode = self.choose_executor(graph)
+        pending = list(range(len(shards)))
+        attempt = 0
+        retries_left = self.max_retries
+        self.recovery_log = []
+        while pending:
+            if budget is not None:
+                budget.check_deadline(site="validation.parallel")
+            failures = self._attempt_once(
+                mode, graph, shards, pending, rules, results, attempt, budget
+            )
+            if not failures:
+                return
+            for index, error in failures:
+                self.recovery_log.append(
+                    {
+                        "shard": index,
+                        "executor": mode,
+                        "attempt": attempt,
+                        "error": repr(error),
+                    }
+                )
+            pending = [index for index, _error in failures]
+            attempt += 1
+            if retries_left > 0:
+                retries_left -= 1
+                self._backoff(attempt, budget)
+            elif self.fallback and mode in _FALLBACK:
+                mode = _FALLBACK[mode]
+                retries_left = self.max_retries
+            else:
+                index, error = failures[0]
+                raise WorkerFailureError(
+                    f"shard {index} failed after {attempt} attempt(s) "
+                    f"(final executor {mode!r}): {error}",
+                    shard=index,
+                    attempts=attempt,
+                ) from error
+
+    def _backoff(self, attempt: int, budget: "Budget | None") -> None:
+        delay = self.retry_base_delay * (2 ** (attempt - 1))
+        if budget is not None:
+            remaining = budget.remaining_seconds()
+            if remaining is not None:
+                delay = min(delay, remaining)
+        if delay > 0:
+            time.sleep(delay)
+
+    def _attempt_once(
+        self,
+        mode: str,
+        graph: "PropertyGraph",
+        shards: Sequence[GraphShard],
+        pending: list[int],
+        rules: tuple[str, ...],
+        results: "list[ShardResult | None]",
+        attempt: int,
+        budget: "Budget | None",
+    ) -> list[tuple[int, BaseException]]:
+        """One attempt at the pending shards on one executor; returns the
+        shards that failed (with their causes).  Budget exhaustion is not a
+        failure -- it propagates."""
+        if mode == "serial":
+            failures: list[tuple[int, BaseException]] = []
+            for index in pending:
+                if budget is not None:
+                    budget.check_deadline(site="validation.parallel")
+                try:
+                    faults.fault_point(
+                        "parallel.worker",
+                        shard=shards[index].index,
+                        attempt=attempt,
+                        executor="serial",
+                    )
+                    results[index] = validate_shard(
+                        self.plan, graph, shards[index], rules, budget
+                    )
+                except BudgetExhaustedError:
+                    raise
+                except Exception as error:
+                    failures.append((index, error))
+            return failures
+        if mode == "thread":
+            def make_pool():
+                return ThreadPoolExecutor(max_workers=min(self.jobs, len(pending)))
+
+            def submit(pool, index):
+                return pool.submit(
+                    _thread_validate,
+                    self.plan,
+                    graph,
+                    shards[index],
+                    rules,
+                    attempt,
+                    budget,
+                )
+
+            return self._run_pool_attempt(make_pool, submit, pending, results, budget)
+
+        def make_pool():
+            return ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)),
+                initializer=_pool_initializer,
+                initargs=(self.schema, graph, faults.active_spec()),
+            )
+
+        def submit(pool, index):
+            return pool.submit(
+                _pool_validate, (shards[index], rules, attempt, budget)
+            )
+
+        return self._run_pool_attempt(make_pool, submit, pending, results, budget)
+
+    def _run_pool_attempt(
+        self,
+        make_pool,
+        submit,
+        pending: list[int],
+        results: "list[ShardResult | None]",
+        budget: "Budget | None",
+    ) -> list[tuple[int, BaseException]]:
+        pool = make_pool()
+        hard_shutdown = False
+        try:
+            futures: dict[int, Future] = {
+                index: submit(pool, index) for index in pending
+            }
+            failures = self._collect(futures, results, budget)
+            hard_shutdown = bool(failures)
+            return failures
+        except BaseException:
+            hard_shutdown = True
+            raise
+        finally:
+            self._shutdown_pool(pool, hard_shutdown)
+
+    def _collect(
+        self,
+        futures: "dict[int, Future]",
+        results: "list[ShardResult | None]",
+        budget: "Budget | None",
+    ) -> list[tuple[int, BaseException]]:
+        """Harvest futures into ``results``; classify what went wrong.
+
+        A worker that *tripped the budget* re-raises here (that is an
+        answer, not a crash); a worker that died, raised, or exceeded
+        ``shard_timeout`` marks its shard failed for retry/fallback.
+        """
+        deadline_at = (
+            time.monotonic() + self.shard_timeout
+            if self.shard_timeout is not None
+            else None
+        )
+        failures: list[tuple[int, BaseException]] = []
+        for index, future in futures.items():
+            timeout = None
+            if deadline_at is not None:
+                timeout = max(0.0, deadline_at - time.monotonic())
+            if budget is not None:
+                remaining = budget.remaining_seconds()
+                if remaining is not None:
+                    timeout = remaining if timeout is None else min(timeout, remaining)
+            try:
+                results[index] = future.result(timeout=timeout)
+            except BudgetExhaustedError:
+                raise
+            except TimeoutError:
+                if budget is not None:
+                    # raises when the run deadline (not the shard ceiling) expired
+                    budget.check_deadline(site="validation.parallel")
+                future.cancel()
+                failures.append(
+                    (
+                        index,
+                        WorkerFailureError(
+                            f"shard {index} attempt exceeded "
+                            f"shard_timeout={self.shard_timeout}s",
+                            shard=index,
+                        ),
                     )
                 )
-        with ProcessPoolExecutor(
-            max_workers=self.jobs,
-            initializer=_pool_initializer,
-            initargs=(self.schema, graph),
-        ) as pool:
-            return list(pool.map(_pool_validate, [(shard, rules) for shard in shards]))
+            except BrokenExecutor as error:
+                failures.append((index, error))
+            except Exception as error:
+                failures.append((index, error))
+        return failures
+
+    @staticmethod
+    def _shutdown_pool(pool, hard: bool) -> None:
+        if not hard:
+            pool.shutdown(wait=True)
+            return
+        # a crashed/stuck attempt: do not wait for wedged workers, and
+        # terminate any process still chewing on a cancelled task
+        pool.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(pool, "_processes", None)
+        if processes:
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - already-dead worker
+                    pass
 
     def _merge(
         self,
-        results: Iterable[ShardResult],
+        results: "Sequence[ShardResult | None]",
         mode: str,
         rules: tuple[str, ...],
+        interruption: "BudgetReason | None" = None,
     ) -> ValidationReport:
+        faults.fault_point("parallel.merge")
         violations: list[Violation] = []
         signature_groups: dict[tuple, list["ElementId"]] = {}
-        for shard_violations, triples in results:
+        for result in results:
+            if result is None:  # shard never completed (partial, budgeted run)
+                continue
+            shard_violations, triples = result
             violations.extend(shard_violations)
             for site_index, signature, node in triples:
                 signature_groups.setdefault((site_index, signature), []).append(node)
@@ -164,7 +454,12 @@ class ParallelValidator:
                     )
                 )
         violations.sort(key=_sort_key)
-        report = ValidationReport(mode=mode, rules_checked=rules)
+        report = ValidationReport(
+            mode=mode,
+            rules_checked=rules,
+            complete=interruption is None,
+            interruption=interruption,
+        )
         report.extend(violations)
         return report
 
@@ -179,25 +474,53 @@ def _sort_key(violation: Violation) -> tuple:
 
 
 # --------------------------------------------------------------------------- #
-# process-pool plumbing
+# worker plumbing
 # --------------------------------------------------------------------------- #
 
 _pool_plan: ValidationPlan | None = None
 _pool_graph: "PropertyGraph | None" = None
 
 
-def _pool_initializer(schema: "GraphQLSchema", graph: "PropertyGraph") -> None:
+def _thread_validate(
+    plan: ValidationPlan,
+    graph: "PropertyGraph",
+    shard: GraphShard,
+    rules: tuple[str, ...],
+    attempt: int,
+    budget: "Budget | None",
+) -> ShardResult:
+    faults.fault_point(
+        "parallel.worker", shard=shard.index, attempt=attempt, executor="thread"
+    )
+    return validate_shard(plan, graph, shard, rules, budget)
+
+
+def _pool_initializer(
+    schema: "GraphQLSchema",
+    graph: "PropertyGraph",
+    fault_spec: str | None,
+) -> None:
     """Runs once per worker process: compile the plan locally (its closures
-    are never pickled) and pin the shared graph."""
+    are never pickled), pin the shared graph, and mirror the parent's fault
+    plan -- shipping the spec explicitly keeps injection working under any
+    multiprocessing start method, and marking the process as a worker arms
+    ``mode=exit`` crash faults (a real ``os._exit``, never in the parent)."""
     global _pool_plan, _pool_graph
     _pool_plan = compile_plan(schema)
     _pool_graph = graph
+    faults.mark_worker_process()
+    faults.install(fault_spec)
 
 
-def _pool_validate(task: tuple[GraphShard, tuple[str, ...]]) -> ShardResult:
-    shard, rules = task
+def _pool_validate(
+    task: "tuple[GraphShard, tuple[str, ...], int, Budget | None]",
+) -> ShardResult:
+    shard, rules, attempt, budget = task
     assert _pool_plan is not None and _pool_graph is not None
-    return validate_shard(_pool_plan, _pool_graph, shard, rules)
+    faults.fault_point(
+        "parallel.worker", shard=shard.index, attempt=attempt, executor="process"
+    )
+    return validate_shard(_pool_plan, _pool_graph, shard, rules, budget)
 
 
 # --------------------------------------------------------------------------- #
@@ -210,12 +533,18 @@ def validate_shard(
     graph: "PropertyGraph",
     shard: GraphShard,
     rules: tuple[str, ...],
+    budget: "Budget | None" = None,
 ) -> ShardResult:
     """Check every rule in *rules* against one shard of *graph*.
 
     Returns the violations whose scope lies inside the shard plus the DS7
     signature triples for the merge step.  Union over a full partition ==
     the sequential engines' result (the differential tests enforce this).
+
+    A ``budget`` deadline is read every ``_DEADLINE_CHECK_EVERY`` elements
+    -- one monotonic-clock read amortised over thousands of kernel
+    iterations, so budgeted and unbudgeted runs stay within noise of each
+    other.
     """
     active = frozenset(rules)
     violations: list[Violation] = []
@@ -224,6 +553,7 @@ def validate_shard(
     label_of = graph.label
     endpoints = graph.endpoints
     property_map = graph.property_map
+    elements_seen = 0
 
     # ---------------------------- node pass ---------------------------- #
     ws1 = "WS1" in active
@@ -238,6 +568,10 @@ def validate_shard(
         iter_in_edges = graph.iter_in_edges
         out_degree = graph.out_degree
         for node, label in shard.nodes:
+            if budget is not None:
+                elements_seen += 1
+                if not elements_seen % _DEADLINE_CHECK_EVERY:
+                    budget.check_deadline(site="validation.shard")
             rec = node_rules(label)
             if ss1 and not rec.known:
                 emit(
@@ -349,6 +683,10 @@ def validate_shard(
     edge_rules = plan.edge_rules
     if ws2 or ws3 or ss3 or ss4 or ds2 or ep1:
         for edge, source, target, edge_label, source_label, target_label in shard.edges:
+            if budget is not None:
+                elements_seen += 1
+                if not elements_seen % _DEADLINE_CHECK_EVERY:
+                    budget.check_deadline(site="validation.shard")
             rec = edge_rules(source_label, edge_label)
             if ss4 and rec.ss4 is not None:
                 emit(

@@ -164,17 +164,34 @@ class ValidationReport:
     """The outcome of validating one Property Graph against one schema.
 
     ``conforms`` is True iff no violations were found for the rules that were
-    checked.  ``mode`` records which satisfaction notion was decided:
-    ``"weak"`` (WS only), ``"directives"`` (DS only) or ``"strong"`` (all).
+    checked *and the run completed*.  ``mode`` records which satisfaction
+    notion was decided: ``"weak"`` (WS only), ``"directives"`` (DS only) or
+    ``"strong"`` (all).
+
+    ``complete`` is False when an execution budget (deadline, element
+    count) ran out mid-validation: the report then carries the violations
+    found *so far* plus the structured ``interruption`` reason, and its
+    verdict is "unknown" rather than "conforms" -- a partial scan proves
+    nothing about the unscanned remainder.
     """
 
     mode: str
     violations: list[Violation] = field(default_factory=list)
     rules_checked: tuple[str, ...] = ALL_RULES
+    complete: bool = True
+    #: a :class:`repro.errors.BudgetReason` when ``complete`` is False
+    interruption: object | None = None
 
     @property
     def conforms(self) -> bool:
-        return not self.violations
+        return self.complete and not self.violations
+
+    @property
+    def verdict(self) -> str:
+        """``"conforms"``, ``"violations"`` or ``"unknown"`` (partial run)."""
+        if self.violations:
+            return "violations"
+        return "conforms" if self.complete else "unknown"
 
     def by_rule(self) -> dict[str, list[Violation]]:
         grouped: dict[str, list[Violation]] = {}
@@ -187,12 +204,19 @@ class ValidationReport:
         return frozenset(violation.key() for violation in self.violations)
 
     def summary(self) -> str:
-        if self.conforms:
-            return f"conforms ({self.mode} satisfaction)"
+        suffix = "" if self.complete else (
+            f" [INCOMPLETE: {self.interruption}]"
+            if self.interruption is not None
+            else " [INCOMPLETE]"
+        )
+        if not self.violations:
+            if self.complete:
+                return f"conforms ({self.mode} satisfaction)"
+            return f"UNKNOWN ({self.mode} satisfaction undecided){suffix}"
         counts = ", ".join(
             f"{rule}×{len(violations)}" for rule, violations in sorted(self.by_rule().items())
         )
-        return f"{len(self.violations)} violation(s): {counts}"
+        return f"{len(self.violations)} violation(s): {counts}{suffix}"
 
     def extend(self, violations: Iterable[Violation]) -> None:
         self.violations.extend(violations)

@@ -1,10 +1,52 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Also provides a per-test wall-clock ceiling: with ``pytest-timeout``
+installed (CI) its ``--timeout`` option governs; without it, a SIGALRM
+fallback aborts any test running longer than ``PGSCHEMA_TEST_TIMEOUT``
+seconds (default 120) so a hung worker or deadlocked pool can never wedge
+the suite.  The fallback is a no-op off the main thread and on platforms
+without SIGALRM.
+"""
+
+import importlib.util
+import os
+import signal
+import threading
 
 import pytest
 
 from repro.schema import parse_schema
 from repro.validation import validate
 from repro.workloads.paper_schemas import CORPUS
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+_FALLBACK_TIMEOUT = float(os.environ.get("PGSCHEMA_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=_HAVE_PYTEST_TIMEOUT is False)
+def _sigalrm_test_timeout(request):
+    """SIGALRM-based per-test ceiling when pytest-timeout is unavailable."""
+    if (
+        _FALLBACK_TIMEOUT <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded PGSCHEMA_TEST_TIMEOUT={_FALLBACK_TIMEOUT:g}s: "
+            f"{request.node.nodeid}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, _FALLBACK_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def rules_fired(schema, graph, mode="strong", engine="indexed"):

@@ -1,13 +1,16 @@
 """Robustness fuzzing: the front end never crashes, it raises typed errors."""
 
+import json
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.api.query_parser import parse_query
-from repro.errors import ReproError
-from repro.pg import GraphBuilder
+from repro.errors import GraphLoadError, ReproError
+from repro.pg import GraphBuilder, loads_graph
 from repro.schema import parse_schema
 from repro.sdl import parse_document, print_document, tokenize
+from repro.workloads.paper_schemas import CORPUS
 
 
 @settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow])
@@ -100,3 +103,121 @@ def test_inference_pipeline_total(labels, edges):
         )
     result = infer_schema(graph)
     assert validate(result.schema, graph).conforms
+
+
+# --------------------------------------------------------------------------- #
+# byte-mutation fuzzing: corrupt REAL documents, byte by byte
+# --------------------------------------------------------------------------- #
+#
+# Random text rarely reaches the deep decoding paths (a fully-parsed prefix
+# with one flipped brace, a truncated property map).  Mutating valid corpus
+# documents does, and the contract is the same: a typed ReproError or a
+# successful parse -- never AttributeError, KeyError, TypeError or
+# RecursionError escaping to the caller.
+
+_SDL_CORPUS = [entry.sdl for entry in CORPUS.values()]
+
+_GRAPH_CORPUS = [
+    json.dumps(
+        {
+            "nodes": [
+                {"id": "u1", "label": "User", "properties": {"login": "alice"}},
+                {"id": "u2", "label": "User", "properties": {"login": "bob"}},
+                {"id": "p1", "label": "Post", "properties": {"score": 3.5}},
+            ],
+            "edges": [
+                {"id": "e1", "source": "u1", "target": "u2", "label": "follows",
+                 "properties": {"since": 2019}},
+                {"id": "e2", "source": "u1", "target": "p1", "label": "wrote",
+                 "properties": {}},
+            ],
+        }
+    ),
+    '{"nodes": [], "edges": []}',
+    '{"nodes": [{"id": 1, "label": "T", "properties": {"xs": [1, 2, 3]}}]}',
+]
+
+_mutations = st.lists(
+    st.tuples(
+        st.sampled_from(("delete", "replace", "insert", "truncate", "duplicate")),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _mutate(text: str, operations) -> str:
+    data = bytearray(text.encode("utf-8"))
+    for kind, position, value in operations:
+        if not data:
+            break
+        index = position % len(data)
+        if kind == "delete":
+            del data[index]
+        elif kind == "replace":
+            data[index] = value
+        elif kind == "insert":
+            data.insert(index, value)
+        elif kind == "truncate":
+            del data[index:]
+        else:  # duplicate a slice, stressing "unexpected repeated section"
+            data[index:index] = data[index : index + 16]
+    return data.decode("utf-8", errors="replace")
+
+
+@settings(max_examples=200, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(document=st.sampled_from(_SDL_CORPUS), operations=_mutations)
+def test_sdl_byte_mutation_corpus(document, operations):
+    """Corrupted real schemas either parse or raise a typed ReproError."""
+    try:
+        parse_schema(_mutate(document, operations))
+    except ReproError:
+        pass
+
+
+@settings(max_examples=200, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(document=st.sampled_from(_GRAPH_CORPUS), operations=_mutations)
+def test_graph_json_byte_mutation_corpus(document, operations):
+    """Corrupted graph documents either load or raise a typed ReproError."""
+    try:
+        loads_graph(_mutate(document, operations), source="<fuzz>")
+    except ReproError:
+        pass
+
+
+@settings(max_examples=100, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.text(max_size=200))
+def test_graph_loader_total_on_arbitrary_text(text):
+    """Arbitrary text never escapes loads_graph untyped."""
+    try:
+        loads_graph(text, source="<fuzz>")
+    except ReproError:
+        pass
+
+
+def test_graph_loader_reports_json_position():
+    try:
+        loads_graph('{"nodes": [,]}', source="bad.json")
+    except GraphLoadError as error:
+        assert error.source == "bad.json"
+        assert error.line == 1 and error.column is not None
+        assert "bad.json" in str(error)
+    else:  # pragma: no cover
+        raise AssertionError("malformed JSON must raise GraphLoadError")
+
+
+def test_deeply_nested_documents_raise_typed_errors():
+    nested_json = '{"nodes": [{"id": 1, "label": "T", "properties": {"x": ' + (
+        "[" * 5000
+    ) + ("]" * 5000) + "}}]}"
+    try:
+        loads_graph(nested_json, source="<deep>")
+    except ReproError:
+        pass
+    nested_sdl = "type T { f: " + "[" * 5000 + "Int" + "]" * 5000 + " }"
+    try:
+        parse_schema(nested_sdl)
+    except ReproError:
+        pass
