@@ -4,26 +4,60 @@ Not a pytest module: run directly with ``python benchmarks/collect_results.py``.
 Prints the per-experiment series as markdown-ready rows (the same series the
 pytest-benchmark harness times, but with fitted growth exponents and
 pass/fail verdicts in one place).
+
+Sections may be selected by name (``python benchmarks/collect_results.py
+e11 e12 e13``); the engine-performance sections (E11/E12/E13) additionally
+write machine-readable ``BENCH_<name>.json`` files next to the working
+directory -- CI's bench-smoke job runs them in quick mode
+(``PGSCHEMA_BENCH_QUICK=1``) and uploads the JSON as a build artifact so
+timing regressions leave a paper trail.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import sys
 import time
 
 from repro.dl import Name, Tableau, schema_to_tbox
 from repro.fo import FOValidator
 from repro.baselines import AnglesValidator, sdl_to_angles
 from repro.sat import random_ksat, solve
-from repro.satisfiability import SatisfiabilityChecker, reduce_cnf_to_schema
-from repro.validation import IndexedValidator, NaiveValidator
+from repro.satisfiability import (
+    SatCache,
+    SatisfiabilityChecker,
+    reduce_cnf_to_schema,
+)
+from repro.schema import parse_schema
+from repro.validation import (
+    IndexedValidator,
+    NaiveValidator,
+    ParallelValidator,
+    compile_plan,
+    plan_cache_clear,
+)
 from repro.workloads import (
     CARDINALITY_FIELDS,
     CORPUS,
     cardinality_graph,
+    hub_chain_schema,
     load,
     user_session_graph,
 )
+
+QUICK = os.environ.get("PGSCHEMA_BENCH_QUICK") == "1"
+
+
+def write_bench_json(name: str, payload: dict) -> None:
+    """Persist one experiment's series as ``BENCH_<name>.json``."""
+    path = f"BENCH_{name}.json"
+    payload = dict(payload, quick=QUICK)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[wrote {path}]")
 
 
 def timed(function, *args, repeat: int = 3) -> float:
@@ -204,15 +238,147 @@ def e9_ablation() -> None:
     print()
 
 
-def main() -> None:
-    e1_data_complexity()
-    e3_fo()
-    e4_cardinality()
-    e5_reduction()
-    e6_satisfiability()
-    e8_baseline()
-    e9_ablation()
+def e11_lint_precheck() -> None:
+    print("## E11 — polynomial unsat pre-check vs tableau (dead chains)")
+    depths = (4, 8) if QUICK else (4, 16, 64)
+    rows = []
+    print(f"{'depth':>6} | {'lint (ms)':>9} | {'tableau (ms)':>12}")
+    for depth in depths:
+        lines = ["interface Dead { x: Int }", "type T0 { next: Dead @required }"]
+        for i in range(1, depth):
+            lines.append(f"type T{i} {{ next: T{i - 1} @required }}")
+        sdl = "\n".join(lines)
+
+        def decide(engine: str) -> None:
+            schema = parse_schema(sdl)
+            checker = SatisfiabilityChecker(
+                schema, lint_precheck=(engine == "lint"), cache=False
+            )
+            verdict = checker.check_type(f"T{depth - 1}", find_witness=False)
+            assert not verdict.tableau_satisfiable and verdict.decided_by == engine
+
+        t_lint = timed(decide, "lint")
+        t_tableau = timed(decide, "tableau")
+        rows.append({"depth": depth, "lint_s": t_lint, "tableau_s": t_tableau})
+        print(f"{depth:>6} | {t_lint * 1000:>9.2f} | {t_tableau * 1000:>12.2f}")
+    write_bench_json("e11", {"experiment": "E11", "rows": rows})
+    print()
+
+
+def e12_parallel_validation() -> None:
+    print("## E12 — parallel sharded validation")
+    num_users = 100 if QUICK else 1600
+    schema = load("user_session_edge_props")
+    graph = user_session_graph(num_users, 2, seed=42)
+    plan = compile_plan(schema)
+    indexed = IndexedValidator(schema, plan=plan)
+    parallel = ParallelValidator(schema, jobs=4, plan=plan)
+    assert indexed.validate(graph).keys() == parallel.validate(graph).keys()
+    t_indexed = timed(indexed.validate, graph)
+    t_parallel = timed(parallel.validate, graph)
+    small = user_session_graph(2, 2, seed=42)
+
+    def cold_plan() -> None:
+        plan_cache_clear()
+        IndexedValidator(schema, plan=compile_plan(schema)).validate(small)
+
+    def warm_plan() -> None:
+        IndexedValidator(schema, plan=compile_plan(schema)).validate(small)
+
+    cold_plan()
+    t_cold, t_warm = timed(cold_plan), timed(warm_plan)
+    print(
+        f"n={len(graph)}: indexed {t_indexed * 1000:.2f} ms, "
+        f"parallel(jobs=4) {t_parallel * 1000:.2f} ms "
+        f"({t_indexed / t_parallel:.2f}x); plan cache cold "
+        f"{t_cold * 1000:.3f} ms, warm {t_warm * 1000:.3f} ms"
+    )
+    write_bench_json(
+        "e12",
+        {
+            "experiment": "E12",
+            "n": len(graph),
+            "indexed_s": t_indexed,
+            "parallel_jobs4_s": t_parallel,
+            "speedup": t_indexed / t_parallel,
+            "plan_cache_cold_s": t_cold,
+            "plan_cache_warm_s": t_warm,
+        },
+    )
+    print()
+
+
+def e13_portfolio_sat() -> None:
+    print("## E13 — portfolio whole-schema satisfiability")
+    scaled = (
+        [hub_chain_schema(depth=3, leaves=2)]
+        if QUICK
+        else [hub_chain_schema(depth=12, leaves=8)]
+    )
+    schemas = scaled + [load(name) for name in CORPUS]
+
+    def sweep(engine: str) -> None:
+        for schema in schemas:
+            SatisfiabilityChecker(schema, cache=SatCache(schema)).check_schema(
+                jobs=4, engine=engine
+            )
+
+    sweep("serial")  # warm code paths
+    t_serial = timed(lambda: sweep("serial"))
+    t_portfolio = timed(lambda: sweep("portfolio"))
+    caches = [SatCache(schema) for schema in schemas]
+    for schema, cache in zip(schemas, caches):
+        SatisfiabilityChecker(schema, cache=cache).check_schema(jobs=4)
+
+    def warm_sweep() -> None:
+        for schema, cache in zip(schemas, caches):
+            SatisfiabilityChecker(schema, cache=cache).check_schema(jobs=4)
+
+    t_warm = timed(warm_sweep)
+    print(
+        f"{len(schemas)} schemas: serial {t_serial * 1000:.2f} ms, "
+        f"portfolio(jobs=4) {t_portfolio * 1000:.2f} ms "
+        f"({t_serial / t_portfolio:.2f}x); warm cache {t_warm * 1000:.2f} ms "
+        f"({t_portfolio / t_warm:.1f}x over cold)"
+    )
+    write_bench_json(
+        "e13",
+        {
+            "experiment": "E13",
+            "schemas": len(schemas),
+            "serial_s": t_serial,
+            "portfolio_jobs4_s": t_portfolio,
+            "speedup": t_serial / t_portfolio,
+            "warm_cache_s": t_warm,
+            "warm_speedup_over_cold": t_portfolio / t_warm,
+        },
+    )
+    print()
+
+
+SECTIONS = {
+    "e1": e1_data_complexity,
+    "e3": e3_fo,
+    "e4": e4_cardinality,
+    "e5": e5_reduction,
+    "e6": e6_satisfiability,
+    "e8": e8_baseline,
+    "e9": e9_ablation,
+    "e11": e11_lint_precheck,
+    "e12": e12_parallel_validation,
+    "e13": e13_portfolio_sat,
+}
+
+
+def main(names: list[str] | None = None) -> None:
+    selected = names or list(SECTIONS)
+    for name in selected:
+        if name not in SECTIONS:
+            raise SystemExit(
+                f"unknown section {name!r}; choose from {', '.join(SECTIONS)}"
+            )
+        SECTIONS[name]()
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

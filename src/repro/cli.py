@@ -10,7 +10,10 @@ Subcommands:
 * ``pgschema validate SCHEMA.graphql GRAPH.json`` -- decide the Schema
   Validation Problem (strong satisfaction) and list violations.
 * ``pgschema sat SCHEMA.graphql [--type T]`` -- object-type satisfiability
-  via the Theorem-3 tableau, with a bounded finite-witness search.
+  via the Theorem-3 tableau, with a bounded finite-witness search.  The
+  whole-schema sweep runs the portfolio engine (``--jobs``, ``--engine
+  portfolio|race|serial``); ``--profile`` reports per-engine win counts and
+  verdict-cache statistics.
 * ``pgschema translate SCHEMA.graphql`` -- show the ALCQI TBox of the
   Theorem-3 translation.
 * ``pgschema api SCHEMA.graphql`` -- print the §3.6 GraphQL API schema.
@@ -118,6 +121,19 @@ def _build_parser() -> argparse.ArgumentParser:
     sat.add_argument(
         "--max-witness-nodes", type=int, default=4, metavar="N",
         help="bound for the finite witness search (default 4)",
+    )
+    sat.add_argument(
+        "--engine", choices=("serial", "portfolio", "race"), default="portfolio",
+        help="whole-schema strategy: batched fan-out (default), tableau-vs-"
+        "bounded racing, or the element-by-element serial sweep",
+    )
+    sat.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker count for the portfolio fan-out (default: all usable cores)",
+    )
+    sat.add_argument(
+        "--profile", action="store_true",
+        help="print engine win counts and verdict-cache statistics to stderr",
     )
     _add_budget_arguments(sat)
     sat.set_defaults(handler=_cmd_sat)
@@ -241,7 +257,7 @@ def _cmd_validate(args) -> int:
     schema = _load_schema(args.schema)
     graph = _load_graph(args.graph)
     if args.profile:
-        from .validation import IndexedValidator, compile_plan
+        from .validation import IndexedValidator, compile_plan, plan_cache_info
 
         validator = IndexedValidator(schema, plan=compile_plan(schema))
         report, timings = validator.profile_rules(graph, mode=args.mode)
@@ -249,6 +265,12 @@ def _cmd_validate(args) -> int:
         for rule, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
             print(f"  {rule:4s} {seconds * 1000:9.3f} ms", file=sys.stderr)
         print(f"  {'all':4s} {total * 1000:9.3f} ms", file=sys.stderr)
+        info = plan_cache_info()
+        print(
+            f"  plan cache: {info['hits']} hit(s), {info['misses']} miss(es), "
+            f"{info['size']}/{info['maxsize']} plan(s)",
+            file=sys.stderr,
+        )
     else:
         report = validate(
             schema,
@@ -275,13 +297,21 @@ def _cmd_sat(args) -> int:
         budget=_budget_from_args(args),
         on_budget=args.on_budget,
     )
-    type_names = (
-        [args.type_name] if args.type_name else sorted(schema.object_types)
-    )
+    if args.type_name:
+        results = [
+            checker.check_type(args.type_name, find_witness=not args.no_witness)
+        ]
+    else:
+        report = checker.check_schema(
+            find_witnesses=not args.no_witness,
+            jobs=args.jobs,
+            engine=args.engine,
+        )
+        results = [report.types[name] for name in sorted(report.types)]
     any_unsat = False
     any_unknown = False
-    for type_name in type_names:
-        result = checker.check_type(type_name, find_witness=not args.no_witness)
+    for result in results:
+        type_name = result.type_name
         if result.verdict == "unknown":
             any_unknown = True
             reason = f" ({result.reason})" if result.reason is not None else ""
@@ -298,9 +328,40 @@ def _cmd_sat(args) -> int:
         else:
             any_unsat = True
             print(f"{type_name}: UNSATISFIABLE")
+    if args.profile:
+        _print_sat_profile(checker)
     if any_unsat:
         return 1
     return 3 if any_unknown else 0
+
+
+def _print_sat_profile(checker: SatisfiabilityChecker) -> None:
+    from .satisfiability import sat_cache_info
+
+    profile = checker.last_profile
+    if profile is not None:
+        wins = profile.get("wins", {})
+        won = ", ".join(
+            f"{engine}={count}" for engine, count in sorted(wins.items())
+        ) or "none"
+        print(
+            f"  engine={profile['engine']} executor={profile['executor']} "
+            f"jobs={profile['jobs']} units={profile['units']}",
+            file=sys.stderr,
+        )
+        print(f"  decided by: {won}", file=sys.stderr)
+    info = sat_cache_info()
+    print(
+        f"  sat cache: {info['hits']} hit(s), {info['misses']} miss(es), "
+        f"{info['types']} type / {info['fields']} field / "
+        f"{info['bounded']} bounded verdict(s) over {info['schemas']} schema(s)",
+        file=sys.stderr,
+    )
+    print(
+        f"  label cache: {info['label_hits']} hit(s), "
+        f"{info['label_misses']} miss(es), {info['label_entries']} stored label set(s)",
+        file=sys.stderr,
+    )
 
 
 def _cmd_translate(args) -> int:

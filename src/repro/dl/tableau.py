@@ -232,6 +232,13 @@ class Tableau:
         self.tbox = tbox if tbox is not None else TBox()
         self.max_nodes = max_nodes
         self.budget = budget
+        #: Optional cross-check verdict cache for root label sets (duck-typed:
+        #: ``lookup(frozenset[Concept]) -> bool | None`` and ``store(initial,
+        #: verdict, completed_root)``).  Attached by the satisfiability
+        #: checker so tableaux over the same TBox share proved label sets;
+        #: see :class:`repro.satisfiability.cache.LabelSetCache` for why the
+        #: subset/superset rules are only sound at the root.
+        self.label_cache = None
         self._run_budget: "Budget | None" = None
         self._bcp = bcp
         self.stats = TableauStats()
@@ -336,16 +343,34 @@ class Tableau:
         never a wrong verdict.
         """
         self.stats = TableauStats()
+        table = self._table
+        initial = (table.intern(nnf(concept)),) + self._universal
+        cache = self.label_cache
+        key = None
+        if cache is not None:
+            key = frozenset(table.concept(cid) for cid in initial)
+            hit = cache.lookup(key)
+            if hit is not None:
+                return hit
         self._run_budget = budget if budget is not None else self.budget
         state = _State()
         root = state.create_node(parent=None, roles=frozenset())
         self.stats.nodes_created += 1
         self._charge_nodes(1)
-        state.add(root, (self._table.intern(nnf(concept)),) + self._universal)
+        state.add(root, initial)
         try:
-            return self._expand(state)
+            completed = self._expand(state)
         finally:
             self._run_budget = None
+        if cache is not None:
+            # only *decided* verdicts are stored: a budget trip raised above
+            completed_root = (
+                frozenset(table.concept(cid) for cid in completed.label(root))
+                if completed is not None
+                else None
+            )
+            cache.store(key, completed is not None, completed_root)
+        return completed is not None
 
     def _charge_nodes(self, count: int) -> None:
         budget = self._run_budget
@@ -357,13 +382,15 @@ class Tableau:
     # the expansion loop (explicit DFS stack)
     # ------------------------------------------------------------------ #
 
-    def _expand(self, initial: "_State") -> bool:
+    def _expand(self, initial: "_State") -> "_State | None":
+        """DFS over the branch stack; returns the completed clash-free state
+        (its root label feeds the label-set cache), or None for UNSAT."""
         stack = [initial]
         while stack:
             state = stack.pop()
             if self._saturate(state, stack):
-                return True
-        return False
+                return state
+        return None
 
     def _saturate(self, state: "_State", stack: list["_State"]) -> bool:
         """Saturate one state; True when complete and clash-free.  On a

@@ -9,6 +9,11 @@ tracebacking the service.  This package holds the shared machinery:
   deadline / node-count / expansion-count / memory-estimate limits threaded
   through the tableau, bounded model search, the SAT solver and the
   validation engines;
+* :class:`ExecutorLadder` (:mod:`repro.resilience.ladder`) -- the shared
+  retry / backoff / executor-fallback scheduler behind every fan-out
+  engine (sharded validation, portfolio satisfiability): positional
+  results for deterministic merges, stuck-worker timeouts, and a
+  recovery log chaos tests can assert on;
 * :mod:`repro.resilience.faults` -- deterministic fault injection
   (``PGSCHEMA_FAULTS``) used by the chaos tests to prove every recovery
   path: injected worker crashes, delays and allocation spikes at named
@@ -23,12 +28,14 @@ the rest of the taxonomy; they are re-exported here for convenience.
 from ..errors import BudgetExhaustedError, BudgetReason, WorkerFailureError
 from . import faults
 from .budget import UNLIMITED, Budget
+from .ladder import ExecutorLadder
 
 __all__ = [
     "UNLIMITED",
     "Budget",
     "BudgetExhaustedError",
     "BudgetReason",
+    "ExecutorLadder",
     "WorkerFailureError",
     "faults",
 ]

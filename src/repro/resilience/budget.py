@@ -57,6 +57,7 @@ class Budget:
         "nodes",
         "expansions",
         "memory",
+        "cancelled",
     )
 
     def __init__(
@@ -74,6 +75,7 @@ class Budget:
         self.nodes = 0
         self.expansions = 0
         self.memory = 0
+        self.cancelled = False
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -117,8 +119,27 @@ class Budget:
     # charging
     # ------------------------------------------------------------------ #
 
+    def cancel(self) -> None:
+        """Cancel the budget: every subsequent check/charge raises.
+
+        This is how a portfolio race stops the losing engine: each racer
+        runs under its own budget, and the first decisive verdict cancels
+        the other racer's budget.  The loser trips at its next cooperative
+        check point and unwinds as an ordinary
+        :class:`~repro.errors.BudgetExhaustedError` (``dimension ==
+        "cancelled"``) -- never a wrong verdict.  ``renew()`` copies are
+        born un-cancelled.
+        """
+        self.cancelled = True
+
+    def _check_cancelled(self, site: str) -> None:
+        if self.cancelled:
+            raise BudgetExhaustedError(BudgetReason("cancelled", 0, 0, site))
+
     def check_deadline(self, site: str = "") -> None:
-        """Raise when the wall-clock deadline has passed."""
+        """Raise when the wall-clock deadline has passed (or on cancel)."""
+        if self.cancelled:
+            self._check_cancelled(site)
         if self.deadline is not None:
             used = self.elapsed()
             if used > self.deadline:
@@ -128,6 +149,8 @@ class Budget:
 
     def charge_nodes(self, count: int = 1, site: str = "") -> None:
         """Record *count* created/visited elements; raise past ``max_nodes``."""
+        if self.cancelled:
+            self._check_cancelled(site)
         self.nodes += count
         if self.max_nodes is not None and self.nodes > self.max_nodes:
             raise BudgetExhaustedError(
@@ -136,6 +159,8 @@ class Budget:
 
     def charge_expansions(self, count: int = 1, site: str = "") -> None:
         """Record *count* search steps; raise past ``max_expansions``."""
+        if self.cancelled:
+            self._check_cancelled(site)
         self.expansions += count
         if self.max_expansions is not None and self.expansions > self.max_expansions:
             raise BudgetExhaustedError(

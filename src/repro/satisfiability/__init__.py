@@ -1,11 +1,13 @@
 """Schema satisfiability: Theorems 2 and 3 made executable."""
 
 from .bounded import BoundedModelFinder, BoundedSearchResult
+from .cache import SatCache, sat_cache_clear, sat_cache_for, sat_cache_info
 from .engine import (
     SatisfiabilityChecker,
     SchemaSatisfiabilityReport,
     TypeSatisfiability,
 )
+from .portfolio import SatUnit, UnitResult, build_units, check_unit, run_portfolio
 from .sat_encoding import SATModelFinder
 from .reduction import (
     ANCHOR_TYPE,
@@ -21,10 +23,19 @@ __all__ = [
     "BoundedSearchResult",
     "Reduction",
     "SATModelFinder",
+    "SatCache",
+    "SatUnit",
     "SatisfiabilityChecker",
     "SchemaSatisfiabilityReport",
     "TypeSatisfiability",
+    "UnitResult",
     "assignment_from_graph",
+    "build_units",
+    "check_unit",
     "graph_from_assignment",
     "reduce_cnf_to_schema",
+    "run_portfolio",
+    "sat_cache_clear",
+    "sat_cache_for",
+    "sat_cache_info",
 ]

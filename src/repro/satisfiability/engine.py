@@ -20,21 +20,36 @@
   reduction: an edge definition (t, f) is populatable iff the concept
   ``t ⊓ ∃f.basetype(type_S(t, f))`` is satisfiable.
 * ``check_schema`` -- the whole-schema soundness report the paper motivates
-  ("every part of the schema can be populated").
+  ("every part of the schema can be populated").  Since PR 4 this is a
+  *portfolio* engine (:mod:`repro.satisfiability.portfolio`): per-type work
+  units batched into single tableau searches, fanned over the executor
+  ladder (``jobs=``/``engine=``), optionally racing the tableau against the
+  bounded finder, with verdicts memoized in a schema-keyed
+  :class:`~repro.satisfiability.cache.SatCache`.  ``engine="serial"``
+  preserves the original element-by-element loop; all engines agree on
+  every verdict, and the deterministic engines produce byte-identical
+  reports for any ``jobs``.
+
+Checker instances are cheap: the tableau and the bounded finder are built
+lazily *per thread* (a tableau's completion-tree state is not shareable
+across concurrent checks), all threads share one TBox, one lint pre-pass
+and one :class:`~repro.satisfiability.cache.SatCache`.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from ..dl.concepts import And, Exists, Name, Role
+from ..dl.concepts import And, Concept, Exists, Name, Role
 from ..dl.tableau import Tableau
 from ..dl.translate import schema_to_tbox
 from ..errors import BudgetExhaustedError, BudgetReason
 from ..lint.diagnostics import Diagnostic
 from ..lint.engine import unsat_diagnostics
 from .bounded import BoundedModelFinder, BoundedSearchResult
+from .cache import SatCache, sat_cache_for
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..dl.tbox import TBox
@@ -133,6 +148,40 @@ class SchemaSatisfiabilityReport:
             or self.unknown_fields
         )
 
+    def to_json(self) -> dict:
+        """A canonical, JSON-serializable rendering of every verdict.
+
+        Deterministic engines produce byte-identical dumps for any ``jobs``
+        / executor combination -- the portfolio determinism tests serialize
+        reports through this and compare the bytes.
+        """
+        types = {}
+        for name in sorted(self.types):
+            verdict = self.types[name]
+            entry: dict = {
+                "verdict": verdict.verdict,
+                "decided_by": verdict.decided_by,
+            }
+            if verdict.diagnostic is not None:
+                entry["diagnostic"] = verdict.diagnostic.code
+            if verdict.reason is not None:
+                entry["reason"] = str(verdict.reason)
+            if verdict.bounded is not None:
+                bounded = verdict.bounded
+                entry["bounded"] = {
+                    "satisfiable": bounded.satisfiable,
+                    "bound": bounded.bound,
+                    "witness_size": (
+                        len(bounded.witness) if bounded.witness is not None else None
+                    ),
+                }
+            types[name] = entry
+        fields = {
+            f"{type_name}.{field_name}": ok
+            for (type_name, field_name), ok in sorted(self.fields.items())
+        }
+        return {"sound": self.sound, "types": types, "fields": fields}
+
     def summary(self) -> str:
         if self.sound:
             return f"sound: all {len(self.types)} object types populatable"
@@ -167,6 +216,7 @@ class SatisfiabilityChecker:
         lint_precheck: bool = True,
         budget: "Budget | None" = None,
         on_budget: str = "unknown",
+        cache: "bool | SatCache" = True,
     ) -> None:
         """``budget`` is a *template*: every ``check_type``/``check_field``
         call runs under a fresh :meth:`~repro.resilience.Budget.renew` of
@@ -175,6 +225,16 @@ class SatisfiabilityChecker:
         yields: ``"unknown"`` (default) returns a typed UNKNOWN verdict
         with the structured reason attached, ``"error"`` re-raises the
         :class:`~repro.errors.BudgetExhaustedError`.
+
+        ``cache`` controls verdict memoization: True (default) attaches the
+        schema-keyed shared :func:`~repro.satisfiability.cache.sat_cache_for`
+        cache (verdicts replay across calls and checker instances), False
+        disables caching entirely, and an explicit
+        :class:`~repro.satisfiability.cache.SatCache` uses that instance.
+        A checker given a custom ``budget`` template gets a *private* cache
+        under ``cache=True``: the caller is studying how answers degrade
+        under that budget, and a registry hit decided under somebody else's
+        budget would bypass exactly the limit being imposed.
         """
         if on_budget not in _ON_BUDGET:
             raise ValueError(
@@ -187,27 +247,61 @@ class SatisfiabilityChecker:
         self.on_budget = on_budget
         self._max_nodes = max_nodes
         self._tbox: "TBox | None" = None
-        self._tableau: Tableau | None = None
+        self._tbox_lock = threading.Lock()
         self._lint_verdicts: dict[str, Diagnostic] | None = None
-        self._finder = BoundedModelFinder(schema)
+        if cache is True:
+            self.cache: "SatCache | None" = (
+                SatCache(schema) if budget is not None else sat_cache_for(schema)
+            )
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
+        #: profile of the last ``check_schema`` run (engine win counts,
+        #: executor, unit count) -- filled by the portfolio driver.
+        self.last_profile: dict | None = None
+        #: worker-recovery events of the last portfolio ``check_schema``.
+        self.last_recovery_log: list[dict] = []
+        self._field_concepts: dict[tuple[str, str], Concept] = {}
+        self._local = threading.local()
 
     # ------------------------------------------------------------------ #
-    # lazy components: the lint pre-pass can decide UNSAT without either
+    # lazy components: the lint pre-pass can decide UNSAT without either.
+    # The tableau and the bounded finder hold per-search mutable state, so
+    # they are built per *thread* (fan-out and racing run concurrent
+    # checks); the TBox, lint verdicts and SatCache are shared.
     # ------------------------------------------------------------------ #
 
     @property
     def tbox(self) -> "TBox":
         """The ALCQI translation, built on first tableau use."""
         if self._tbox is None:
-            self._tbox = schema_to_tbox(self.schema)
+            with self._tbox_lock:
+                if self._tbox is None:
+                    self._tbox = schema_to_tbox(self.schema)
         return self._tbox
 
     @property
     def tableau(self) -> Tableau:
-        """The Theorem-3 tableau, built on first use."""
-        if self._tableau is None:
-            self._tableau = Tableau(self.tbox, max_nodes=self._max_nodes)
-        return self._tableau
+        """This thread's Theorem-3 tableau, built on first use (all threads
+        share one TBox and, through ``label_cache``, one set of proved
+        root-label verdicts)."""
+        tableau = getattr(self._local, "tableau", None)
+        if tableau is None:
+            tableau = Tableau(self.tbox, max_nodes=self._max_nodes)
+            if self.cache is not None:
+                tableau.label_cache = self.cache.labels
+            self._local.tableau = tableau
+        return tableau
+
+    @property
+    def _finder(self) -> BoundedModelFinder:
+        """This thread's bounded finite-model finder, built on first use."""
+        finder = getattr(self._local, "finder", None)
+        if finder is None:
+            finder = BoundedModelFinder(self.schema)
+            self._local.finder = finder
+        return finder
 
     def lint_verdict(self, object_type: str) -> Diagnostic | None:
         """The pre-pass verdict: a diagnostic proving unsatisfiability, or None.
@@ -260,16 +354,33 @@ class SatisfiabilityChecker:
         result is a typed UNKNOWN (``verdict == "unknown"``, structured
         ``reason``) -- never a wrong SAT/UNSAT -- unless
         ``on_budget="error"`` asked for the exception.
+
+        Decided verdicts are memoized in the attached
+        :class:`~repro.satisfiability.cache.SatCache`; a later call (from
+        any checker over the same schema) replays the stored verdict,
+        re-attaching a bounded witness per the caller's ``find_witness``.
         """
+        cache = self.cache
+        if cache is not None:
+            cached = cache.get_type(object_type)
+            if cached is not None:
+                if find_witness and cached.tableau_satisfiable:
+                    cached.bounded = self._bounded_result(
+                        object_type, self._fresh_budget(budget)
+                    )
+                return cached
         if self.lint_precheck:
             diagnostic = self.lint_verdict(object_type)
             if diagnostic is not None:
-                return TypeSatisfiability(
+                verdict = TypeSatisfiability(
                     object_type,
                     tableau_satisfiable=False,
                     decided_by="lint",
                     diagnostic=diagnostic,
                 )
+                if cache is not None:
+                    cache.put_type(verdict)
+                return verdict
         run_budget = self._fresh_budget(budget)
         try:
             tableau_verdict = self.tableau.is_satisfiable(
@@ -286,10 +397,27 @@ class SatisfiabilityChecker:
             )
         bounded = None
         if find_witness and tableau_verdict:
-            bounded = self._finder.find_model(
-                object_type, self.bounded_max_nodes, budget=run_budget
-            )
-        return TypeSatisfiability(object_type, tableau_verdict, bounded)
+            bounded = self._bounded_result(object_type, run_budget)
+        verdict = TypeSatisfiability(object_type, tableau_verdict, bounded)
+        if cache is not None:
+            cache.put_type(verdict)
+        return verdict
+
+    def _bounded_result(
+        self, object_type: str, budget: "Budget | None"
+    ) -> BoundedSearchResult:
+        """The bounded witness search at the default bound, memoized."""
+        cache = self.cache
+        if cache is not None:
+            cached = cache.get_bounded(object_type, self.bounded_max_nodes)
+            if cached is not None:
+                return cached
+        result = self._finder.find_model(
+            object_type, self.bounded_max_nodes, budget=budget
+        )
+        if cache is not None:
+            cache.put_bounded(object_type, self.bounded_max_nodes, result)
+        return result
 
     def check_type_finite(
         self,
@@ -312,31 +440,108 @@ class SatisfiabilityChecker:
         Equivalent to adding ``@required`` to the field and asking whether
         the declaring type remains satisfiable: the concept
         ``t ⊓ ∃f.basetype`` must be satisfiable.  Returns None (unknown)
-        when the budget runs out under ``on_budget="unknown"``.
+        when the budget runs out under ``on_budget="unknown"``.  Decided
+        verdicts are memoized like :meth:`check_type`'s.
         """
         field_def = self.schema.field(type_name, field_name)
         if field_def is None or field_def.is_attribute:
             raise ValueError(f"{type_name}.{field_name} is not a relationship definition")
+        key = (type_name, field_name)
+        cache = self.cache
+        if cache is not None:
+            cached = cache.get_field(key)
+            if cached is not None:
+                return cached
         if self.lint_precheck and self.schema.is_object_type(type_name):
             if self.lint_verdict(type_name) is not None:
+                if cache is not None:
+                    cache.put_field(key, False)
                 return False  # the declaring type itself is unpopulatable
-        concept = And(
-            (
-                Name(type_name),
-                Exists(Role(field_name), Name(field_def.type.base)),
-            )
-        )
+        concept = self._field_concept(type_name, field_name, field_def.type.base)
         try:
-            return self.tableau.is_satisfiable(
+            verdict = self.tableau.is_satisfiable(
                 concept, budget=self._fresh_budget(budget)
             )
         except BudgetExhaustedError:
             if self.on_budget == "error":
                 raise
             return None
+        if cache is not None:
+            cache.put_field(key, verdict)
+        return verdict
 
-    def check_schema(self, find_witnesses: bool = False) -> SchemaSatisfiabilityReport:
-        """Check every object type and every relationship definition."""
+    def _field_concept(
+        self, type_name: str, field_name: str, base: str
+    ) -> Concept:
+        """The §6.2 edge-populatability concept, built once per field."""
+        key = (type_name, field_name)
+        concept = self._field_concepts.get(key)
+        if concept is None:
+            concept = And(
+                (Name(type_name), Exists(Role(field_name), Name(base)))
+            )
+            self._field_concepts[key] = concept
+        return concept
+
+    def check_schema(
+        self,
+        find_witnesses: bool = False,
+        *,
+        jobs: int | None = None,
+        engine: str = "portfolio",
+        executor: str = "auto",
+        max_retries: int = 2,
+        retry_base_delay: float = 0.05,
+        unit_timeout: float | None = None,
+        fallback: bool = True,
+    ) -> SchemaSatisfiabilityReport:
+        """Check every object type and every relationship definition.
+
+        ``engine`` selects the whole-schema strategy:
+
+        * ``"portfolio"`` (default) -- per-type batched work units fanned
+          over the executor ladder (``jobs`` workers); deterministic, so
+          reports are byte-identical to ``"serial"`` for any ``jobs``.
+        * ``"race"`` -- like portfolio, but each satisfiable-looking unit
+          races the tableau against the bounded finite-model finder under
+          one budget; first decisive verdict wins, the loser's budget is
+          cancelled.  Verdicts still agree with serial; ``decided_by`` may
+          differ (recorded per engine in ``last_profile``).
+        * ``"serial"`` -- the original element-by-element loop.
+
+        The remaining keywords mirror the PR 3 validation fan-out (retry
+        with backoff, process→thread→serial fallback, stuck-worker
+        ``unit_timeout``).  After any run, ``self.last_profile`` holds the
+        executor used, unit count and per-engine win counts.
+        """
+        if engine == "serial":
+            self.last_recovery_log = []
+            self.last_profile = {
+                "engine": "serial",
+                "executor": "serial",
+                "jobs": 1,
+                "units": 0,
+                "wins": {},
+            }
+            return self._check_schema_serial(find_witnesses)
+        from .portfolio import run_portfolio
+
+        return run_portfolio(
+            self,
+            find_witnesses=find_witnesses,
+            jobs=jobs,
+            engine=engine,
+            executor=executor,
+            max_retries=max_retries,
+            retry_base_delay=retry_base_delay,
+            unit_timeout=unit_timeout,
+            fallback=fallback,
+        )
+
+    def _check_schema_serial(
+        self, find_witnesses: bool = False
+    ) -> SchemaSatisfiabilityReport:
+        """The reference element-by-element sweep (``engine="serial"``)."""
         report = SchemaSatisfiabilityReport()
         for type_name in sorted(self.schema.object_types):
             report.types[type_name] = self.check_type(

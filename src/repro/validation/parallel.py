@@ -30,19 +30,18 @@ Two runs over the same graph produce byte-identical reports regardless of
 the executor: shard assignment uses a process-stable hash, shard results are
 merged in shard order, and the final violation list is canonically sorted.
 
-**Worker-failure recovery.**  A shard attempt can die three ways: the worker
-process crashes (``BrokenProcessPool`` -- a segfault or an OOM-kill), the
-worker raises, or the attempt exceeds ``shard_timeout``.  Failed shards are
-retried with exponential backoff (``retry_base_delay * 2**attempt``); once
-``max_retries`` retries on the current executor are spent, the *failing
-shards* fall down the executor ladder process → thread → serial, while
-already-completed shard results are kept.  Because merging is positional
-(results land in a shard-indexed array) the recovered report is
-byte-identical to an undisturbed run no matter which executor finally
-produced each shard.  When even the serial rung fails, the last cause is
-re-raised wrapped in :class:`~repro.errors.WorkerFailureError`.  Recovery
-decisions are recorded in :attr:`ParallelValidator.recovery_log` so chaos
-tests can assert a fault actually fired and was survived.
+**Worker-failure recovery.**  Scheduling, retries with exponential backoff,
+the executor fallback ladder process → thread → serial, stuck-worker
+timeouts (``shard_timeout``) and the recovery log are delegated to the
+shared :class:`~repro.resilience.ExecutorLadder` (extracted from this
+module so the portfolio satisfiability engine reuses the identical
+recovery contract).  Because merging is positional (results land in a
+shard-indexed array) the recovered report is byte-identical to an
+undisturbed run no matter which executor finally produced each shard.
+When even the serial rung fails, the last cause is re-raised wrapped in
+:class:`~repro.errors.WorkerFailureError`.  Recovery decisions are
+recorded in :attr:`ParallelValidator.recovery_log` so chaos tests can
+assert a fault actually fired and was survived.
 
 **Budgets.**  An optional :class:`~repro.resilience.Budget` bounds the run:
 elements are charged against ``max_nodes`` up front, and the deadline is
@@ -61,18 +60,14 @@ Fault-injection sites (see :mod:`repro.resilience.faults`):
 from __future__ import annotations
 
 import os
-import time
-from concurrent.futures import (
-    BrokenExecutor,
-    Future,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-)
+from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
-from ..errors import BudgetExhaustedError, WorkerFailureError
+from ..errors import BudgetExhaustedError
 from ..pg.values import value_signature
 from ..resilience import faults
+from ..resilience.ladder import FALLBACK as _FALLBACK  # noqa: F401  (re-export)
+from ..resilience.ladder import ExecutorLadder
 from .indexed import _ordered_pairs
 from .plan import ValidationPlan, compile_plan
 from .shard import GraphShard, partition_graph
@@ -93,9 +88,6 @@ ShardResult = tuple[list[Violation], list[SignatureTriple]]
 _MISSING = ("<missing>",)
 
 _EXECUTORS = ("auto", "serial", "thread", "process")
-
-#: Executor fallback ladder for failing shards.
-_FALLBACK = {"process": "thread", "thread": "serial"}
 
 #: Deadline-check cadence inside the shard kernel (elements per check).
 _DEADLINE_CHECK_EVERY = 2048
@@ -217,210 +209,60 @@ class ParallelValidator:
         budget: "Budget | None",
     ) -> None:
         """Fill ``results`` (shard-indexed, so merging stays deterministic),
-        retrying and falling back until every shard completed or recovery is
-        out of options."""
-        mode = self.choose_executor(graph)
-        pending = list(range(len(shards)))
-        attempt = 0
-        retries_left = self.max_retries
-        self.recovery_log = []
-        while pending:
-            if budget is not None:
-                budget.check_deadline(site="validation.parallel")
-            failures = self._attempt_once(
-                mode, graph, shards, pending, rules, results, attempt, budget
+        delegating retries and the executor fallback to the shared
+        :class:`~repro.resilience.ExecutorLadder`."""
+        ladder = ExecutorLadder(
+            jobs=self.jobs,
+            max_retries=self.max_retries,
+            retry_base_delay=self.retry_base_delay,
+            task_timeout=self.shard_timeout,
+            fallback=self.fallback,
+            site="validation.parallel",
+            log_key="shard",
+            timeout_label="shard_timeout",
+        )
+        self.recovery_log = ladder.recovery_log
+
+        def serial(index: int, attempt: int) -> ShardResult:
+            faults.fault_point(
+                "parallel.worker",
+                shard=shards[index].index,
+                attempt=attempt,
+                executor="serial",
             )
-            if not failures:
-                return
-            for index, error in failures:
-                self.recovery_log.append(
-                    {
-                        "shard": index,
-                        "executor": mode,
-                        "attempt": attempt,
-                        "error": repr(error),
-                    }
-                )
-            pending = [index for index, _error in failures]
-            attempt += 1
-            if retries_left > 0:
-                retries_left -= 1
-                self._backoff(attempt, budget)
-            elif self.fallback and mode in _FALLBACK:
-                mode = _FALLBACK[mode]
-                retries_left = self.max_retries
-            else:
-                index, error = failures[0]
-                raise WorkerFailureError(
-                    f"shard {index} failed after {attempt} attempt(s) "
-                    f"(final executor {mode!r}): {error}",
-                    shard=index,
-                    attempts=attempt,
-                ) from error
+            return validate_shard(self.plan, graph, shards[index], rules, budget)
 
-    def _backoff(self, attempt: int, budget: "Budget | None") -> None:
-        delay = self.retry_base_delay * (2 ** (attempt - 1))
-        if budget is not None:
-            remaining = budget.remaining_seconds()
-            if remaining is not None:
-                delay = min(delay, remaining)
-        if delay > 0:
-            time.sleep(delay)
+        def thread_submit(pool, index: int, attempt: int):
+            return pool.submit(
+                _thread_validate,
+                self.plan,
+                graph,
+                shards[index],
+                rules,
+                attempt,
+                budget,
+            )
 
-    def _attempt_once(
-        self,
-        mode: str,
-        graph: "PropertyGraph",
-        shards: Sequence[GraphShard],
-        pending: list[int],
-        rules: tuple[str, ...],
-        results: "list[ShardResult | None]",
-        attempt: int,
-        budget: "Budget | None",
-    ) -> list[tuple[int, BaseException]]:
-        """One attempt at the pending shards on one executor; returns the
-        shards that failed (with their causes).  Budget exhaustion is not a
-        failure -- it propagates."""
-        if mode == "serial":
-            failures: list[tuple[int, BaseException]] = []
-            for index in pending:
-                if budget is not None:
-                    budget.check_deadline(site="validation.parallel")
-                try:
-                    faults.fault_point(
-                        "parallel.worker",
-                        shard=shards[index].index,
-                        attempt=attempt,
-                        executor="serial",
-                    )
-                    results[index] = validate_shard(
-                        self.plan, graph, shards[index], rules, budget
-                    )
-                except BudgetExhaustedError:
-                    raise
-                except Exception as error:
-                    failures.append((index, error))
-            return failures
-        if mode == "thread":
-            def make_pool():
-                return ThreadPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        def process_submit(pool, index: int, attempt: int):
+            return pool.submit(_pool_validate, (shards[index], rules, attempt, budget))
 
-            def submit(pool, index):
-                return pool.submit(
-                    _thread_validate,
-                    self.plan,
-                    graph,
-                    shards[index],
-                    rules,
-                    attempt,
-                    budget,
-                )
-
-            return self._run_pool_attempt(make_pool, submit, pending, results, budget)
-
-        def make_pool():
+        def make_process_pool(workers: int):
             return ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(pending)),
+                max_workers=workers,
                 initializer=_pool_initializer,
                 initargs=(self.schema, graph, faults.active_spec()),
             )
 
-        def submit(pool, index):
-            return pool.submit(
-                _pool_validate, (shards[index], rules, attempt, budget)
-            )
-
-        return self._run_pool_attempt(make_pool, submit, pending, results, budget)
-
-    def _run_pool_attempt(
-        self,
-        make_pool,
-        submit,
-        pending: list[int],
-        results: "list[ShardResult | None]",
-        budget: "Budget | None",
-    ) -> list[tuple[int, BaseException]]:
-        pool = make_pool()
-        hard_shutdown = False
-        try:
-            futures: dict[int, Future] = {
-                index: submit(pool, index) for index in pending
-            }
-            failures = self._collect(futures, results, budget)
-            hard_shutdown = bool(failures)
-            return failures
-        except BaseException:
-            hard_shutdown = True
-            raise
-        finally:
-            self._shutdown_pool(pool, hard_shutdown)
-
-    def _collect(
-        self,
-        futures: "dict[int, Future]",
-        results: "list[ShardResult | None]",
-        budget: "Budget | None",
-    ) -> list[tuple[int, BaseException]]:
-        """Harvest futures into ``results``; classify what went wrong.
-
-        A worker that *tripped the budget* re-raises here (that is an
-        answer, not a crash); a worker that died, raised, or exceeded
-        ``shard_timeout`` marks its shard failed for retry/fallback.
-        """
-        deadline_at = (
-            time.monotonic() + self.shard_timeout
-            if self.shard_timeout is not None
-            else None
+        ladder.run(
+            self.choose_executor(graph),
+            range(len(shards)),
+            results,
+            serial=serial,
+            thread_submit=thread_submit,
+            process_submit=process_submit,
+            make_process_pool=make_process_pool,
+            budget=budget,
         )
-        failures: list[tuple[int, BaseException]] = []
-        for index, future in futures.items():
-            timeout = None
-            if deadline_at is not None:
-                timeout = max(0.0, deadline_at - time.monotonic())
-            if budget is not None:
-                remaining = budget.remaining_seconds()
-                if remaining is not None:
-                    timeout = remaining if timeout is None else min(timeout, remaining)
-            try:
-                results[index] = future.result(timeout=timeout)
-            except BudgetExhaustedError:
-                raise
-            except TimeoutError:
-                if budget is not None:
-                    # raises when the run deadline (not the shard ceiling) expired
-                    budget.check_deadline(site="validation.parallel")
-                future.cancel()
-                failures.append(
-                    (
-                        index,
-                        WorkerFailureError(
-                            f"shard {index} attempt exceeded "
-                            f"shard_timeout={self.shard_timeout}s",
-                            shard=index,
-                        ),
-                    )
-                )
-            except BrokenExecutor as error:
-                failures.append((index, error))
-            except Exception as error:
-                failures.append((index, error))
-        return failures
-
-    @staticmethod
-    def _shutdown_pool(pool, hard: bool) -> None:
-        if not hard:
-            pool.shutdown(wait=True)
-            return
-        # a crashed/stuck attempt: do not wait for wedged workers, and
-        # terminate any process still chewing on a cancelled task
-        pool.shutdown(wait=False, cancel_futures=True)
-        processes = getattr(pool, "_processes", None)
-        if processes:
-            for process in list(processes.values()):
-                try:
-                    process.terminate()
-                except Exception:  # pragma: no cover - already-dead worker
-                    pass
 
     def _merge(
         self,

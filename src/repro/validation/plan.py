@@ -315,9 +315,15 @@ def compile_plan(schema: "GraphQLSchema") -> ValidationPlan:
 
 
 def plan_cache_info() -> dict[str, int]:
-    """Cache statistics: ``hits``, ``misses`` (== compilations), ``size``."""
+    """Cache statistics: ``hits``, ``misses`` (== compilations), ``size``,
+    ``maxsize`` (reported by ``pgschema validate --profile``)."""
     with _cache_lock:
-        return {"hits": _hits, "misses": _misses, "size": len(_cache)}
+        return {
+            "hits": _hits,
+            "misses": _misses,
+            "size": len(_cache),
+            "maxsize": PLAN_CACHE_MAXSIZE,
+        }
 
 
 def plan_cache_clear() -> None:

@@ -11,7 +11,7 @@ from .graphs import (
     user_session_graph,
 )
 from .paper_schemas import CORPUS, PaperSchema, load
-from .schemas import random_schema, random_schema_sdl
+from .schemas import hub_chain_schema, random_schema, random_schema_sdl
 
 __all__ = [
     "CARDINALITY_FIELDS",
@@ -21,6 +21,7 @@ __all__ = [
     "conformant_graph",
     "corrupt_graph",
     "food_graph",
+    "hub_chain_schema",
     "library_graph",
     "load",
     "paper_schemas",

@@ -41,6 +41,46 @@ def random_schema(
     return parse_schema(sdl)
 
 
+def hub_chain_schema(
+    depth: int = 12,
+    leaves: int = 8,
+    hubs: int = 1,
+) -> GraphQLSchema:
+    """A scaled paper-style schema stressing whole-schema satisfiability.
+
+    The shape combines the two structures that dominate tableau cost in the
+    paper corpus: a ``@required`` relationship chain (every ``Stage_i``
+    must reach ``Stage_{i+1}``, like Example 6.1's forced edges, ending in
+    a ``Terminal`` so models stay finite) and hub types fanning out over
+    many optional relationship fields (Figure 1's entity with many edge
+    definitions).  Every element is satisfiable; the interesting cost is
+    proving it.  Deciding a hub serially needs one tableau search per field
+    plus one for the type -- exactly the (k+1)-searches-per-type pattern
+    the portfolio engine batches into one.
+    """
+    lines: list[str] = []
+    for index in range(depth):
+        target = f"Stage{index + 1}" if index + 1 < depth else "Terminal"
+        lines += [
+            f"type Stage{index} {{",
+            f"  next: {target} @required",
+            "  label: String!",
+            "}",
+            "",
+        ]
+    lines += ["type Terminal {", "  label: String!", "}", ""]
+    for leaf in range(leaves):
+        lines += [f"type Leaf{leaf} {{", "  tag: String!", "}", ""]
+    for hub in range(hubs):
+        lines.append(f"type Hub{hub} {{")
+        lines.append("  entry: Stage0 @required")
+        for leaf in range(leaves):
+            lines.append(f"  f{leaf}: Leaf{leaf}")
+        lines.append("}")
+        lines.append("")
+    return parse_schema("\n".join(lines))
+
+
 def random_schema_sdl(
     num_object_types: int,
     num_interface_types: int,

@@ -106,7 +106,12 @@ class TestPlanCache:
         compile_plan(schema)
         compile_plan(schema)
         plan_cache_clear()
-        assert plan_cache_info() == {"hits": 0, "misses": 0, "size": 0}
+        assert plan_cache_info() == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "maxsize": plan_module.PLAN_CACHE_MAXSIZE,
+        }
 
 
 class TestPlanSemantics:
