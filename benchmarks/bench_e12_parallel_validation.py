@@ -205,6 +205,56 @@ def test_resilience_plumbing_overhead_within_noise():
 
 
 # --------------------------------------------------------------------------- #
+# 3b. observability layer overhead (asserted even in quick mode)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.experiment("E12")
+def test_disabled_obs_helpers_are_noise():
+    """The obs layer inherits the fault harness's zero-overhead contract:
+    with no observation installed, ``obs.count``/``obs.span`` are one global
+    load and a None check, so the engines stay instrumented unconditionally."""
+    from repro import obs
+
+    obs.uninstall()
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        obs.count("validation.checks.WS1")
+        obs.span("validation.shard")
+    per_call = (time.perf_counter() - start) / (2 * calls)
+    print(f"\nE12 disabled obs helper: {per_call * 1e9:.0f} ns/call")
+    assert per_call < 2e-6, f"disabled obs helper costs {per_call * 1e6:.2f} us"
+
+
+@pytest.mark.experiment("E12")
+def test_enabled_instrumentation_stays_aggregate():
+    """Even *enabled*, tracing+metrics must stay within noise of a disabled
+    run: the engines record aggregates (per-shard spans, counts derived
+    from shard sizes), never per-element events, so the span/counter volume
+    is O(shards), not O(|V|+|E|)."""
+    from repro import obs
+
+    obs.uninstall()
+    graph = _graph()
+    plan = compile_plan(SCHEMA)
+    validator = ParallelValidator(SCHEMA, jobs=1, plan=plan)
+    validator.validate(graph)  # warm
+    t_off = _best_of(lambda: validator.validate(graph), repeats=5)
+    obs.install(obs.Tracer(), obs.MetricsRegistry())
+    try:
+        t_on = _best_of(lambda: validator.validate(graph), repeats=5)
+    finally:
+        obs.uninstall()
+    ratio = t_on / t_off
+    print(
+        f"\nE12 obs overhead: off {t_off * 1000:.2f} ms, "
+        f"on {t_on * 1000:.2f} ms ({ratio:.2f}x)"
+    )
+    assert ratio < 1.4, f"enabled instrumentation cost {ratio:.2f}x"
+
+
+# --------------------------------------------------------------------------- #
 # 4. agreement (asserted even in quick mode)
 # --------------------------------------------------------------------------- #
 

@@ -178,3 +178,32 @@ def test_race_agrees_with_serial():
         for name, verdict in race.types.items():
             assert verdict.verdict == serial.types[name].verdict, name
         assert race.fields == serial.fields
+
+
+# --------------------------------------------------------------------------- #
+# 5. observability overhead (asserted even in quick mode)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.experiment("E13")
+def test_sat_sweep_with_observation_within_noise():
+    """A whole-schema portfolio sweep under tracing+metrics must stay within
+    noise of an unobserved sweep: the sat engines record one span per unit
+    and fold tableau statistics once per search, never per expansion."""
+    from repro import obs
+
+    obs.uninstall()
+    schemas = _suite()
+    _check_suite(schemas, "portfolio", 2)  # warm code paths
+    t_off = _best_of(lambda: _check_suite(schemas, "portfolio", 2))
+    obs.install(obs.Tracer(), obs.MetricsRegistry())
+    try:
+        t_on = _best_of(lambda: _check_suite(schemas, "portfolio", 2))
+    finally:
+        obs.uninstall()
+    ratio = t_on / t_off
+    print(
+        f"\nE13 obs overhead: off {t_off * 1000:.2f} ms, "
+        f"on {t_on * 1000:.2f} ms ({ratio:.2f}x)"
+    )
+    assert ratio < 1.4, f"observed sat sweep cost {ratio:.2f}x"

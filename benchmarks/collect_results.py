@@ -21,6 +21,7 @@ import os
 import sys
 import time
 
+from repro import obs
 from repro.dl import Name, Tableau, schema_to_tbox
 from repro.fo import FOValidator
 from repro.baselines import AnglesValidator, sdl_to_angles
@@ -51,9 +52,22 @@ QUICK = os.environ.get("PGSCHEMA_BENCH_QUICK") == "1"
 
 
 def write_bench_json(name: str, payload: dict) -> None:
-    """Persist one experiment's series as ``BENCH_<name>.json``."""
+    """Persist one experiment's series as ``BENCH_<name>.json``.
+
+    When the collector runs each section under a metrics observation (see
+    :func:`main`), the section's registry snapshot rides along under the
+    ``metrics`` key, so every benchmark artifact carries the engine
+    counters (shard sizes, cache hits, tableau statistics) that produced
+    its timings.
+    """
     path = f"BENCH_{name}.json"
     payload = dict(payload, quick=QUICK)
+    observation = obs.active()
+    if observation is not None and observation.registry is not None:
+        from repro.obs.export import attach_cache_stats, metrics_payload
+
+        attach_cache_stats(observation.registry)
+        payload["metrics"] = metrics_payload(observation.registry)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -377,7 +391,10 @@ def main(names: list[str] | None = None) -> None:
             raise SystemExit(
                 f"unknown section {name!r}; choose from {', '.join(SECTIONS)}"
             )
-        SECTIONS[name]()
+        # one metrics observation per section: BENCH_*.json files written
+        # inside it pick up that section's registry snapshot
+        with obs.observed(metrics=True):
+            SECTIONS[name]()
 
 
 if __name__ == "__main__":

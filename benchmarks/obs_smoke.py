@@ -1,0 +1,147 @@
+"""End-to-end observability smoke: traced validate + sat on a workload.
+
+Not a pytest module: run directly with ``python benchmarks/obs_smoke.py``
+(CI's obs-smoke job).  The script
+
+1. materialises a workload schema and graph on disk,
+2. runs ``pgschema validate --engine parallel`` and ``pgschema sat`` through
+   the real CLI with ``--trace``/``--metrics``,
+3. validates every exported artifact against the checked-in JSON schemas
+   under ``docs/schemas/`` (the same subset validator as
+   ``python -m repro.obs check``), and
+4. asserts the load-bearing content: run/shard spans present and nested,
+   per-rule check counters at the exact element counts, plan-cache and
+   sat-cache statistics attached.
+
+Exit status 0 means the whole observability pipeline -- instrumentation,
+worker merging, exporters, schemas -- agrees with itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+
+from repro.cli import main as pgschema
+from repro.obs.export import check_schema
+from repro.pg.io import dumps_graph
+from repro.workloads import CORPUS, user_session_graph
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+QUICK = os.environ.get("PGSCHEMA_BENCH_QUICK") == "1"
+NUM_USERS = 60 if QUICK else 400
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _schema(name: str) -> dict:
+    return _load(os.path.join(REPO, "docs", "schemas", name))
+
+
+def _conform(payload: dict, schema_name: str, label: str) -> None:
+    problems = check_schema(payload, _schema(schema_name))
+    if problems:
+        for problem in problems:
+            print(f"{label}: {problem}", file=sys.stderr)
+        raise SystemExit(f"{label} does not conform to {schema_name}")
+    print(f"{label}: conforms to {schema_name}")
+
+
+def main() -> int:
+    trace_schema = "trace.schema.json"
+    metrics_schema = "metrics.schema.json"
+    graph = user_session_graph(NUM_USERS, sessions_per_user=2, seed=42)
+    with tempfile.TemporaryDirectory() as tmp:
+        schema_path = os.path.join(tmp, "schema.graphql")
+        graph_path = os.path.join(tmp, "graph.json")
+        with open(schema_path, "w") as handle:
+            handle.write(CORPUS["user_session_edge_props"].sdl)
+        with open(graph_path, "w") as handle:
+            handle.write(dumps_graph(graph))
+
+        # --- traced parallel validation -------------------------------- #
+        v_trace = os.path.join(tmp, "validate.trace.json")
+        v_metrics = os.path.join(tmp, "validate.metrics.json")
+        code = pgschema(
+            [
+                "validate", schema_path, graph_path,
+                "--engine", "parallel", "--jobs", "4",
+                "--trace", v_trace, "--metrics", v_metrics,
+            ]
+        )
+        assert code == 0, f"validate exited {code}"
+        trace = _load(v_trace)
+        metrics = _load(v_metrics)
+        _conform(trace, trace_schema, "validate --trace")
+        _conform(metrics, metrics_schema, "validate --metrics")
+
+        events = trace["traceEvents"]
+        spans = {event["name"]: event for event in events if event["ph"] == "X"}
+        for required in ("sdl.parse", "schema.build", "pg.load",
+                         "validation.run", "validation.merge"):
+            assert required in spans, f"missing span {required}"
+        run = spans["validation.run"]
+        shards = [e for e in events if e["name"] == "validation.shard"]
+        assert shards, "no shard spans recorded"
+        for shard in shards:
+            if shard["pid"] == run["pid"] and shard["tid"] == run["tid"]:
+                assert run["ts"] <= shard["ts"]
+                assert shard["ts"] + shard["dur"] <= run["ts"] + run["dur"] + 1e-3
+        counters = metrics["counters"]
+        assert counters["validation.runs"] == 1
+        assert counters["validation.checks.WS1"] == graph.num_nodes
+        assert counters["validation.checks.DS1"] == graph.num_edges
+        assert counters["validation.shards"] == len(shards)
+        assert "validation.plan_cache_info.hits" in metrics["gauges"]
+        assert "validation.shard_size" in metrics["histograms"]
+        print(
+            f"validate: {len(events)} trace event(s), "
+            f"{len(counters)} counter(s), {len(shards)} shard span(s)"
+        )
+
+        # --- traced whole-schema satisfiability ------------------------ #
+        s_trace = os.path.join(tmp, "sat.trace.json")
+        s_metrics = os.path.join(tmp, "sat.metrics.json")
+        code = pgschema(
+            ["sat", schema_path, "--trace", s_trace, "--metrics", s_metrics]
+        )
+        assert code == 0, f"sat exited {code}"
+        trace = _load(s_trace)
+        metrics = _load(s_metrics)
+        _conform(trace, trace_schema, "sat --trace")
+        _conform(metrics, metrics_schema, "sat --metrics")
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert {"sat.run", "sat.unit"} <= names, names
+        counters = metrics["counters"]
+        assert counters["sat.units"] >= 1
+        assert any(name.startswith("sat.types.") for name in counters)
+        assert "sat.cache_info.hits" in metrics["gauges"]
+        print(
+            f"sat: {len(trace['traceEvents'])} trace event(s), "
+            f"{counters['sat.units']:.0f} unit(s)"
+        )
+
+        # --- the stats surface shares the metrics vocabulary ----------- #
+        import contextlib
+        import io
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = pgschema(["stats", graph_path, "--json"])
+        assert code == 0, f"stats exited {code}"
+        stats = json.loads(buffer.getvalue())
+        _conform(stats, metrics_schema, "stats --json")
+        assert stats["counters"]["pg.nodes"] == graph.num_nodes
+        assert stats["counters"]["pg.edges"] == graph.num_edges
+
+    print("obs smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,7 +39,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 
+from . import obs
 from .api import GraphQLExecutor, extend_to_api_schema
 from .dl import schema_to_tbox
 from .errors import ReproError, exit_code_for, render_error
@@ -57,7 +59,8 @@ def main(argv: list[str] | None = None) -> int:
         # fail fast (and uniformly) on a malformed PGSCHEMA_FAULTS spec
         # instead of surfacing it mid-run from some fault site
         faults.load_env_plan()
-        return args.handler(args)
+        with _observation(args):
+            return args.handler(args)
     except (ReproError, OSError) as error:
         print(render_error(error), file=sys.stderr)
         return exit_code_for(error)
@@ -88,6 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ignore", action="append", metavar="RULE",
         help="skip these rules; repeatable",
     )
+    _add_obs_arguments(lint)
     lint.set_defaults(handler=_cmd_lint)
 
     validate_cmd = subparsers.add_parser(
@@ -112,6 +116,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print per-rule wall time to stderr (forces the indexed engine)",
     )
     _add_budget_arguments(validate_cmd)
+    _add_obs_arguments(validate_cmd)
     validate_cmd.set_defaults(handler=_cmd_validate)
 
     sat = subparsers.add_parser("sat", help="check object-type satisfiability")
@@ -136,6 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print engine win counts and verdict-cache statistics to stderr",
     )
     _add_budget_arguments(sat)
+    _add_obs_arguments(sat)
     sat.set_defaults(handler=_cmd_sat)
 
     translate = subparsers.add_parser(
@@ -167,6 +173,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     stats = subparsers.add_parser("stats", help="profile a graph instance")
     stats.add_argument("graph")
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit the profile as a metrics-snapshot JSON object "
+        "(same shape as --metrics run snapshots)",
+    )
     stats.set_defaults(handler=_cmd_stats)
 
     export = subparsers.add_parser(
@@ -194,6 +205,52 @@ def _add_budget_arguments(subparser: argparse.ArgumentParser) -> None:
         help='when the budget runs out: report UNKNOWN partial results and '
         'exit 3 (default), or fail with error[E_BUDGET]',
     )
+
+
+def _add_obs_arguments(subparser: argparse.ArgumentParser) -> None:
+    group = subparser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON of the run "
+        "(open at https://ui.perfetto.dev)",
+    )
+    group.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write a metrics-snapshot JSON of the run",
+    )
+
+
+@contextmanager
+def _observation(args):
+    """Install the obs layer for commands invoked with --trace/--metrics.
+
+    Artifacts are written in ``finally`` so a run that exits with
+    violations (or dies on a budget) still leaves its trace behind.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path is None and metrics_path is None:
+        yield
+        return
+    from .obs import export
+
+    observation = obs.install(
+        obs.Tracer() if trace_path else None,
+        obs.MetricsRegistry() if metrics_path else None,
+    )
+    try:
+        yield
+    finally:
+        obs.uninstall()
+        if metrics_path:
+            export.attach_cache_stats(observation.registry)
+            export.write_json(
+                metrics_path, export.metrics_payload(observation.registry)
+            )
+        if trace_path:
+            export.write_json(
+                trace_path, export.chrome_trace_payload(observation.tracer)
+            )
 
 
 def _budget_from_args(args) -> Budget | None:
@@ -415,11 +472,18 @@ def _cmd_diff(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    from .pg.stats import profile_graph
+    from .pg.stats import profile_graph, profile_to_registry
 
     graph = _load_graph(args.graph)
-    for line in profile_graph(graph).summary_lines():
-        print(line)
+    profile = profile_graph(graph)
+    if args.json:
+        from .obs.export import metrics_payload
+
+        registry = profile_to_registry(profile)
+        print(json.dumps(metrics_payload(registry), indent=2, sort_keys=True))
+    else:
+        for line in profile.summary_lines():
+            print(line)
     return 0
 
 

@@ -53,6 +53,7 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from .. import obs
 from ..errors import BudgetExhaustedError, BudgetReason
 from ..resilience import faults
 from .concepts import (
@@ -97,6 +98,8 @@ class TableauStats:
     merges: int = 0
     max_tree_size: int = 0
     expansions: int = 0
+    clashes: int = 0
+    max_branch_depth: int = 0
 
 
 class _ConceptTable:
@@ -351,17 +354,23 @@ class Tableau:
             key = frozenset(table.concept(cid) for cid in initial)
             hit = cache.lookup(key)
             if hit is not None:
+                obs.count("tableau.label_cache.hits")
                 return hit
+            obs.count("tableau.label_cache.misses")
         self._run_budget = budget if budget is not None else self.budget
         state = _State()
         root = state.create_node(parent=None, roles=frozenset())
         self.stats.nodes_created += 1
         self._charge_nodes(1)
         state.add(root, initial)
+        span = obs.span("tableau.search")
         try:
-            completed = self._expand(state)
+            with span:
+                completed = self._expand(state)
+                span.set(sat=completed is not None, expansions=self.stats.expansions)
         finally:
             self._run_budget = None
+            self._record_stats()
         if cache is not None:
             # only *decided* verdicts are stored: a budget trip raised above
             completed_root = (
@@ -378,6 +387,24 @@ class Tableau:
             budget.charge_nodes(count, site="dl.tableau")
             budget.charge_memory(count * _NODE_MEMORY_ESTIMATE, site="dl.tableau")
 
+    def _record_stats(self) -> None:
+        """Fold the finished search's :class:`TableauStats` into the active
+        metrics registry (one aggregate write per search -- the expansion
+        loop itself stays uninstrumented)."""
+        observation = obs.active()
+        if observation is None or observation.registry is None:
+            return
+        registry = observation.registry
+        stats = self.stats
+        registry.count("tableau.searches")
+        registry.count("tableau.expansions", stats.expansions)
+        registry.count("tableau.nodes_created", stats.nodes_created)
+        registry.count("tableau.branches", stats.branches)
+        registry.count("tableau.merges", stats.merges)
+        registry.count("tableau.clashes", stats.clashes)
+        registry.observe("tableau.tree_size", stats.max_tree_size)
+        registry.observe("tableau.branch_depth", stats.max_branch_depth)
+
     # ------------------------------------------------------------------ #
     # the expansion loop (explicit DFS stack)
     # ------------------------------------------------------------------ #
@@ -387,6 +414,8 @@ class Tableau:
         (its root label feeds the label-set cache), or None for UNSAT."""
         stack = [initial]
         while stack:
+            if len(stack) > self.stats.max_branch_depth:
+                self.stats.max_branch_depth = len(stack)
             state = stack.pop()
             if self._saturate(state, stack):
                 return state
@@ -411,6 +440,7 @@ class Tableau:
             if state.size() > self.stats.max_tree_size:
                 self.stats.max_tree_size = state.size()
             if self._has_clash(state):
+                self.stats.clashes += 1
                 return False
             if self._apply_deterministic(state):
                 continue

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
+from .. import obs
 from ..errors import SchemaError
 from .diagnostics import Diagnostic, Severity, sort_key
 from .rules import RULES, LintRule, all_rules
@@ -51,9 +52,18 @@ def lint_schema(
     ignore: Iterable[str] | None = None,
 ) -> tuple[Diagnostic, ...]:
     """All findings of the selected rules, in stable report order."""
-    findings: list[Diagnostic] = []
-    for rule in resolve_rules(select, ignore):
-        findings.extend(rule.check(schema))
+    rules = resolve_rules(select, ignore)
+    span = obs.span("lint.run", rules=len(rules))
+    with span:
+        findings: list[Diagnostic] = []
+        for rule in rules:
+            findings.extend(rule.check(schema))
+        span.set(findings=len(findings))
+    observation = obs.active()
+    if observation is not None and observation.registry is not None:
+        observation.registry.count("lint.runs")
+        for finding in findings:
+            observation.registry.count(f"lint.findings.{finding.code}")
     return tuple(sorted(findings, key=sort_key))
 
 

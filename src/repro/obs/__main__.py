@@ -1,0 +1,35 @@
+"""``python -m repro.obs check FILE SCHEMA`` -- validate an exported artifact.
+
+Used by the CI ``obs-smoke`` job (and handy locally) to check a ``--trace``
+or ``--metrics`` output file against the checked-in JSON schemas under
+``docs/schemas/``.  Exit 0 when the file conforms, 1 with one problem per
+line on stderr otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .export import check_schema
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 3 or argv[0] != "check":
+        print("usage: python -m repro.obs check FILE SCHEMA", file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as fp:
+        payload = json.load(fp)
+    with open(argv[2], encoding="utf-8") as fp:
+        schema = json.load(fp)
+    problems = check_schema(payload, schema)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"{argv[1]}: conforms to {argv[2]}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

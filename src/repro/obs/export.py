@@ -1,0 +1,183 @@
+"""Exporters: metrics JSON snapshots and Chrome trace-event files.
+
+Two artifact formats leave the obs layer:
+
+* **metrics snapshot** (``--metrics out.json``) -- the registry rendered as
+  ``{"format": "pgschema-metrics", "version": 1, "counters": ...,
+  "gauges": ..., "histograms": ...}``.  ``pgschema stats`` and the
+  benchmark collector emit the same shape, so every JSON artifact in the
+  repo shares one metrics vocabulary.
+* **Chrome trace** (``--trace out.json``) -- the standard trace-event JSON
+  object format: open it at https://ui.perfetto.dev or ``chrome://tracing``.
+  Spans become ``"ph": "X"`` complete events (``ts``/``dur`` in
+  microseconds relative to the tracer epoch); instant events become
+  ``"ph": "i"``.  Nesting is inferred by the viewer from interval
+  containment per ``(pid, tid)`` lane, which the span discipline
+  guarantees.
+
+Both shapes are pinned by checked-in JSON schemas under ``docs/schemas/``;
+:func:`check_schema` is a dependency-free validator for the subset of JSON
+Schema those files use (``type``, ``required``, ``properties``, ``items``,
+``enum``, ``minimum``), shared by the golden tests and the CI ``obs-smoke``
+job (``python -m repro.obs check FILE SCHEMA``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "attach_cache_stats",
+    "check_schema",
+    "chrome_trace_payload",
+    "metrics_payload",
+    "write_json",
+]
+
+METRICS_FORMAT = "pgschema-metrics"
+METRICS_VERSION = 1
+
+
+def metrics_payload(registry: MetricsRegistry, **extra: Any) -> dict:
+    """Render a registry as the canonical metrics-snapshot JSON object."""
+    snapshot = registry.snapshot()
+    payload = {
+        "format": METRICS_FORMAT,
+        "version": METRICS_VERSION,
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histograms": snapshot["histograms"],
+    }
+    payload.update(extra)
+    return payload
+
+
+def attach_cache_stats(registry: MetricsRegistry) -> None:
+    """Record the process-wide cache statistics as gauges.
+
+    Pulls the validation plan cache and the satisfiability verdict/label
+    caches into the registry so every exported snapshot carries them.
+    Imported lazily: the engine packages import :mod:`repro.obs`, not the
+    other way around.
+    """
+    from repro.satisfiability.cache import sat_cache_info
+    from repro.validation.plan import plan_cache_info
+
+    # gauge names get an ``_info`` suffix: the ``*_cache.hits`` *counters*
+    # count events observed during this run, while these gauges mirror the
+    # process-lifetime totals the cache registries report
+    for key, value in plan_cache_info().items():
+        registry.gauge(f"validation.plan_cache_info.{key}", value)
+    for key, value in sat_cache_info().items():
+        registry.gauge(f"sat.cache_info.{key}", value)
+
+
+def chrome_trace_payload(tracer: Tracer, **metadata: Any) -> dict:
+    """Render buffered spans as a Chrome trace-event JSON object."""
+    events = []
+    epoch = tracer.epoch
+    for event in tracer.events():
+        entry: dict[str, Any] = {
+            "name": event.name,
+            "cat": event.name.split(".", 1)[0],
+            "pid": event.pid,
+            "tid": event.tid,
+            "ts": (event.start - epoch) * 1e6,
+        }
+        if event.duration is None:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # thread-scoped instant
+        else:
+            entry["ph"] = "X"
+            entry["dur"] = event.duration * 1e6
+        if event.attrs:
+            entry["args"] = {key: _jsonable(value) for key, value in event.attrs.items()}
+        events.append(entry)
+    payload: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"format": "pgschema-trace", "version": 1},
+    }
+    payload["otherData"].update({k: _jsonable(v) for k, v in metadata.items()})
+    return payload
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+
+
+# --------------------------------------------------------------------------- #
+# dependency-free JSON-schema subset checker
+# --------------------------------------------------------------------------- #
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def check_schema(payload: Any, schema: dict, path: str = "$") -> list[str]:
+    """Validate *payload* against a JSON-Schema subset; return problems.
+
+    Supports ``type`` (string or list), ``required``, ``properties``,
+    ``additionalProperties`` (schema form), ``items``, ``enum`` and
+    ``minimum`` -- everything the checked-in trace/metrics schemas use.
+    An empty return value means the payload conforms.
+    """
+    problems: list[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        names = [expected] if isinstance(expected, str) else list(expected)
+        ok = False
+        for name in names:
+            python_type = _TYPES[name]
+            if isinstance(payload, python_type) and not (
+                name in ("number", "integer") and isinstance(payload, bool)
+            ):
+                ok = True
+                break
+        if not ok:
+            problems.append(
+                f"{path}: expected {' or '.join(names)}, "
+                f"got {type(payload).__name__}"
+            )
+            return problems
+    if "enum" in schema and payload not in schema["enum"]:
+        problems.append(f"{path}: {payload!r} not in {schema['enum']!r}")
+    if "minimum" in schema and isinstance(payload, (int, float)):
+        if payload < schema["minimum"]:
+            problems.append(f"{path}: {payload!r} below minimum {schema['minimum']!r}")
+    if isinstance(payload, dict):
+        for key in schema.get("required", ()):
+            if key not in payload:
+                problems.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in payload:
+                problems.extend(check_schema(payload[key], sub, f"{path}.{key}"))
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, value in payload.items():
+                if key not in properties:
+                    problems.extend(check_schema(value, extra, f"{path}.{key}"))
+    if isinstance(payload, list) and "items" in schema:
+        for index, item in enumerate(payload):
+            problems.extend(check_schema(item, schema["items"], f"{path}[{index}]"))
+    return problems

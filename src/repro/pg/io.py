@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 from typing import IO, Any
 
+from .. import obs
 from ..errors import GraphLoadError
 from .model import PropertyGraph
 
@@ -175,7 +176,11 @@ def load_graph(fp: IO[str], source: str | None = None) -> PropertyGraph:
             source=source,
             offset=bad.start,
         ) from None
-    return graph_from_dict(_decode(text, source), source)
+    span = obs.span("pg.load", bytes=len(text))
+    with span:
+        graph = graph_from_dict(_decode(text, source), source)
+        span.set(nodes=graph.num_nodes, edges=graph.num_edges)
+    return graph
 
 
 def loads_graph(text: str, source: str | None = None) -> PropertyGraph:

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 from .values import value_signature
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import MetricsRegistry
     from .model import PropertyGraph
 
 
@@ -89,6 +90,36 @@ class GraphProfile:
                     f"  .{name}: on {prop.count}/{profile.count}, kind {kinds}"
                 )
         return lines
+
+
+def profile_to_registry(profile: GraphProfile) -> "MetricsRegistry":
+    """Render a profile as a metrics registry (one JSON vocabulary).
+
+    ``pgschema stats --json`` exports the result through
+    :func:`repro.obs.export.metrics_payload`, so instance profiles share
+    the exact artifact shape of ``--metrics`` run snapshots.
+    """
+    from ..obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.count("pg.nodes", profile.num_nodes)
+    registry.count("pg.edges", profile.num_edges)
+    for label, node_profile in profile.node_labels.items():
+        registry.count(f"pg.nodes.{label}", node_profile.count)
+        registry.observe("pg.label_size.node", node_profile.count)
+        for name, prop in node_profile.properties.items():
+            registry.count(f"pg.props.node.{label}.{name}", prop.count)
+            registry.gauge(f"pg.props_distinct.node.{label}.{name}", prop.distinct)
+    for label, edge_profile in profile.edge_labels.items():
+        registry.count(f"pg.edges.{label}", edge_profile.count)
+        registry.observe("pg.label_size.edge", edge_profile.count)
+        registry.count(f"pg.loops.{label}", edge_profile.loops)
+        registry.gauge(f"pg.max_out_degree.{label}", edge_profile.max_out_degree)
+        registry.gauge(f"pg.max_in_degree.{label}", edge_profile.max_in_degree)
+        for name, prop in edge_profile.properties.items():
+            registry.count(f"pg.props.edge.{label}.{name}", prop.count)
+            registry.gauge(f"pg.props_distinct.edge.{label}.{name}", prop.distinct)
+    return registry
 
 
 def _value_kind(value: object) -> str:

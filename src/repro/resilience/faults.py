@@ -47,6 +47,7 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..errors import FaultConfigError
 
 __all__ = [
@@ -113,6 +114,12 @@ class FaultPlan:
         for rule in self.rules:
             if rule.site == site and rule.matches(context):
                 rule.fired += 1
+                # record before triggering, so raise-mode crashes still
+                # leave their mark on the trace (an exit-mode worker kill
+                # takes its buffered events with it -- the parent-side
+                # ladder.recovery event is the surviving evidence)
+                obs.count(f"faults.fired.{rule.kind}")
+                obs.instant(f"fault.{rule.kind}", **{"site": site, **context})
                 _trigger(rule, site, context)
 
     def fired_count(self, site: str | None = None) -> int:

@@ -36,6 +36,7 @@ import time
 from concurrent.futures import BrokenExecutor, Future, ThreadPoolExecutor
 from typing import Callable, Sequence
 
+from .. import obs
 from ..errors import BudgetExhaustedError, WorkerFailureError
 
 __all__ = ["EXECUTORS", "FALLBACK", "ExecutorLadder"]
@@ -140,22 +141,40 @@ class ExecutorLadder:
             if not failures:
                 return
             for index, error in failures:
-                self.recovery_log.append(
-                    {
-                        self.log_key: index,
+                # ``site``/``at`` let chaos tests (and exported traces)
+                # reconstruct the observed fault → recovery sequence:
+                # ``at`` is monotonic, comparable with span timestamps and
+                # ordered across entries of one run
+                entry = {
+                    self.log_key: index,
+                    "executor": mode,
+                    "attempt": attempt,
+                    "error": repr(error),
+                    "site": self.site,
+                    "at": time.monotonic(),
+                }
+                self.recovery_log.append(entry)
+                obs.count("ladder.failures")
+                obs.instant(
+                    "ladder.recovery",
+                    **{
+                        "task": index,
                         "executor": mode,
                         "attempt": attempt,
+                        "site": self.site,
                         "error": repr(error),
-                    }
+                    },
                 )
             pending = [index for index, _error in failures]
             attempt += 1
             if retries_left > 0:
                 retries_left -= 1
+                obs.count("ladder.retries")
                 self._backoff(attempt, budget)
             elif self.fallback and mode in FALLBACK:
                 mode = FALLBACK[mode]
                 retries_left = self.max_retries
+                obs.count("ladder.fallbacks")
             else:
                 index, error = failures[0]
                 raise WorkerFailureError(
@@ -267,6 +286,7 @@ class ExecutorLadder:
                     # raises when the run deadline (not the task ceiling) expired
                     budget.check_deadline(site=self.site)
                 future.cancel()
+                obs.count("ladder.stuck_workers")
                 failures.append(
                     (
                         index,
@@ -278,8 +298,10 @@ class ExecutorLadder:
                     )
                 )
             except BrokenExecutor as error:
+                obs.count("ladder.worker_crashes")
                 failures.append((index, error))
             except Exception as error:
+                obs.count("ladder.worker_errors")
                 failures.append((index, error))
         return failures
 

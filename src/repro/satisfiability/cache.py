@@ -46,6 +46,8 @@ from collections import OrderedDict
 from dataclasses import replace
 from typing import TYPE_CHECKING
 
+from .. import obs
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..dl.concepts import Concept
     from ..schema.model import GraphQLSchema
@@ -163,8 +165,10 @@ class SatCache:
         cached = self._types.get(type_name)
         if cached is None:
             self.misses += 1
+            obs.count("sat.cache.misses")
             return None
         self.hits += 1
+        obs.count("sat.cache.hits")
         return replace(cached)
 
     def put_type(self, verdict: "TypeSatisfiability") -> None:
@@ -181,8 +185,10 @@ class SatCache:
         cached = self._fields.get(key)
         if cached is None and key not in self._fields:
             self.misses += 1
+            obs.count("sat.cache.misses")
             return None
         self.hits += 1
+        obs.count("sat.cache.hits")
         return cached
 
     def put_field(self, key: tuple[str, str], verdict: bool | None) -> None:
@@ -199,8 +205,10 @@ class SatCache:
         cached = self._bounded.get((type_name, bound))
         if cached is None:
             self.misses += 1
+            obs.count("sat.cache.misses")
             return None
         self.hits += 1
+        obs.count("sat.cache.hits")
         return cached
 
     def put_bounded(

@@ -42,6 +42,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from .. import obs
 from ..dl.concepts import And, Concept, Exists, Name, Role
 from ..dl.tableau import Tableau
 from ..dl.translate import schema_to_tbox
@@ -58,6 +59,50 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..schema.model import GraphQLSchema
 
 _ON_BUDGET = ("unknown", "error")
+
+
+def profile_from_registry(
+    registry: "obs.MetricsRegistry", engine: str, executor: str, jobs: int
+) -> dict:
+    """Derive the ``last_profile`` dict from a per-run metrics registry.
+
+    Every ``check_schema`` run records its unit count and per-engine win
+    counts into a private :class:`~repro.obs.MetricsRegistry`
+    (``sat.units``, ``sat.wins.<engine>``); this renders that registry in
+    the historical ``last_profile`` shape -- the JSON keys ``engine``,
+    ``executor``, ``jobs``, ``units`` and ``wins`` are frozen by golden
+    tests, so profiling surfaces stay backward-compatible while the
+    registry is the single source of truth.
+    """
+    snapshot = registry.snapshot()
+    prefix = "sat.wins."
+    wins = {
+        name[len(prefix):]: int(value)
+        for name, value in snapshot["counters"].items()
+        if name.startswith(prefix)
+    }
+    return {
+        "engine": engine,
+        "executor": executor,
+        "jobs": jobs,
+        "units": int(snapshot["counters"].get("sat.units", 0)),
+        "wins": wins,
+    }
+
+
+def record_report_outcomes(report: "SchemaSatisfiabilityReport") -> None:
+    """Count per-element verdicts of one ``check_schema`` run into the
+    active metrics registry (``sat.types.sat`` / ``sat.fields.unknown`` /
+    ...).  No-op when observation is off."""
+    observation = obs.active()
+    if observation is None or observation.registry is None:
+        return
+    registry = observation.registry
+    for verdict in report.types.values():
+        registry.count(f"sat.types.{verdict.verdict}")
+    for ok in report.fields.values():
+        outcome = "sat" if ok else ("unsat" if ok is False else "unknown")
+        registry.count(f"sat.fields.{outcome}")
 
 
 @dataclass
@@ -360,6 +405,15 @@ class SatisfiabilityChecker:
         any checker over the same schema) replays the stored verdict,
         re-attaching a bounded witness per the caller's ``find_witness``.
         """
+        with obs.span("sat.check_type", type=object_type):
+            return self._check_type(object_type, find_witness, budget)
+
+    def _check_type(
+        self,
+        object_type: str,
+        find_witness: bool,
+        budget: "Budget | None",
+    ) -> TypeSatisfiability:
         cache = self.cache
         if cache is not None:
             cached = cache.get_type(object_type)
@@ -516,14 +570,15 @@ class SatisfiabilityChecker:
         """
         if engine == "serial":
             self.last_recovery_log = []
-            self.last_profile = {
-                "engine": "serial",
-                "executor": "serial",
-                "jobs": 1,
-                "units": 0,
-                "wins": {},
-            }
-            return self._check_schema_serial(find_witnesses)
+            # the serial sweep has no batched units and tracks no wins: its
+            # profile is an empty run registry rendered in the legacy shape
+            self.last_profile = profile_from_registry(
+                obs.MetricsRegistry(), "serial", "serial", 1
+            )
+            with obs.span("sat.run", engine="serial", jobs=1):
+                report = self._check_schema_serial(find_witnesses)
+            record_report_outcomes(report)
+            return report
         from .portfolio import run_portfolio
 
         return run_portfolio(

@@ -44,6 +44,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_compl
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from .. import obs
 from ..dl.concepts import And, Exists, Name, Role
 from ..errors import BudgetExhaustedError
 from ..resilience import Budget, faults
@@ -53,6 +54,8 @@ from .engine import (
     SatisfiabilityChecker,
     SchemaSatisfiabilityReport,
     TypeSatisfiability,
+    profile_from_registry,
+    record_report_outcomes,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -138,6 +141,21 @@ def check_unit(
     race: bool = False,
 ) -> UnitResult:
     """Decide one unit: cache → lint → batch concept → staged fallback."""
+    with obs.span(
+        "sat.unit",
+        unit=unit.index,
+        declaring=unit.declaring,
+        fields=len(unit.fields),
+    ):
+        return _check_unit(checker, unit, find_witnesses, race)
+
+
+def _check_unit(
+    checker: SatisfiabilityChecker,
+    unit: SatUnit,
+    find_witnesses: bool,
+    race: bool,
+) -> UnitResult:
     wins: dict[str, int] = {}
 
     def win(engine: str) -> None:
@@ -341,8 +359,11 @@ def _race_batch(
                 continue
             if engine == "tableau":
                 budget_bounded.cancel()
+                obs.count("sat.race.cancelled.bounded")
             else:
                 budget_tableau.cancel()
+                obs.count("sat.race.cancelled.tableau")
+            obs.count(f"sat.race.won.{engine}")
             return sat, engine, bounded
     return None, "budget", None
 
@@ -368,11 +389,17 @@ def _thread_check(
 _WORKER_CHECKER: "SatisfiabilityChecker | None" = None
 
 
-def _worker_init(schema: "GraphQLSchema", config: tuple, fault_spec: str | None) -> None:
+def _worker_init(
+    schema: "GraphQLSchema",
+    config: tuple,
+    fault_spec: str | None,
+    obs_config: dict | None = None,
+) -> None:
     """Process-pool initializer: build this worker's checker once."""
     global _WORKER_CHECKER
     faults.mark_worker_process()
     faults.install(fault_spec)
+    obs.install_worker(obs_config)
     max_nodes, bounded_max_nodes, lint_precheck, budget, on_budget = config
     _WORKER_CHECKER = SatisfiabilityChecker(
         schema,
@@ -384,13 +411,16 @@ def _worker_init(schema: "GraphQLSchema", config: tuple, fault_spec: str | None)
     )
 
 
-def _process_check(payload: tuple) -> UnitResult:
+def _process_check(payload: tuple) -> "UnitResult | obs.TracedResult":
     unit, find_witnesses, race, attempt = payload
     faults.fault_point(
         "portfolio.worker", unit=unit.index, attempt=attempt, executor="process"
     )
     assert _WORKER_CHECKER is not None
-    return check_unit(_WORKER_CHECKER, unit, find_witnesses=find_witnesses, race=race)
+    result = check_unit(
+        _WORKER_CHECKER, unit, find_witnesses=find_witnesses, race=race
+    )
+    return obs.package(result)
 
 
 def _choose_executor(executor: str, jobs: int, units: int) -> str:
@@ -472,28 +502,36 @@ def run_portfolio(
         return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(checker.schema, config, faults.active_spec()),
+            initargs=(checker.schema, config, faults.active_spec(), obs.worker_config()),
         )
 
-    ladder.run(
-        mode,
-        range(len(units)),
-        results,
-        serial=serial,
-        thread_submit=thread_submit,
-        process_submit=process_submit,
-        make_process_pool=make_process_pool,
-    )
-    checker.last_recovery_log = ladder.recovery_log
+    with obs.span(
+        "sat.run", engine=engine, executor=mode, jobs=jobs, units=len(units)
+    ):
+        ladder.run(
+            mode,
+            range(len(units)),
+            results,
+            serial=serial,
+            thread_submit=thread_submit,
+            process_submit=process_submit,
+            make_process_pool=make_process_pool,
+        )
+        checker.last_recovery_log = ladder.recovery_log
+        report, wins = _merge(checker, results, absorb_bounded=not race)
 
-    report, wins = _merge(checker, results, absorb_bounded=not race)
-    checker.last_profile = {
-        "engine": engine,
-        "executor": mode,
-        "jobs": jobs,
-        "units": len(units),
-        "wins": wins,
-    }
+    # ``last_profile`` is derived from a per-run metrics registry -- the
+    # unified profiling surface -- then folded into the globally observed
+    # registry so ``--metrics`` snapshots carry the same counters.
+    run_registry = obs.MetricsRegistry()
+    run_registry.count("sat.units", len(units))
+    for engine_name, win_count in wins.items():
+        run_registry.count(f"sat.wins.{engine_name}", win_count)
+    checker.last_profile = profile_from_registry(run_registry, engine, mode, jobs)
+    observation = obs.active()
+    if observation is not None and observation.registry is not None:
+        observation.registry.merge_snapshot(run_registry.drain())
+    record_report_outcomes(report)
     return report
 
 
@@ -513,6 +551,10 @@ def _merge(
     wins: dict[str, int] = {}
     by_type: dict[str, TypeSatisfiability] = {}
     field_verdicts: dict[tuple[str, str], bool | None] = {}
+    # span-merge barrier: process-worker results arrive wrapped with their
+    # recorded spans/metrics when observability is on; absorb them before
+    # the deterministic report merge
+    results = [obs.unwrap(result) for result in results]
     for result in results:
         assert result is not None  # the ladder fills every index or raises
         for engine, count in result.wins.items():

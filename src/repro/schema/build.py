@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Mapping
 
+from .. import obs
 from ..errors import SchemaError
 from ..sdl import ast
 from ..sdl.parser import parse_document
@@ -58,9 +59,9 @@ def parse_schema(
     scalar_predicates: Mapping[str, Callable[[object], bool]] | None = None,
 ) -> GraphQLSchema:
     """Parse SDL text and build the formal schema in one step."""
-    return build_schema(
-        parse_document(source), check=check, scalar_predicates=scalar_predicates
-    )
+    with obs.span("sdl.parse", bytes=len(source)):
+        document = parse_document(source)
+    return build_schema(document, check=check, scalar_predicates=scalar_predicates)
 
 
 def build_schema(
@@ -82,10 +83,16 @@ def build_schema(
         SchemaError: On uninterpretable input.
         ConsistencyError: When *check* is set and the schema is inconsistent.
     """
-    builder = _SchemaBuilder(document, scalar_predicates or {})
-    schema = builder.build()
-    if check:
-        check_consistency(schema)
+    span = obs.span("schema.build", definitions=len(document.definitions))
+    with span:
+        builder = _SchemaBuilder(document, scalar_predicates or {})
+        schema = builder.build()
+        if check:
+            check_consistency(schema)
+        span.set(
+            types=len(schema.object_types),
+            warnings=len(schema.warnings),
+        )
     return schema
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Mapping
 
+from .. import obs
 from ..pg.values import value_signature
 from .indexed import IndexedValidator, _ordered_pairs
 from .plan import ValidationPlan
@@ -169,6 +170,14 @@ class IncrementalValidator:
     # ------------------------------------------------------------------ #
 
     def _full_rebuild(self) -> None:
+        with obs.span(
+            "validation.run", engine="incremental", elements=len(self.graph)
+        ):
+            self._rebuild_scopes()
+        if obs.active() is not None:
+            obs.count("validation.runs")
+
+    def _rebuild_scopes(self) -> None:
         budget = self.budget.renew() if self.budget is not None else None
         rebuilt = 0
         self._violations.clear()
@@ -202,6 +211,7 @@ class IncrementalValidator:
 
     def _recheck_node(self, node: "ElementId") -> None:
         """Re-run the per-node rules (WS1/SS1/SS2/DS4/DS5/DS6) for one node."""
+        obs.count("validation.rechecks.node")
         graph, engine = self.graph, self._engine
         found: list[Violation] = []
         single = _SingleNodeIndex(graph, node)
@@ -216,6 +226,7 @@ class IncrementalValidator:
 
     def _recheck_edge(self, edge: "ElementId") -> None:
         """Re-run the per-edge rules (WS2/WS3/SS3/SS4/DS2) for one edge."""
+        obs.count("validation.rechecks.edge")
         graph, engine, schema = self.graph, self._engine, self.schema
         single = _SingleEdgeIndex(graph, edge)
         found: list[Violation] = []
@@ -259,6 +270,7 @@ class IncrementalValidator:
     def _recheck_edge_group(self, scope: ScopeKey) -> None:
         """Re-run WS4/DS1 for one (source, label) group or DS3 for one
         (target, label) group."""
+        obs.count("validation.rechecks.edge_group")
         direction, node, label = scope
         graph, schema = self.graph, self.schema
         found: list[Violation] = []
@@ -333,6 +345,7 @@ class IncrementalValidator:
                 self._recheck_key_scope(site_index, signature)
 
     def _recheck_key_scope(self, site_index: int, signature: tuple) -> None:
+        obs.count("validation.rechecks.key_scope")
         site = self._key_sites[site_index]
         members = sorted(
             self._signatures[site_index].get(signature, ()), key=str

@@ -15,9 +15,9 @@ which experiment E1 contrasts against the naive engine's quadratic growth.
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, Iterator
 
+from .. import obs
 from ..errors import BudgetExhaustedError
 from ..pg.values import value_signature
 from ..schema.subtype import is_named_subtype
@@ -26,6 +26,7 @@ from .violations import (
     ValidationReport,
     Violation,
     canonical_pair,
+    record_rule_checks,
     rules_for_mode,
 )
 
@@ -84,20 +85,31 @@ class IndexedValidator:
         if budget is None and self.budget is not None:
             budget = self.budget.renew()
         report = ValidationReport(mode=mode, rules_checked=rules)
-        try:
-            if budget is not None:
-                budget.charge_nodes(len(graph), site="validation.indexed")
-            index = _GraphIndex(graph)
-            checkers = self._checkers()
-            for rule in rules:
+        span = obs.span(
+            "validation.run", engine="indexed", mode=mode, elements=len(graph)
+        )
+        with span:
+            try:
                 if budget is not None:
-                    budget.check_deadline(site="validation.indexed")
-                report.extend(checkers[rule](graph, index))
-        except BudgetExhaustedError as stop:
-            if self.on_budget == "error":
-                raise
-            report.complete = False
-            report.interruption = stop.reason
+                    budget.charge_nodes(len(graph), site="validation.indexed")
+                index = _GraphIndex(graph)
+                checkers = self._checkers()
+                for rule in rules:
+                    if budget is not None:
+                        budget.check_deadline(site="validation.indexed")
+                    report.extend(checkers[rule](graph, index))
+            except BudgetExhaustedError as stop:
+                if self.on_budget == "error":
+                    raise
+                report.complete = False
+                report.interruption = stop.reason
+            span.set(violations=len(report.violations), complete=report.complete)
+        observation = obs.active()
+        if observation is not None and observation.registry is not None:
+            observation.registry.count("validation.runs")
+            record_rule_checks(
+                observation.registry, rules, graph.num_nodes, graph.num_edges
+            )
         return report
 
     def profile_rules(
@@ -112,11 +124,20 @@ class IndexedValidator:
         report = ValidationReport(mode=mode, rules_checked=rules)
         index = _GraphIndex(graph)
         checkers = self._checkers()
-        timings: dict[str, float] = {}
+        # per-rule timings live in a private registry so the profile is one
+        # more view over the metrics vocabulary; the legacy return shape
+        # ({rule id: seconds}) is derived from the histogram sums
+        registry = obs.MetricsRegistry()
         for rule in rules:
-            started = time.perf_counter()
-            report.extend(checkers[rule](graph, index))
-            timings[rule] = time.perf_counter() - started
+            with registry.timer(f"validation.rule.{rule}"):
+                report.extend(checkers[rule](graph, index))
+        histograms = registry.snapshot()["histograms"]
+        timings = {
+            rule: histograms[f"validation.rule.{rule}"]["sum"] for rule in rules
+        }
+        observation = obs.active()
+        if observation is not None and observation.registry is not None:
+            observation.registry.merge_snapshot(registry.drain())
         return report, timings
 
     # ------------------------------------------------------------------ #

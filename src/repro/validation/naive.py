@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from .. import obs
 from ..errors import BudgetExhaustedError
 from ..pg.values import values_equal
 from ..schema.subtype import is_named_subtype
@@ -24,6 +25,7 @@ from .violations import (
     ValidationReport,
     Violation,
     canonical_pair,
+    record_rule_checks,
     rules_for_mode,
 )
 
@@ -90,18 +92,29 @@ class NaiveValidator:
             "SS4": self._ss4,
             "EP1": self._ep1,
         }
-        try:
-            if budget is not None:
-                budget.charge_nodes(len(graph), site="validation.naive")
-            for rule in rules:
+        span = obs.span(
+            "validation.run", engine="naive", mode=mode, elements=len(graph)
+        )
+        with span:
+            try:
                 if budget is not None:
-                    budget.check_deadline(site="validation.naive")
-                report.extend(checkers[rule](graph))
-        except BudgetExhaustedError as stop:
-            if self.on_budget == "error":
-                raise
-            report.complete = False
-            report.interruption = stop.reason
+                    budget.charge_nodes(len(graph), site="validation.naive")
+                for rule in rules:
+                    if budget is not None:
+                        budget.check_deadline(site="validation.naive")
+                    report.extend(checkers[rule](graph))
+            except BudgetExhaustedError as stop:
+                if self.on_budget == "error":
+                    raise
+                report.complete = False
+                report.interruption = stop.reason
+            span.set(violations=len(report.violations), complete=report.complete)
+        observation = obs.active()
+        if observation is not None and observation.registry is not None:
+            observation.registry.count("validation.runs")
+            record_rule_checks(
+                observation.registry, rules, graph.num_nodes, graph.num_edges
+            )
         return report
 
     # ------------------------------------------------------------------ #

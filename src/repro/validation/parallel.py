@@ -63,6 +63,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
+from .. import obs
 from ..errors import BudgetExhaustedError
 from ..pg.values import value_signature
 from ..resilience import faults
@@ -71,7 +72,12 @@ from ..resilience.ladder import ExecutorLadder
 from .indexed import _ordered_pairs
 from .plan import ValidationPlan, compile_plan
 from .shard import GraphShard, partition_graph
-from .violations import ValidationReport, Violation, rules_for_mode
+from .violations import (
+    ValidationReport,
+    Violation,
+    record_rule_checks,
+    rules_for_mode,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..errors import BudgetReason
@@ -167,10 +173,39 @@ class ParallelValidator:
         budget: "Budget | None" = None,
     ) -> ValidationReport:
         """Check *graph* for weak / directives / strong satisfaction."""
+        with obs.span(
+            "validation.run",
+            engine="parallel",
+            mode=mode,
+            jobs=self.jobs,
+            elements=len(graph),
+        ):
+            return self._validate(graph, mode, budget)
+
+    def _validate(
+        self,
+        graph: "PropertyGraph",
+        mode: str,
+        budget: "Budget | None",
+    ) -> ValidationReport:
         rules = rules_for_mode(mode)
         if budget is None and self.budget is not None:
             budget = self.budget.renew()
-        shards = partition_graph(graph, self.jobs)
+        with obs.span("validation.partition", jobs=self.jobs):
+            shards = partition_graph(graph, self.jobs)
+        observation = obs.active()
+        if observation is not None and observation.registry is not None:
+            registry = observation.registry
+            registry.count("validation.runs")
+            registry.count("validation.shards", len(shards))
+            total_nodes = total_edges = 0
+            for shard in shards:
+                registry.observe(
+                    "validation.shard_size", len(shard.nodes) + len(shard.edges)
+                )
+                total_nodes += len(shard.nodes)
+                total_edges += len(shard.edges)
+            record_rule_checks(registry, rules, total_nodes, total_edges)
         results: list[ShardResult | None] = [None] * len(shards)
         interruption: "BudgetReason | None" = None
         try:
@@ -230,7 +265,13 @@ class ParallelValidator:
                 attempt=attempt,
                 executor="serial",
             )
-            return validate_shard(self.plan, graph, shards[index], rules, budget)
+            with obs.span(
+                "validation.shard",
+                shard=shards[index].index,
+                attempt=attempt,
+                executor="serial",
+            ):
+                return validate_shard(self.plan, graph, shards[index], rules, budget)
 
         def thread_submit(pool, index: int, attempt: int):
             return pool.submit(
@@ -250,7 +291,7 @@ class ParallelValidator:
             return ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_pool_initializer,
-                initargs=(self.schema, graph, faults.active_spec()),
+                initargs=(self.schema, graph, faults.active_spec(), obs.worker_config()),
             )
 
         ladder.run(
@@ -272,6 +313,21 @@ class ParallelValidator:
         interruption: "BudgetReason | None" = None,
     ) -> ValidationReport:
         faults.fault_point("parallel.merge")
+        # The merge barrier doubles as the span-merge barrier: worker tasks
+        # that ran with observability on arrive as TracedResult wrappers,
+        # absorbed into the parent tracer/registry before the deterministic
+        # report merge (which therefore stays byte-identical either way).
+        results = [obs.unwrap(result) for result in results]
+        with obs.span("validation.merge", shards=len(results)):
+            return self._merge_results(results, mode, rules, interruption)
+
+    def _merge_results(
+        self,
+        results: "Sequence[ShardResult | None]",
+        mode: str,
+        rules: tuple[str, ...],
+        interruption: "BudgetReason | None",
+    ) -> ValidationReport:
         violations: list[Violation] = []
         signature_groups: dict[tuple, list["ElementId"]] = {}
         for result in results:
@@ -334,35 +390,47 @@ def _thread_validate(
     faults.fault_point(
         "parallel.worker", shard=shard.index, attempt=attempt, executor="thread"
     )
-    return validate_shard(plan, graph, shard, rules, budget)
+    with obs.span(
+        "validation.shard", shard=shard.index, attempt=attempt, executor="thread"
+    ):
+        return validate_shard(plan, graph, shard, rules, budget)
 
 
 def _pool_initializer(
     schema: "GraphQLSchema",
     graph: "PropertyGraph",
     fault_spec: str | None,
+    obs_config: dict | None = None,
 ) -> None:
     """Runs once per worker process: compile the plan locally (its closures
     are never pickled), pin the shared graph, and mirror the parent's fault
     plan -- shipping the spec explicitly keeps injection working under any
     multiprocessing start method, and marking the process as a worker arms
-    ``mode=exit`` crash faults (a real ``os._exit``, never in the parent)."""
+    ``mode=exit`` crash faults (a real ``os._exit``, never in the parent).
+    The parent's observability config rides along the same way: workers
+    record into a private capture buffer (sharing the parent tracer's
+    monotonic epoch) whose contents ship back with each task result."""
     global _pool_plan, _pool_graph
     _pool_plan = compile_plan(schema)
     _pool_graph = graph
     faults.mark_worker_process()
     faults.install(fault_spec)
+    obs.install_worker(obs_config)
 
 
 def _pool_validate(
     task: "tuple[GraphShard, tuple[str, ...], int, Budget | None]",
-) -> ShardResult:
+) -> "ShardResult | obs.TracedResult":
     shard, rules, attempt, budget = task
     assert _pool_plan is not None and _pool_graph is not None
     faults.fault_point(
         "parallel.worker", shard=shard.index, attempt=attempt, executor="process"
     )
-    return validate_shard(_pool_plan, _pool_graph, shard, rules, budget)
+    with obs.span(
+        "validation.shard", shard=shard.index, attempt=attempt, executor="process"
+    ):
+        result = validate_shard(_pool_plan, _pool_graph, shard, rules, budget)
+    return obs.package(result)
 
 
 # --------------------------------------------------------------------------- #

@@ -33,6 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from .. import obs
 from . import sites
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -303,9 +304,12 @@ def compile_plan(schema: "GraphQLSchema") -> ValidationPlan:
         if entry is not None:
             _cache.move_to_end(key)
             _hits += 1
+            obs.count("validation.plan_cache.hits")
             return entry[1]
         _misses += 1
-    plan = ValidationPlan(schema)
+    obs.count("validation.plan_cache.misses")
+    with obs.span("validation.plan.compile"):
+        plan = ValidationPlan(schema)
     with _cache_lock:
         _cache[key] = (schema, plan)
         _cache.move_to_end(key)

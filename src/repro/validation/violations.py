@@ -120,6 +120,43 @@ def rules_for_mode(mode: str) -> tuple[str, ...]:
     raise ValueError(f"unknown validation mode: {mode!r}")
 
 
+#: Which element population each rule scans: node-scoped rules touch every
+#: node of the graph, edge-scoped rules every edge.  Used to derive the
+#: ``validation.checks.<rule>`` counters all engines export.
+RULE_SCOPE: dict[str, str] = {
+    "WS1": "nodes",
+    "SS1": "nodes",
+    "SS2": "nodes",
+    "DS4": "nodes",
+    "DS5": "nodes",
+    "DS6": "nodes",
+    "DS7": "nodes",
+    "WS2": "edges",
+    "WS3": "edges",
+    "WS4": "edges",
+    "SS3": "edges",
+    "SS4": "edges",
+    "DS1": "edges",
+    "DS2": "edges",
+    "DS3": "edges",
+    "EP1": "edges",
+}
+
+
+def record_rule_checks(registry, rules: tuple[str, ...], nodes: int, edges: int) -> None:
+    """Count the per-rule check work of one run into *registry*.
+
+    One "check" is one element scanned by a rule: node-scoped rules perform
+    ``nodes`` checks, edge-scoped rules ``edges`` -- the granularity the
+    complexity claims of Theorem 1 are stated at.
+    """
+    for rule in rules:
+        registry.count(
+            f"validation.checks.{rule}",
+            nodes if RULE_SCOPE[rule] == "nodes" else edges,
+        )
+
+
 @dataclass(frozen=True)
 class Violation:
     """One witnessed failure of a satisfaction rule.

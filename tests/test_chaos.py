@@ -306,3 +306,52 @@ def test_slowed_tableau_degrades_only_to_unknown():
                 assert verdict in ("unknown", expected)
     finally:
         faults.uninstall()
+
+
+# --------------------------------------------------------------------------- #
+# observed fault -> recovery sequences
+# --------------------------------------------------------------------------- #
+
+
+def test_recovery_log_entries_carry_site_and_ordered_timestamps(baseline):
+    """Every recovery entry names its ladder site and carries a monotonic
+    ``at`` timestamp, so the fault -> recovery sequence of a run can be
+    reconstructed from the log alone."""
+    validator, report = _run(
+        "crash@parallel.worker:shard=0,attempt=0", executor="thread"
+    )
+    _assert_identical(report, baseline)
+    assert validator.recovery_log
+    for entry in validator.recovery_log:
+        assert entry["site"] == "validation.parallel"
+        assert isinstance(entry["at"], float)
+    stamps = [entry["at"] for entry in validator.recovery_log]
+    assert stamps == sorted(stamps)
+
+
+def test_trace_records_fault_then_recovery(baseline):
+    """With tracing on, an injected crash leaves a ``fault.crash`` instant
+    (recorded at the injection site) followed by a ``ladder.recovery``
+    instant (recorded by the parent), in that order on one timeline."""
+    from repro import obs
+
+    obs.uninstall()
+    with obs.observed(trace=True, metrics=True) as observation:
+        validator, report = _run(
+            "crash@parallel.worker:shard=0,attempt=0", executor="thread"
+        )
+    _assert_identical(report, baseline)
+    events = observation.tracer.events()
+    fault_instants = [e for e in events if e.name == "fault.crash"]
+    recoveries = [e for e in events if e.name == "ladder.recovery"]
+    assert fault_instants and recoveries
+    assert fault_instants[0].attrs["site"] == "parallel.worker"
+    assert recoveries[0].attrs["task"] == 0
+    assert recoveries[0].attrs["executor"] == "thread"
+    assert fault_instants[0].start <= recoveries[0].start
+    # recovery_log timestamps live on the same monotonic clock as the trace
+    assert validator.recovery_log[0]["at"] >= fault_instants[0].start
+    counters = observation.registry.snapshot()["counters"]
+    assert counters["faults.fired.crash"] >= 1
+    assert counters["ladder.failures"] >= 1
+    assert counters["ladder.retries"] >= 1
