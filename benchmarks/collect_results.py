@@ -370,6 +370,73 @@ def e13_portfolio_sat() -> None:
     print()
 
 
+def e14_analysis() -> None:
+    print("## E14 — schema dataflow analyzer: static pre-verdicts")
+    from repro.analysis import analysis_cache_clear, analyze_schema, sat_preverdicts
+    from repro.workloads import deep_lattice_schema, near_unsat_schema
+
+    decided = total = 0
+    for name in CORPUS:
+        schema = load(name)
+        decided += sat_preverdicts(schema).decided
+        total += len(schema.object_types) + sum(
+            1
+            for *_loc, field_def in schema.field_declarations()
+            if field_def.is_relationship
+        )
+    print(f"corpus coverage: {decided}/{total} elements decided statically")
+
+    scaled = (
+        [hub_chain_schema(depth=3, leaves=2), near_unsat_schema(2)]
+        if QUICK
+        else [
+            hub_chain_schema(depth=12, leaves=8),
+            near_unsat_schema(6),
+            near_unsat_schema(6, collide=True),
+            deep_lattice_schema(4, 2),
+        ]
+    )
+    schemas = scaled + [load(name) for name in CORPUS]
+
+    def sweep(analysis: bool) -> None:
+        for schema in schemas:
+            SatisfiabilityChecker(
+                schema, cache=False, analysis_precheck=analysis
+            ).check_schema(engine="serial")
+
+    sweep(True)  # warm code paths and the per-schema analysis memo
+    sweep(False)
+    t_on = timed(lambda: sweep(True))
+    t_off = timed(lambda: sweep(False))
+
+    def analyses() -> None:
+        analysis_cache_clear()
+        for schema in schemas:
+            analyze_schema(schema)
+
+    t_passes = timed(analyses)
+    print(
+        f"{len(schemas)} schemas: feed off {t_off * 1000:.2f} ms, feed on "
+        f"{t_on * 1000:.2f} ms ({t_off / t_on:.2f}x); all four passes "
+        f"{t_passes * 1000:.2f} ms"
+    )
+    write_bench_json(
+        "e14",
+        {
+            "experiment": "E14",
+            "schemas": len(schemas),
+            "corpus_decided": decided,
+            "corpus_elements": total,
+            "coverage": decided / total,
+            "feed_off_s": t_off,
+            "feed_on_s": t_on,
+            "speedup": t_off / t_on,
+            "passes_s": t_passes,
+        },
+    )
+    print()
+
+
 SECTIONS = {
     "e1": e1_data_complexity,
     "e3": e3_fo,
@@ -381,6 +448,7 @@ SECTIONS = {
     "e11": e11_lint_precheck,
     "e12": e12_parallel_validation,
     "e13": e13_portfolio_sat,
+    "e14": e14_analysis,
 }
 
 

@@ -1,0 +1,177 @@
+"""Constraint implication and contradiction across inheritance.
+
+Two findings over pairs of declarations of the *same* relationship field:
+
+* **PG013 implied-directive** (INFO): a directive whose translated axiom is
+  entailed by another declaration's axiom, so removing it changes no
+  instance.  Detected cases, each argued from the translation:
+
+  - ``@required`` on an object type's own field when an applicable
+    interface declaration of the field is ``@required`` at a base whose
+    family is contained in the own base's family -- the interface's
+    ``c ⊑ ∃f.base_c`` forces an edge that already satisfies the own
+    existential.
+  - ``@uniqueForTarget`` on an own field when an applicable interface
+    declaration carries it at a base whose family *contains* the own
+    base's family -- the interface cap ``≤1 f⁻.c`` over a larger source
+    family already caps the own, smaller one.
+  - ``@requiredForTarget`` on an interface field when some implementor's
+    own declaration carries it at a base whose family contains the
+    interface base's family -- the implementor's stronger obligation
+    (``∃f⁻.ot ⊑ ∃f⁻.it``) is forced at every node the interface
+    declaration obligates.
+
+* **PG014 contradictory-inheritance**: an own relationship declaration
+  whose target family is nonempty yet the meet with the applicable
+  interface declarations' families is empty -- no edge can satisfy all
+  ``∀f.base`` axioms at once.  ERROR when the field is required (the type
+  is then unsatisfiable, and the cardinality pass proves it); WARNING
+  otherwise (the edge is merely unpopulatable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..lint.diagnostics import Diagnostic, Severity, Span
+from .framework import AnalysisContext, AnalysisPass
+from .graph import FieldEdge, TypeDependencyGraph
+
+
+class ImplicationPass(AnalysisPass):
+    name = "implication"
+    requires = ("cardinality",)
+    description = (
+        "redundant and mutually-contradictory directive pairs across "
+        "interface inheritance and union membership"
+    )
+
+    def run(self, context: AnalysisContext) -> dict[str, int]:
+        graph = context.graph
+        emitted = {"PG013": 0, "PG014": 0}
+        for diagnostic in _implied_directives(graph):
+            context.emit(diagnostic)
+            emitted["PG013"] += 1
+        for diagnostic in _contradictory_inheritance(graph):
+            context.emit(diagnostic)
+            emitted["PG014"] += 1
+        return emitted
+
+
+def _own_and_interface_pairs(
+    graph: TypeDependencyGraph,
+) -> Iterator[tuple[FieldEdge, FieldEdge]]:
+    """(own edge, applicable interface edge) pairs for every object type."""
+    for object_type in sorted(graph.schema.object_types):
+        for field_name, declarations in sorted(
+            graph.applicable.get(object_type, {}).items()
+        ):
+            own = graph.own.get((object_type, field_name))
+            if own is None:
+                continue
+            for declaration in declarations:
+                if declaration.declarer != object_type:
+                    yield own, declaration
+
+
+def _implied_directives(graph: TypeDependencyGraph) -> Iterator[Diagnostic]:
+    reported: set[tuple[str, str, str]] = set()
+
+    def once(
+        key: tuple[str, str, str], diagnostic: Diagnostic
+    ) -> Iterator[Diagnostic]:
+        if key not in reported:
+            reported.add(key)
+            yield diagnostic
+
+    for own, parent in _own_and_interface_pairs(graph):
+        if own.required and parent.required and parent.targets <= own.targets:
+            yield from once(
+                (own.location, "required", parent.declarer),
+                _implied(
+                    own,
+                    f"@required on {own.location} is implied: "
+                    f"{parent.location} is already @required at "
+                    f"{parent.base}, whose object types all satisfy the "
+                    f"{own.base} typing",
+                ),
+            )
+        if (
+            own.unique_for_target
+            and parent.unique_for_target
+            and own.targets <= parent.targets
+        ):
+            yield from once(
+                (own.location, "uniqueForTarget", parent.declarer),
+                _implied(
+                    own,
+                    f"@uniqueForTarget on {own.location} is implied: "
+                    f"{parent.location} already caps incoming "
+                    f"'{own.field_name}' edges from the larger "
+                    f"{parent.declarer} family",
+                ),
+            )
+        if (
+            parent.required_for_target
+            and own.required_for_target
+            and parent.targets <= own.targets
+        ):
+            yield from once(
+                (parent.location, "requiredForTarget", own.declarer),
+                _implied(
+                    parent,
+                    f"@requiredForTarget on {parent.location} is implied: "
+                    f"{own.location} already forces an incoming "
+                    f"'{own.field_name}' edge from {own.declarer} (below "
+                    f"{parent.declarer}) at every node of {parent.base}",
+                ),
+            )
+
+
+def _implied(edge: FieldEdge, message: str) -> Diagnostic:
+    return Diagnostic(
+        code="PG013",
+        severity=Severity.INFO,
+        message=message,
+        location=edge.location,
+        span=Span(edge.line, edge.column),
+        rule="implied-directive",
+    )
+
+
+def _contradictory_inheritance(graph: TypeDependencyGraph) -> Iterator[Diagnostic]:
+    for object_type in sorted(graph.schema.object_types):
+        for field_name, declarations in sorted(
+            graph.applicable.get(object_type, {}).items()
+        ):
+            own = graph.own.get((object_type, field_name))
+            if own is None or not own.targets:
+                continue  # an empty own family is PG004/PG005 territory
+            if len(declarations) < 2:
+                continue
+            if graph.allowed(object_type, field_name):
+                continue
+            parents = sorted(
+                declaration.location
+                for declaration in declarations
+                if declaration.declarer != object_type
+            )
+            required = any(declaration.required for declaration in declarations)
+            yield Diagnostic(
+                code="PG014",
+                severity=Severity.ERROR if required else Severity.WARNING,
+                message=(
+                    f"contradictory inheritance: the target families of "
+                    f"{own.location} (type {own.base}) and "
+                    f"{', '.join(parents)} are disjoint, so no "
+                    f"'{field_name}' edge out of {object_type} can satisfy "
+                    f"all declared typings"
+                    + (
+                        "; the field is required, making the type "
+                        "unsatisfiable" if required else ""
+                    )
+                ),
+                location=own.location,
+                span=Span(own.line, own.column),
+                rule="contradictory-inheritance",
+            )

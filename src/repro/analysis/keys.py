@@ -1,0 +1,155 @@
+"""Key-domain collision analysis (PG015) and vacuous keys (PG016).
+
+``@key`` constrains the *values* of attribute fields, which the Theorem-3
+translation deliberately drops (fresh values can always be picked -- for
+*unbounded* domains).  Over finite value domains that argument breaks
+numerically: a key built only from ``Boolean`` and enum-typed fields admits
+at most ``∏ |domain|`` distinct value tuples, so any instance with more
+nodes of the keyed type provably collides.  This pass bounds those domains
+statically:
+
+* **PG015 key-domain-collision**: every key field has a finite domain.
+  WARNING when the product is 1 (at most a single node of the type can
+  ever exist -- with two nodes the key is violated), INFO for any other
+  finite product (a hard instance-size ceiling worth knowing about).
+* **PG016 vacuous-key**: a key whose field set contains another key's
+  field set as a proper subset -- uniqueness on the smaller tuple already
+  forces uniqueness on the larger, so the larger key never rejects
+  anything the smaller admits.  Exact duplicates (same fields, any order)
+  are reported too unless they are textually identical (PG008 owns those).
+
+Because keys are dropped from the translation, these findings are *lint
+only*: they never feed the satisfiability pre-verdicts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..lint.diagnostics import Diagnostic, Severity, Span
+from ..schema.directives import KEY
+from .framework import AnalysisContext, AnalysisPass
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..schema.model import GraphQLSchema, InterfaceType, ObjectType
+
+
+def _keys_of(composite: "ObjectType | InterfaceType") -> tuple[tuple[str, ...], ...]:
+    """The @key field tuples of any composite (interfaces can carry keys
+    too; ``ObjectType.keys`` exists but ``InterfaceType`` has no shortcut)."""
+    keys: list[tuple[str, ...]] = []
+    for directive in composite.directives:
+        if directive.name != KEY:
+            continue
+        fields = directive.argument("fields", ())
+        if not isinstance(fields, tuple):
+            fields = (fields,) if fields else ()
+        keys.append(tuple(str(name) for name in fields))
+    return tuple(keys)
+
+
+def _domain_size(schema: "GraphQLSchema", base: str) -> int | None:
+    """|domain| of a scalar type, None when unbounded."""
+    if base == "Boolean":
+        return 2
+    if schema.scalars.is_enum(base):
+        return len(schema.scalars.enum_values(base))
+    return None
+
+
+class KeyDomainPass(AnalysisPass):
+    name = "keys"
+    description = "statically bound @key value domains; flag collisions and vacuous keys"
+
+    def run(self, context: AnalysisContext) -> dict[str, int]:
+        emitted = {"PG015": 0, "PG016": 0}
+        schema = context.schema
+        for type_name in sorted({**schema.object_types, **schema.interface_types}):
+            composite = schema.composite(type_name)
+            keys = _keys_of(composite)
+            for diagnostic in _finite_domain_findings(schema, type_name, keys):
+                context.emit(diagnostic)
+                emitted["PG015"] += 1
+            for diagnostic in _vacuous_key_findings(type_name, composite, keys):
+                context.emit(diagnostic)
+                emitted["PG016"] += 1
+        return emitted
+
+
+def _finite_domain_findings(
+    schema: "GraphQLSchema", type_name: str, keys: tuple[tuple[str, ...], ...]
+) -> Iterator[Diagnostic]:
+    composite = schema.composite(type_name)
+    for key_fields in keys:
+        if not key_fields:
+            continue  # PG007 reports empty keys
+        product = 1
+        sizes: list[str] = []
+        for field_name in key_fields:
+            field_def = composite.field(field_name)
+            if field_def is None or field_def.is_relationship:
+                product = 0  # malformed key: PG007's finding, not ours
+                break
+            size = _domain_size(schema, field_def.type.base)
+            if size is None:
+                product = 0
+                break
+            product *= size
+            sizes.append(f"{field_name}: {field_def.type.base} ({size})")
+        if product <= 0:
+            continue
+        node_word = "node" if product == 1 else "nodes"
+        yield Diagnostic(
+            code="PG015",
+            severity=Severity.WARNING if product == 1 else Severity.INFO,
+            message=(
+                f"@key({', '.join(key_fields)}) on {type_name} spans only "
+                f"finite value domains ({'; '.join(sizes)}): at most "
+                f"{product} {node_word} of the keyed family can exist "
+                f"before the key provably collides"
+            ),
+            location=type_name,
+            span=Span.of(composite),
+            rule="key-domain-collision",
+        )
+
+
+def _vacuous_key_findings(
+    type_name: str,
+    composite: "ObjectType | InterfaceType",
+    keys: tuple[tuple[str, ...], ...],
+) -> Iterator[Diagnostic]:
+    field_sets = [frozenset(key_fields) for key_fields in keys]
+    for index, key_fields in enumerate(keys):
+        if not key_fields:
+            continue
+        this = field_sets[index]
+        for other_index, other in enumerate(field_sets):
+            if other_index == index:
+                continue
+            proper_superset = other < this
+            reordered_duplicate = (
+                other == this
+                and other_index < index
+                and keys[other_index] != key_fields
+            )
+            if proper_superset or reordered_duplicate:
+                smaller = ", ".join(sorted(other))
+                detail = (
+                    f"@key({smaller}) already forces uniqueness on any "
+                    f"superset of its fields"
+                    if proper_superset
+                    else f"it repeats @key({smaller}) with the fields reordered"
+                )
+                yield Diagnostic(
+                    code="PG016",
+                    severity=Severity.INFO,
+                    message=(
+                        f"@key({', '.join(key_fields)}) on {type_name} is "
+                        f"vacuous: {detail}"
+                    ),
+                    location=type_name,
+                    span=Span.of(composite),
+                    rule="vacuous-key",
+                )
+                break

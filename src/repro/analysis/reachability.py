@@ -1,0 +1,110 @@
+"""Reachability and dead-type analysis over abstract types.
+
+Generalizes PG003/PG005 from object types to the abstract layer:
+
+* **PG017 dead-abstract-type** (WARNING): an interface or union whose
+  object-type family is nonempty but *entirely* dead under the cardinality
+  fixpoint -- the abstract type denotes the empty concept in every model,
+  so every field typed at it and every declaration it makes is vacuous.
+  (An interface with no implementors at all is PG005's finding and is not
+  re-reported here.)
+* **PG018 isolated-type** (INFO): an object type with no position in the
+  relationship structure whatsoever -- it declares no relationship fields,
+  no relationship field can target it, it implements no interface and
+  belongs to no union.  Such a type is well-formed but disconnected from
+  the graph part of the schema; commonly a stub or a leftover.
+"""
+
+from __future__ import annotations
+
+from ..lint.diagnostics import Diagnostic, Severity, Span
+from .cardinality import CardinalityFacts
+from .framework import AnalysisContext, AnalysisPass
+
+
+class ReachabilityPass(AnalysisPass):
+    name = "reachability"
+    requires = ("cardinality",)
+    description = "dead interface/union families and isolated object types"
+
+    def run(self, context: AnalysisContext) -> dict[str, int]:
+        schema = context.schema
+        graph = context.graph
+        cardinality: CardinalityFacts = context.fact("cardinality")
+        emitted = {"PG017": 0, "PG018": 0}
+
+        for interface_name in sorted(schema.interface_types):
+            family = sorted(schema.implementation(interface_name))
+            if family and all(member in cardinality.dead for member in family):
+                context.emit(
+                    _dead_abstract(
+                        "interface",
+                        interface_name,
+                        family,
+                        Span.of(schema.interface_types[interface_name]),
+                    )
+                )
+                emitted["PG017"] += 1
+        for union_name in sorted(schema.union_types):
+            family = sorted(schema.union(union_name))
+            members = [member for member in family if member in schema.object_types]
+            if members and all(member in cardinality.dead for member in members):
+                context.emit(
+                    _dead_abstract(
+                        "union",
+                        union_name,
+                        members,
+                        Span.of(schema.union_types[union_name]),
+                    )
+                )
+                emitted["PG017"] += 1
+
+        targeted: set[str] = set()
+        for edge in graph.edges:
+            targeted.update(edge.targets)
+        for object_name in sorted(schema.object_types):
+            object_type = schema.object_types[object_name]
+            if object_type.interfaces:
+                continue
+            if object_name in targeted:
+                continue
+            if any(field_def.is_relationship for field_def in object_type.fields):
+                continue
+            if any(
+                object_name in schema.union(union_name)
+                for union_name in schema.union_types
+            ):
+                continue
+            context.emit(
+                Diagnostic(
+                    code="PG018",
+                    severity=Severity.INFO,
+                    message=(
+                        f"object type {object_name} is isolated: it declares "
+                        f"no relationship fields, no relationship field can "
+                        f"target it, and it belongs to no interface or union"
+                    ),
+                    location=object_name,
+                    span=Span.of(object_type),
+                    rule="isolated-type",
+                )
+            )
+            emitted["PG018"] += 1
+        return emitted
+
+
+def _dead_abstract(
+    kind: str, type_name: str, family: list[str], span: Span
+) -> Diagnostic:
+    return Diagnostic(
+        code="PG017",
+        severity=Severity.WARNING,
+        message=(
+            f"{kind} type {type_name} denotes the empty type: every object "
+            f"type in its family ({', '.join(family)}) is provably "
+            f"unpopulatable"
+        ),
+        location=type_name,
+        span=span,
+        rule="dead-abstract-type",
+    )

@@ -7,6 +7,10 @@ Subcommands:
 * ``pgschema lint SCHEMA.graphql [--json]`` -- static analysis: stable rule
   codes with source spans, including the polynomial unsatisfiability
   pre-checks (Example 6.1's conflicting-cardinality class).
+* ``pgschema analyze SCHEMA.graphql [--json]`` -- the dataflow analyzer:
+  fixpoint passes over the type-dependency graph (cardinality intervals,
+  constraint implication, key domains, reachability) with per-element
+  pre-verdicts, findings, and per-pass timings.
 * ``pgschema validate SCHEMA.graphql GRAPH.json`` -- decide the Schema
   Validation Problem (strong satisfaction) and list violations.
 * ``pgschema sat SCHEMA.graphql [--type T]`` -- object-type satisfiability
@@ -94,6 +98,18 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(lint)
     lint.set_defaults(handler=_cmd_lint)
 
+    analyze = subparsers.add_parser(
+        "analyze", help="run the dataflow-analysis passes over a schema"
+    )
+    analyze.add_argument("schema")
+    analyze.add_argument("--json", action="store_true", help="machine-readable output")
+    analyze.add_argument(
+        "--timings", action="store_true",
+        help="print per-pass wall time to stderr",
+    )
+    _add_obs_arguments(analyze)
+    analyze.set_defaults(handler=_cmd_analyze)
+
     validate_cmd = subparsers.add_parser(
         "validate", help="validate a graph against a schema"
     )
@@ -139,6 +155,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sat.add_argument(
         "--profile", action="store_true",
         help="print engine win counts and verdict-cache statistics to stderr",
+    )
+    sat.add_argument(
+        "--no-analysis", action="store_true",
+        help="disable the dataflow-analysis pre-verdict feed (every element "
+        "is decided by the lint pre-pass or a tableau/bounded search)",
     )
     _add_budget_arguments(sat)
     _add_obs_arguments(sat)
@@ -310,6 +331,43 @@ def _cmd_lint(args) -> int:
     return 1 if has_errors(findings) else 0
 
 
+def _cmd_analyze(args) -> int:
+    from .analysis import analyze_schema
+    from .lint import has_errors
+
+    schema = _load_schema(args.schema, check=False)
+    result = analyze_schema(schema)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        cardinality = result.fact("cardinality")
+        decided = 0
+        for type_name in sorted(schema.object_types):
+            verdict = cardinality.type_verdict_name(type_name)
+            decided += verdict != "unknown"
+            print(
+                f"{type_name}: {verdict} "
+                f"(interval {cardinality.interval(type_name)})"
+            )
+        for (declarer, field_name), verdict in sorted(
+            cardinality.field_verdicts.items()
+        ):
+            label = "sat" if verdict else ("unsat" if verdict is False else "unknown")
+            decided += verdict is not None
+            print(f"{declarer}.{field_name}: {label}")
+        for finding in result.diagnostics:
+            print(finding.render(args.schema))
+        total = len(schema.object_types) + len(cardinality.field_verdicts)
+        print(
+            f"{decided}/{total} element(s) decided statically; "
+            f"{len(result.diagnostics)} finding(s)"
+        )
+    if args.timings:
+        for name, seconds in result.timings.items():
+            print(f"  {name:12s} {seconds * 1000:9.3f} ms", file=sys.stderr)
+    return 1 if has_errors(result.diagnostics) else 0
+
+
 def _cmd_validate(args) -> int:
     schema = _load_schema(args.schema)
     graph = _load_graph(args.graph)
@@ -353,6 +411,7 @@ def _cmd_sat(args) -> int:
         bounded_max_nodes=args.max_witness_nodes,
         budget=_budget_from_args(args),
         on_budget=args.on_budget,
+        analysis_precheck=not args.no_analysis,
     )
     if args.type_name:
         results = [

@@ -9,6 +9,7 @@ object type each finding proves unsatisfiable.
 
 from __future__ import annotations
 
+import difflib
 from typing import TYPE_CHECKING, Iterable
 
 from .. import obs
@@ -26,23 +27,41 @@ def resolve_rules(
 ) -> tuple[LintRule, ...]:
     """The rules to run: all by default, narrowed by code or slug name.
 
-    Raises :class:`SchemaError` for a code/name that matches no rule, so a
-    typo in ``--select PG01`` fails loudly instead of silently linting with
-    nothing.
+    Tokens may bundle several selectors with commas (``PG011,PG017``), the
+    idiom of mainstream linters' ``--select``.  Raises
+    :class:`SchemaError` for a code/name that matches no rule, so a typo
+    in ``--select PG01`` fails loudly instead of silently linting with
+    nothing; the error suggests the closest known code or slug.
     """
     by_name = {rule.name: rule for rule in RULES.values()}
+
+    def split(tokens: Iterable[str]) -> list[str]:
+        return [
+            part.strip()
+            for token in tokens
+            for part in token.split(",")
+            if part.strip()
+        ]
 
     def lookup(token: str) -> LintRule:
         rule = RULES.get(token) or by_name.get(token)
         if rule is None:
             known = ", ".join(sorted(RULES))
-            raise SchemaError(f"unknown lint rule {token!r} (known codes: {known})")
+            close = difflib.get_close_matches(
+                token, [*RULES, *by_name], n=1, cutoff=0.4
+            )
+            hint = f"; did you mean {close[0]!r}?" if close else ""
+            raise SchemaError(
+                f"unknown lint rule {token!r} (known codes: {known}){hint}"
+            )
         return rule
 
     chosen = (
-        {rule.code for rule in map(lookup, select)} if select is not None else set(RULES)
+        {rule.code for rule in map(lookup, split(select))}
+        if select is not None
+        else set(RULES)
     )
-    chosen -= {rule.code for rule in map(lookup, ignore or ())}
+    chosen -= {rule.code for rule in map(lookup, split(ignore or ()))}
     return tuple(rule for rule in all_rules() if rule.code in chosen)
 
 

@@ -63,7 +63,9 @@ class LintRule:
 RULES: dict[str, LintRule] = {}
 
 
-def rule(code: str, name: str, description: str, unsat: bool = False):
+def rule(
+    code: str, name: str, description: str, unsat: bool = False
+) -> Callable[[CheckFunction], CheckFunction]:
     """Class decorator registering a check function under a stable code."""
 
     def decorate(fn: CheckFunction) -> CheckFunction:
@@ -532,7 +534,7 @@ def check_redundant_directive(schema: "GraphQLSchema") -> Iterator[Diagnostic]:
     def duplicates(
         directives: Iterable["AppliedDirective"], location: str
     ) -> Iterator[Diagnostic]:
-        seen: set[tuple] = set()
+        seen: set[tuple[str, tuple[tuple[str, object], ...]]] = set()
         for directive in directives:
             key = (directive.name, directive.arguments)
             if key in seen:
@@ -705,3 +707,120 @@ def check_interface_field_shadowing(schema: "GraphQLSchema") -> Iterator[Diagnos
                         span=Span.of(object_field),
                         rule="interface-field-shadowing",
                     )
+
+
+# --------------------------------------------------------------------------- #
+# the dataflow-analysis rules (PG011-PG018)
+# --------------------------------------------------------------------------- #
+#
+# Thin surfaces over :mod:`repro.analysis`: the fixpoint passes run once per
+# schema (memoized there) and each rule below republishes one diagnostic
+# code.  All of them register ``unsat=False`` even where the underlying
+# finding is a soundness proof -- the satisfiability engines consume the
+# analysis feed directly (:func:`repro.analysis.sat_preverdicts`), so the
+# lint pre-pass, its reports, and the ``decided_by`` accounting stay exactly
+# as they were.  PG011/PG012 additionally suppress findings the polynomial
+# rules above already report (PG001/PG003/PG004), so a schema gains new
+# findings only where the fixpoints see strictly further.
+
+
+def _analysis_findings(schema: "GraphQLSchema", code: str) -> Iterator[Diagnostic]:
+    from ..analysis import analyze_schema  # deferred: keep lint importable alone
+
+    for diagnostic in analyze_schema(schema).diagnostics:
+        if diagnostic.code == code:
+            yield diagnostic
+
+
+@rule(
+    "PG011",
+    "interval-unsat",
+    "cardinality interval analysis proves an object type unsatisfiable "
+    "beyond what PG001/PG003 detect (fixpoint over required-edge intervals)",
+)
+def check_interval_unsat(schema: "GraphQLSchema") -> Iterator[Diagnostic]:
+    already = _unpopulatable_types(schema)
+    for diagnostic in _analysis_findings(schema, "PG011"):
+        if diagnostic.unsat_type in already:
+            continue  # PG001/PG003 already prove and report this type
+        yield diagnostic
+
+
+@rule(
+    "PG012",
+    "interval-dead-edge",
+    "interval analysis proves an edge definition unpopulatable beyond what "
+    "PG004 detects (the SS4 / ∀-meet / forced-cap-overflow generalizations)",
+)
+def check_interval_dead_edge(schema: "GraphQLSchema") -> Iterator[Diagnostic]:
+    already = {
+        diagnostic.location for diagnostic in check_unpopulatable_edge(schema)
+    }
+    lint_dead = _unpopulatable_types(schema)
+    for diagnostic in _analysis_findings(schema, "PG012"):
+        if diagnostic.location in already:
+            continue  # PG004 already reports this edge definition
+        declarer = diagnostic.location.split(".", 1)[0]
+        if declarer in lint_dead:
+            continue  # PG001/PG003 already report the declaring type
+        yield diagnostic
+
+
+@rule(
+    "PG013",
+    "implied-directive",
+    "a directive whose translated axiom is entailed by another declaration "
+    "of the same field across interface inheritance",
+)
+def check_implied_directive(schema: "GraphQLSchema") -> Iterator[Diagnostic]:
+    yield from _analysis_findings(schema, "PG013")
+
+
+@rule(
+    "PG014",
+    "contradictory-inheritance",
+    "an own relationship declaration whose target family is disjoint from "
+    "the applicable interface declarations' families",
+)
+def check_contradictory_inheritance(schema: "GraphQLSchema") -> Iterator[Diagnostic]:
+    yield from _analysis_findings(schema, "PG014")
+
+
+@rule(
+    "PG015",
+    "key-domain-collision",
+    "a @key built entirely from finite value domains (Boolean/enum) bounds "
+    "the keyed family's instance count",
+)
+def check_key_domain_collision(schema: "GraphQLSchema") -> Iterator[Diagnostic]:
+    yield from _analysis_findings(schema, "PG015")
+
+
+@rule(
+    "PG016",
+    "vacuous-key",
+    "a @key made redundant by another key over a subset of its fields (or "
+    "a reordered duplicate)",
+)
+def check_vacuous_key(schema: "GraphQLSchema") -> Iterator[Diagnostic]:
+    yield from _analysis_findings(schema, "PG016")
+
+
+@rule(
+    "PG017",
+    "dead-abstract-type",
+    "an interface or union whose entire object-type family is provably "
+    "unpopulatable denotes the empty type",
+)
+def check_dead_abstract_type(schema: "GraphQLSchema") -> Iterator[Diagnostic]:
+    yield from _analysis_findings(schema, "PG017")
+
+
+@rule(
+    "PG018",
+    "isolated-type",
+    "an object type disconnected from the relationship structure: no edges "
+    "in or out, no interface or union membership",
+)
+def check_isolated_type(schema: "GraphQLSchema") -> Iterator[Diagnostic]:
+    yield from _analysis_findings(schema, "PG018")

@@ -53,6 +53,7 @@ from .bounded import BoundedModelFinder, BoundedSearchResult
 from .cache import SatCache, sat_cache_for
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis import SatPreVerdicts
     from ..dl.tbox import TBox
     from ..pg.model import PropertyGraph
     from ..resilience import Budget
@@ -262,6 +263,7 @@ class SatisfiabilityChecker:
         budget: "Budget | None" = None,
         on_budget: str = "unknown",
         cache: "bool | SatCache" = True,
+        analysis_precheck: bool = True,
     ) -> None:
         """``budget`` is a *template*: every ``check_type``/``check_field``
         call runs under a fresh :meth:`~repro.resilience.Budget.renew` of
@@ -280,6 +282,18 @@ class SatisfiabilityChecker:
         under ``cache=True``: the caller is studying how answers degrade
         under that budget, and a registry hit decided under somebody else's
         budget would bypass exactly the limit being imposed.
+
+        ``analysis_precheck`` enables the dataflow-analysis pre-verdict feed
+        (:func:`repro.analysis.sat_preverdicts`): sound SAT *and* UNSAT
+        verdicts proved by the cardinality-interval fixpoints, consulted
+        after the cache and the lint pre-pass but before any tableau is
+        built.  Verdicts decided this way are reported exactly as the
+        tableau would report them (``decided_by="tableau"``, no
+        diagnostic), so reports stay byte-identical with the feed on or
+        off; only the profile/obs accounting records the skip.  The feed
+        is automatically disabled for budgeted checkers -- budget studies
+        measure how the engines degrade, and an instant fixpoint answer
+        would bypass the limit being imposed.
         """
         if on_budget not in _ON_BUDGET:
             raise ValueError(
@@ -288,12 +302,16 @@ class SatisfiabilityChecker:
         self.schema = schema
         self.bounded_max_nodes = bounded_max_nodes
         self.lint_precheck = lint_precheck
+        self.analysis_precheck = analysis_precheck
         self.budget = budget
         self.on_budget = on_budget
         self._max_nodes = max_nodes
         self._tbox: "TBox | None" = None
         self._tbox_lock = threading.Lock()
         self._lint_verdicts: dict[str, Diagnostic] | None = None
+        self._analysis_verdicts: "SatPreVerdicts | None" = None
+        self._analysis_ready = False
+        self._analysis_lock = threading.Lock()
         if cache is True:
             self.cache: "SatCache | None" = (
                 SatCache(schema) if budget is not None else sat_cache_for(schema)
@@ -358,6 +376,42 @@ class SatisfiabilityChecker:
             self._lint_verdicts = unsat_diagnostics(self.schema)
         return self._lint_verdicts.get(object_type)
 
+    def analysis_verdicts(self) -> "SatPreVerdicts | None":
+        """The dataflow-analysis pre-verdict feed, or None when disabled.
+
+        Computed lazily once per checker; None when ``analysis_precheck``
+        is off or the checker carries a budget template (budget studies
+        must exercise the real engines).
+        """
+        if not self.analysis_precheck or self.budget is not None:
+            return None
+        if not self._analysis_ready:
+            from ..analysis import sat_preverdicts
+
+            with self._analysis_lock:
+                if not self._analysis_ready:
+                    self._analysis_verdicts = sat_preverdicts(self.schema)
+                    self._analysis_ready = True
+        return self._analysis_verdicts
+
+    def _analysis_type_verdict(
+        self, object_type: str, budget: "Budget | None"
+    ) -> bool | None:
+        """The feed's verdict for one type, None when undecided/disabled.
+
+        A caller-supplied per-call budget also bypasses the feed: such
+        calls are explicitly studying engine behaviour under that budget.
+        """
+        if budget is not None:
+            return None
+        verdicts = self.analysis_verdicts()
+        if verdicts is None:
+            return None
+        verdict = verdicts.types.get(object_type)
+        if verdict is not None:
+            obs.count("sat.analysis.type_hits")
+        return verdict
+
     def _fresh_budget(self, override: "Budget | None") -> "Budget | None":
         """The per-call budget: an explicit override as-is, else a renewed
         copy of the template (fresh deadline/counters per check)."""
@@ -380,6 +434,9 @@ class SatisfiabilityChecker:
         """
         if self.lint_precheck and self.lint_verdict(object_type) is not None:
             return False
+        analysis = self._analysis_type_verdict(object_type, budget)
+        if analysis is not None:
+            return analysis
         return self.tableau.is_satisfiable(
             Name(object_type), budget=self._fresh_budget(budget)
         )
@@ -435,6 +492,18 @@ class SatisfiabilityChecker:
                 if cache is not None:
                     cache.put_type(verdict)
                 return verdict
+        analysis = self._analysis_type_verdict(object_type, budget)
+        if analysis is not None:
+            # report exactly what the tableau would have said: the feed is
+            # differentially verified against it, so decided_by stays
+            # "tableau" and reports are byte-identical with the feed off
+            bounded = None
+            if find_witness and analysis:
+                bounded = self._bounded_result(object_type, None)
+            verdict = TypeSatisfiability(object_type, analysis, bounded)
+            if cache is not None:
+                cache.put_type(verdict)
+            return verdict
         run_budget = self._fresh_budget(budget)
         try:
             tableau_verdict = self.tableau.is_satisfiable(
@@ -511,6 +580,14 @@ class SatisfiabilityChecker:
                 if cache is not None:
                     cache.put_field(key, False)
                 return False  # the declaring type itself is unpopulatable
+        if budget is None:
+            verdicts = self.analysis_verdicts()
+            if verdicts is not None and key in verdicts.fields:
+                analysis = verdicts.fields[key]
+                obs.count("sat.analysis.field_hits")
+                if cache is not None:
+                    cache.put_field(key, analysis)
+                return analysis
         concept = self._field_concept(type_name, field_name, field_def.type.base)
         try:
             verdict = self.tableau.is_satisfiable(

@@ -205,6 +205,37 @@ def _check_unit(
                         cache.put_field(key, False)
                 pending = []
 
+    # the dataflow-analysis pre-verdict feed: drain elements the fixpoints
+    # proved, so the batch concept only carries genuinely open questions.
+    # Verdicts are reported exactly as the tableau would report them
+    # (decided_by="tableau"), keeping reports byte-identical; only the
+    # win/obs accounting records the skipped searches.
+    verdicts = checker.analysis_verdicts()
+    if verdicts is not None:
+        still: list[tuple[str, str]] = []
+        for field_name, base in pending:
+            key = (unit.declaring, field_name)
+            if key in verdicts.fields:
+                fields[key] = verdicts.fields[key]
+                win("analysis")
+                obs.count("sat.analysis.field_hits")
+                if cache is not None:
+                    cache.put_field(key, verdicts.fields[key])
+            else:
+                still.append((field_name, base))
+        pending = still
+        if unit.type_name is not None and type_verdict is None:
+            analysis = verdicts.types.get(unit.type_name)
+            if analysis is not None:
+                bounded = None
+                if find_witnesses and analysis:
+                    bounded = checker._bounded_result(unit.type_name, None)
+                type_verdict = TypeSatisfiability(unit.type_name, analysis, bounded)
+                win("analysis")
+                obs.count("sat.analysis.type_hits")
+                if cache is not None:
+                    cache.put_type(type_verdict)
+
     need_type = unit.type_name is not None and type_verdict is None
     if need_type or pending:
         type_verdict = _decide_batch(
@@ -400,7 +431,14 @@ def _worker_init(
     faults.mark_worker_process()
     faults.install(fault_spec)
     obs.install_worker(obs_config)
-    max_nodes, bounded_max_nodes, lint_precheck, budget, on_budget = config
+    (
+        max_nodes,
+        bounded_max_nodes,
+        lint_precheck,
+        budget,
+        on_budget,
+        analysis_precheck,
+    ) = config
     _WORKER_CHECKER = SatisfiabilityChecker(
         schema,
         max_nodes=max_nodes,
@@ -408,6 +446,7 @@ def _worker_init(
         lint_precheck=lint_precheck,
         budget=budget,
         on_budget=on_budget,
+        analysis_precheck=analysis_precheck,
     )
 
 
@@ -498,6 +537,7 @@ def run_portfolio(
             checker.lint_precheck,
             checker.budget,
             checker.on_budget,
+            checker.analysis_precheck,
         )
         return ProcessPoolExecutor(
             max_workers=workers,

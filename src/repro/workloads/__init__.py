@@ -11,7 +11,13 @@ from .graphs import (
     user_session_graph,
 )
 from .paper_schemas import CORPUS, PaperSchema, load
-from .schemas import hub_chain_schema, random_schema, random_schema_sdl
+from .schemas import (
+    deep_lattice_schema,
+    hub_chain_schema,
+    near_unsat_schema,
+    random_schema,
+    random_schema_sdl,
+)
 
 __all__ = [
     "CARDINALITY_FIELDS",
@@ -20,10 +26,12 @@ __all__ = [
     "cardinality_graph",
     "conformant_graph",
     "corrupt_graph",
+    "deep_lattice_schema",
     "food_graph",
     "hub_chain_schema",
     "library_graph",
     "load",
+    "near_unsat_schema",
     "paper_schemas",
     "random_schema",
     "random_schema_sdl",

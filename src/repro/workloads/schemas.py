@@ -81,6 +81,90 @@ def hub_chain_schema(
     return parse_schema("\n".join(lines))
 
 
+def deep_lattice_schema(depth: int = 4, width: int = 2) -> GraphQLSchema:
+    """A deep interface/union lattice stressing the dataflow analyzer.
+
+    Unions nest by membership (``U_k`` holds the object types from level
+    ``k`` down), interface ``I_k`` declares every relationship field at
+    ``[U_k]``, and the level-``j`` object type implements ``I_0 .. I_j``
+    while redeclaring each field at ``[T_last]`` -- the deepest type, the
+    one member of *every* union, which keeps the schema consistent under
+    the paper's nominal subtype relation.  The admissible-target set of a
+    level-``j`` declaration is therefore the meet of ``j + 2`` nested
+    ``∀``-typings, resolved through the union definitions.  Field ``f0``
+    is ``@required`` everywhere, so every type chain-requires an edge into
+    ``T_last``, which requires one into itself: the whole family is
+    satisfiable, but only via a looping (or infinite) model the good
+    fixpoint deliberately refuses to claim -- the tableau must still earn
+    those verdicts, making this the analyzer's adversarial agreement case.
+    """
+    if depth < 2:
+        raise ValueError("need a lattice of depth at least 2")
+    last = depth - 1
+    lines: list[str] = []
+    for level in range(depth):
+        members = " | ".join(f"T{j}" for j in range(level, depth))
+        lines.append(f"union U{level} = {members}")
+    lines.append("")
+    for level in range(depth):
+        lines.append(f"interface I{level} {{")
+        for field_index in range(width):
+            required = " @required" if field_index == 0 else ""
+            lines.append(f"  f{field_index}: [U{level}]{required}")
+        lines.append("}")
+        lines.append("")
+    for level in range(depth):
+        implements = " & ".join(f"I{k}" for k in range(level + 1))
+        lines.append(f"type T{level} implements {implements} {{")
+        for field_index in range(width):
+            required = " @required" if field_index == 0 else ""
+            lines.append(f"  f{field_index}: [T{last}]{required}")
+        lines.append("}")
+        lines.append("")
+    return parse_schema("\n".join(lines))
+
+
+def near_unsat_schema(conflicts: int = 3, collide: bool = False) -> GraphQLSchema:
+    """Schemas at the boundary of Example 6.1's conflicting-cardinality class.
+
+    Each block has an interface-level ``@uniqueForTarget`` cap over two
+    disjoint implementing source types and one ``@requiredForTarget``
+    obligation -- exactly one forced incoming edge, which the cap admits,
+    so every block is satisfiable but only barely.  With ``collide=True``
+    the second source turns ``@requiredForTarget`` too: two disjoint forced
+    sources under a one-edge cap make every ``Sink`` unsatisfiable, and a
+    ``Probe`` type with a ``@required`` edge into ``Sink0`` dies with it
+    (the propagation case).  The analyzer must prove the SAT side via its
+    good fixpoint and the UNSAT side via the incoming-overflow rule; both
+    verdicts are differentially checked against the tableau.
+    """
+    if conflicts < 1:
+        raise ValueError("need at least one conflict block")
+    second = " @requiredForTarget" if collide else ""
+    lines: list[str] = []
+    for index in range(conflicts):
+        lines += [
+            f"interface Channel{index} {{",
+            f"  feed: [Sink{index}] @uniqueForTarget",
+            "}",
+            "",
+            f"type SrcA{index} implements Channel{index} {{",
+            f"  feed: [Sink{index}] @uniqueForTarget @requiredForTarget",
+            "}",
+            "",
+            f"type SrcB{index} implements Channel{index} {{",
+            f"  feed: [Sink{index}] @uniqueForTarget{second}",
+            "}",
+            "",
+            f"type Sink{index} {{",
+            "  tag: String!",
+            "}",
+            "",
+        ]
+    lines += ["type Probe {", "  hook: Sink0 @required", "}", ""]
+    return parse_schema("\n".join(lines))
+
+
 def random_schema_sdl(
     num_object_types: int,
     num_interface_types: int,

@@ -221,3 +221,35 @@ def test_deeply_nested_documents_raise_typed_errors():
         parse_schema(nested_sdl)
     except ReproError:
         pass
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10**6))
+def test_analyzer_preverdicts_sound_on_random_schemas(seed):
+    """Every SAT/UNSAT claim the dataflow analyzer makes about a random
+    schema must agree with the Theorem-3 tableau (abstention is free)."""
+    from repro.analysis import sat_preverdicts
+    from repro.satisfiability import SatisfiabilityChecker
+    from repro.workloads import random_schema
+
+    schema = random_schema(
+        num_object_types=4,
+        num_interface_types=2,
+        num_union_types=1,
+        attributes_per_type=1,
+        relationships_per_type=2,
+        directive_probability=0.5,
+        seed=seed,
+    )
+    pre = sat_preverdicts(schema)
+    oracle = SatisfiabilityChecker(
+        schema, cache=False, lint_precheck=False, analysis_precheck=False
+    )
+    for type_name, claimed in sorted(pre.types.items()):
+        verdict = oracle.check_type(type_name, find_witness=False)
+        assert verdict.tableau_satisfiable == claimed, type_name
+    for (type_name, field_name), claimed in sorted(pre.fields.items()):
+        assert oracle.check_field(type_name, field_name) == claimed, (
+            type_name,
+            field_name,
+        )

@@ -76,7 +76,7 @@ class TestDiagnosticModel:
 
 class TestRegistry:
     def test_codes_are_stable(self):
-        assert sorted(RULES) == [f"PG{i:03d}" for i in range(1, 11)]
+        assert sorted(RULES) == [f"PG{i:03d}" for i in range(1, 19)]
 
     def test_unsat_rules(self):
         assert {r.code for r in all_rules() if r.unsat} == {"PG001", "PG003"}

@@ -316,7 +316,11 @@ def test_process_fanout_merges_worker_spans_and_keeps_report_identical():
 
 def test_sat_portfolio_spans_and_counters():
     with obs.observed(trace=True, metrics=True) as observation:
-        checker = SatisfiabilityChecker(load("library"), cache=False)
+        # analysis off: the test asserts tableau spans/counters, which the
+        # dataflow pre-verdict feed would otherwise skip entirely
+        checker = SatisfiabilityChecker(
+            load("library"), cache=False, analysis_precheck=False
+        )
         report = checker.check_schema(engine="portfolio", jobs=2)
     names = {event.name for event in observation.tracer.events()}
     assert {"sat.run", "sat.unit", "tableau.search"} <= names
