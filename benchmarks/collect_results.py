@@ -437,6 +437,69 @@ def e14_analysis() -> None:
     print()
 
 
+def e15_columnar_stream() -> None:
+    print("## E15 — columnar core + out-of-core streaming validation")
+    import tempfile
+
+    from bench_e15_columnar import write_user_session_jsonl
+    from repro.pg import freeze
+    from repro.validation import StreamValidator
+
+    schema = load("user_session_edge_props")
+    plan = compile_plan(schema)
+
+    # in-memory: dict kernel vs columnar kernel (jobs=1 isolates the backend)
+    num_users = 100 if QUICK else 3200
+    graph = user_session_graph(num_users, 2, seed=42)
+    validator = ParallelValidator(schema, jobs=1, plan=plan)
+    t0 = time.perf_counter()
+    frozen = freeze(graph)
+    t_freeze = time.perf_counter() - t0
+    validator.validate(graph)  # warm both kernels
+    validator.validate(frozen)
+    t_dict = timed(validator.validate, graph)
+    t_columnar = timed(validator.validate, frozen)
+    print(
+        f"n={len(graph)}: dict kernel {t_dict * 1000:.2f} ms, columnar kernel "
+        f"{t_columnar * 1000:.2f} ms ({t_dict / t_columnar:.2f}x), "
+        f"freeze {t_freeze * 1000:.2f} ms"
+    )
+
+    # out-of-core: stream a JSONL file in bounded memory
+    stream_users = 200 if QUICK else 20_000
+    chunk = 512 if QUICK else 8192
+    with tempfile.TemporaryDirectory(prefix="pgschema-e15-") as tmp:
+        path = os.path.join(tmp, "graph.jsonl")
+        total = write_user_session_jsonl(path, stream_users)
+        stream = StreamValidator(schema, chunk_elements=chunk, plan=plan)
+        t0 = time.perf_counter()
+        report = stream.validate(path)
+        t_stream = time.perf_counter() - t0
+        assert report.conforms
+    print(
+        f"stream n={total}: {t_stream:.2f} s "
+        f"({total / t_stream / 1000:.0f}k elements/s), chunk={chunk}, "
+        f"peak resident {stream.peak_resident} "
+        f"({stream.peak_resident / total:.1%} of n)"
+    )
+    write_bench_json(
+        "e15",
+        {
+            "experiment": "E15",
+            "n": len(graph),
+            "dict_kernel_s": t_dict,
+            "columnar_kernel_s": t_columnar,
+            "kernel_speedup": t_dict / t_columnar,
+            "freeze_s": t_freeze,
+            "stream_n": total,
+            "stream_chunk_elements": chunk,
+            "stream_s": t_stream,
+            "stream_peak_resident": stream.peak_resident,
+        },
+    )
+    print()
+
+
 SECTIONS = {
     "e1": e1_data_complexity,
     "e3": e3_fo,
@@ -449,6 +512,7 @@ SECTIONS = {
     "e12": e12_parallel_validation,
     "e13": e13_portfolio_sat,
     "e14": e14_analysis,
+    "e15": e15_columnar_stream,
 }
 
 

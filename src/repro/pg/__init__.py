@@ -1,13 +1,17 @@
 """Property Graph substrate (Definition 2.1 of the paper)."""
 
 from .build import GraphBuilder
+from .columnar import ColumnarBuilder, ColumnarGraph, StringPool, freeze
 from .generate import chain_graph, random_graph, star_graph
 from .io import (
     dump_graph,
+    dump_graph_jsonl,
     dumps_graph,
     graph_from_dict,
     graph_to_dict,
+    iter_graph_jsonl,
     load_graph,
+    load_graph_jsonl,
     loads_graph,
 )
 from .model import ElementId, PropertyGraph
@@ -23,20 +27,27 @@ from .values import (
 )
 
 __all__ = [
+    "ColumnarBuilder",
+    "ColumnarGraph",
     "ElementId",
     "GraphBuilder",
     "GraphProfile",
     "PropertyGraph",
     "PropertyValue",
+    "StringPool",
     "chain_graph",
     "dump_graph",
+    "dump_graph_jsonl",
     "dumps_graph",
+    "freeze",
     "graph_from_dict",
     "graph_to_dict",
     "is_array_value",
     "is_atomic_value",
     "is_property_value",
+    "iter_graph_jsonl",
     "load_graph",
+    "load_graph_jsonl",
     "loads_graph",
     "normalize_value",
     "profile_graph",

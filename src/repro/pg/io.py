@@ -25,11 +25,14 @@ suite mutates real documents byte-by-byte to enforce this.
 from __future__ import annotations
 
 import json
-from typing import IO, Any
+from typing import IO, TYPE_CHECKING, Any, Iterator
 
 from .. import obs
-from ..errors import GraphLoadError
+from ..errors import GraphError, GraphLoadError
 from .model import PropertyGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .columnar import ColumnarBuilder, ColumnarGraph
 
 
 def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
@@ -186,3 +189,201 @@ def load_graph(fp: IO[str], source: str | None = None) -> PropertyGraph:
 def loads_graph(text: str, source: str | None = None) -> PropertyGraph:
     """Read a graph from a JSON string."""
     return graph_from_dict(_decode(text, source), source)
+
+
+# --------------------------------------------------------------------------- #
+# JSON Lines: the streamable on-disk format
+# --------------------------------------------------------------------------- #
+#
+# One JSON object per line, nodes before the edges that reference them::
+#
+#     {"type": "node", "id": "u1", "label": "User", "properties": {...}}
+#     {"type": "edge", "id": "e1", "source": "s1", "target": "u1",
+#      "label": "user", "properties": {...}}
+#
+# Unlike the single-document format above, a JSONL graph never has to be
+# parsed whole: :func:`iter_graph_jsonl` yields one checked record at a
+# time, which is what the out-of-core validator
+# (:mod:`repro.validation.stream`) chunks over.  Every malformed line
+# raises :class:`~repro.errors.GraphLoadError` carrying the 1-based line,
+# the column within that line, and the absolute character offset.
+
+_JSONL_TYPES = ("node", "edge")
+_JSONL_REQUIRED: dict[str, tuple[str, ...]] = {
+    "node": ("id", "label"),
+    "edge": ("id", "source", "target", "label"),
+}
+
+
+def dump_graph_jsonl(graph: PropertyGraph, fp: IO[str]) -> None:
+    """Write *graph* in JSON Lines form (nodes first, then edges)."""
+
+    def encode_props(element: Any) -> dict[str, Any]:
+        return {
+            name: list(value) if isinstance(value, tuple) else value
+            for name, value in graph.properties(element).items()
+        }
+
+    for node in graph.nodes:
+        record: dict[str, Any] = {"type": "node", "id": node, "label": graph.label(node)}
+        props = encode_props(node)
+        if props:
+            record["properties"] = props
+        fp.write(json.dumps(record, separators=(",", ":")) + "\n")
+    for edge in graph.edges:
+        source, target = graph.endpoints(edge)
+        record = {
+            "type": "edge",
+            "id": edge,
+            "source": source,
+            "target": target,
+            "label": graph.label(edge),
+        }
+        props = encode_props(edge)
+        if props:
+            record["properties"] = props
+        fp.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+
+def check_jsonl_record(
+    record: Any, line: int, source: str | None
+) -> dict[str, Any]:
+    """Check the shape of one decoded JSONL record (see the format note)."""
+    if not isinstance(record, dict):
+        raise GraphLoadError(
+            f"record must be an object, got {type(record).__name__}",
+            source=source,
+            line=line,
+            column=1,
+        )
+    kind = record.get("type")
+    if kind not in _JSONL_TYPES:
+        if "type" in record:
+            problem = f'record "type" must be "node" or "edge", got {kind!r}'
+        else:
+            problem = "record is missing required key 'type'"
+        raise GraphLoadError(problem, source=source, line=line, column=1)
+    for key in _JSONL_REQUIRED[kind]:
+        if key not in record:
+            raise GraphLoadError(
+                f"{kind} record is missing required key {key!r}",
+                source=source,
+                line=line,
+                column=1,
+            )
+    properties = record.get("properties")
+    if properties is not None and not isinstance(properties, dict):
+        raise GraphLoadError(
+            f"{kind} record properties must be an object, "
+            f"got {type(properties).__name__}",
+            source=source,
+            line=line,
+            column=1,
+        )
+    return record
+
+
+def iter_graph_jsonl(
+    fp: IO[str], source: str | None = None
+) -> "Iterator[tuple[int, dict[str, Any]]]":
+    """Yield ``(line_number, record)`` pairs from a JSONL graph stream.
+
+    Lines are decoded and shape-checked one at a time -- the whole point of
+    the format: memory stays bounded by one line.  Blank lines are skipped.
+    Malformed lines raise :class:`~repro.errors.GraphLoadError` pinpointing
+    the line, column and absolute character offset of the problem.
+    """
+    if source is None:
+        source = getattr(fp, "name", None)
+    offset = 0
+    line_number = 0
+    while True:
+        try:
+            text = fp.readline()
+        except UnicodeDecodeError as bad:
+            raise GraphLoadError(
+                f"graph document is not valid text: {bad.reason}",
+                source=source,
+                offset=bad.start,
+            ) from None
+        if not text:
+            return
+        line_number += 1
+        if text.strip():
+            try:
+                record = json.loads(text)
+            except json.JSONDecodeError as bad:
+                raise GraphLoadError(
+                    f"invalid JSON: {bad.msg}",
+                    source=source,
+                    line=line_number,
+                    column=bad.colno,
+                    offset=offset + bad.pos,
+                ) from None
+            except RecursionError:
+                raise GraphLoadError(
+                    "JSON record is nested too deeply",
+                    source=source,
+                    line=line_number,
+                    column=1,
+                    offset=offset,
+                ) from None
+            yield line_number, check_jsonl_record(record, line_number, source)
+        offset += len(text)
+
+
+def load_graph_jsonl(
+    fp: IO[str], source: str | None = None, backend: str = "dict"
+) -> "PropertyGraph | ColumnarGraph":
+    """Read a JSONL graph stream into memory.
+
+    ``backend="dict"`` builds a mutable :class:`PropertyGraph`;
+    ``backend="columnar"`` feeds a
+    :class:`~repro.pg.columnar.ColumnarBuilder` directly, so the mutable
+    dict-of-dicts representation is never materialised.  Structural errors
+    (duplicate ids, dangling endpoints, illegal values) are re-raised as
+    :class:`~repro.errors.GraphLoadError` tagged with the offending line.
+    """
+    if backend not in ("dict", "columnar"):
+        raise ValueError(f'backend must be "dict" or "columnar", got {backend!r}')
+    if source is None:
+        source = getattr(fp, "name", None)
+    builder: "PropertyGraph | ColumnarBuilder"
+    if backend == "columnar":
+        from .columnar import ColumnarBuilder
+
+        builder = ColumnarBuilder()
+    else:
+        builder = PropertyGraph()
+    span = obs.span("pg.load_jsonl", backend=backend)
+    with span:
+        records = 0
+        for line_number, record in iter_graph_jsonl(fp, source):
+            records += 1
+            try:
+                if record["type"] == "node":
+                    builder.add_node(
+                        record["id"], record["label"], record.get("properties") or None
+                    )
+                else:
+                    builder.add_edge(
+                        record["id"],
+                        record["source"],
+                        record["target"],
+                        record["label"],
+                        record.get("properties") or None,
+                    )
+            except GraphLoadError:
+                raise
+            except (GraphError, TypeError, ValueError) as bad:
+                raise GraphLoadError(
+                    f"malformed graph element: {bad}",
+                    source=source,
+                    line=line_number,
+                    column=1,
+                ) from bad
+        span.set(records=records)
+        if backend == "columnar":
+            assert not isinstance(builder, PropertyGraph)
+            return builder.build()
+    return builder

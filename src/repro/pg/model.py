@@ -16,16 +16,22 @@ carry no semantics of their own.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, Mapping
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Mapping
 
 from ..errors import GraphError
 from .values import PropertyValue, normalize_value
 
+if TYPE_CHECKING:  # pragma: no cover
+    from .columnar import ColumnarGraph
+
 ElementId = Hashable
 
 #: Shared empty mapping returned by :meth:`PropertyGraph.property_map` for
-#: elements without properties (callers must not mutate it).
-_EMPTY_PROPERTIES: dict = {}
+#: elements without properties.  A read-only proxy, not a plain dict: it is
+#: shared across every element of every graph, so a caller mutating it
+#: would silently give *all* property-less elements phantom properties.
+_EMPTY_PROPERTIES: Mapping[str, PropertyValue] = MappingProxyType({})
 
 
 class PropertyGraph:
@@ -309,6 +315,13 @@ class PropertyGraph:
             for node, by_label in self._in.items()
         }
         return clone
+
+    def freeze(self) -> "ColumnarGraph":
+        """An immutable, columnar copy of this graph (see
+        :mod:`repro.pg.columnar`); the validators run unchanged on it."""
+        from .columnar import freeze
+
+        return freeze(self)
 
     def __contains__(self, element_id: object) -> bool:
         return element_id in self._node_labels or element_id in self._edge_labels

@@ -64,7 +64,7 @@ def normalize_value(value: object) -> PropertyValue:
     raise GraphError(f"not a legal property value: {value!r}")
 
 
-def value_signature(value: PropertyValue) -> tuple:
+def value_signature(value: PropertyValue) -> tuple[object, ...]:
     """A hashable, type-strict signature of a property value.
 
     Two values have the same signature iff they are the same value in the

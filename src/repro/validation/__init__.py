@@ -11,14 +11,15 @@ from .engine import (
 from .incremental import IncrementalValidator
 from .indexed import IndexedValidator
 from .naive import NaiveValidator
-from .parallel import ParallelValidator
+from .parallel import ParallelValidator, merge_shard_results, validate_shard
 from .plan import (
     ValidationPlan,
     compile_plan,
     plan_cache_clear,
     plan_cache_info,
 )
-from .shard import GraphShard, partition_graph
+from .shard import ColumnarShard, GraphShard, partition_graph
+from .stream import StreamValidator, validate_jsonl
 from .violations import (
     ALL_RULES,
     DIRECTIVE_RULES,
@@ -32,6 +33,7 @@ from .violations import (
 
 __all__ = [
     "ALL_RULES",
+    "ColumnarShard",
     "DIRECTIVE_RULES",
     "ENGINES",
     "EXTENSION_RULES",
@@ -42,17 +44,21 @@ __all__ = [
     "ParallelValidator",
     "RULES",
     "STRONG_RULES",
+    "StreamValidator",
     "ValidationPlan",
     "ValidationReport",
     "Violation",
     "WEAK_RULES",
     "compile_plan",
     "make_validator",
+    "merge_shard_results",
     "partition_graph",
     "plan_cache_clear",
     "plan_cache_info",
     "satisfies_directives",
     "strongly_satisfies",
     "validate",
+    "validate_jsonl",
+    "validate_shard",
     "weakly_satisfies",
 ]

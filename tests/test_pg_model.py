@@ -170,3 +170,28 @@ class TestBuilder:
     def test_builder_explicit_edge_id(self):
         graph = GraphBuilder().node("a", "A").edge("a", "r", "a", edge_id="myedge").graph()
         assert graph.label("myedge") == "r"
+
+
+class TestEmptyPropertyMap:
+    """Regression: the shared empty mapping behind ``property_map`` must be
+    immutable.  It used to be a plain dict; one careless mutation through a
+    property-less element's map would silently leak properties onto *every*
+    property-less element of every graph in the process."""
+
+    def test_property_map_of_bare_element_is_readonly(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "A")
+        empty = graph.property_map("a")
+        with pytest.raises(TypeError):
+            empty["sneaky"] = 1  # type: ignore[index]
+
+    def test_shared_empty_map_cannot_cross_elements(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "A")
+        graph.add_node("b", "B")
+        try:
+            graph.property_map("a")["x"] = 1  # type: ignore[index]
+        except TypeError:
+            pass
+        assert dict(graph.property_map("b")) == {}
+        assert dict(graph.property_map("a")) == {}
