@@ -500,6 +500,91 @@ def e15_columnar_stream() -> None:
     print()
 
 
+def e16_cdc() -> None:
+    print("## E16 — crash-resumable CDC validation")
+    import tempfile
+
+    from bench_e16_cdc import _base_graph, _journal
+    from repro.schema import parse_schema
+    from repro.validation import CDCConsumer
+    from repro.workloads import MUTATION_SCHEMA_SDL
+
+    schema = parse_schema(MUTATION_SCHEMA_SDL)
+    commits = 10 if QUICK else 40
+    base_sizes = [50, 200] if QUICK else [100, 400, 1600, 6400]
+
+    class _Tmp:
+        def __init__(self, root):
+            self._root = root
+
+        def __truediv__(self, name):
+            return os.path.join(self._root, name)
+
+    with tempfile.TemporaryDirectory(prefix="pgschema-e16-") as tmp:
+        path = _journal(_Tmp(tmp), commits=commits)
+        events = sum(1 for _ in open(path)) - 1
+
+        # per-commit consume cost must stay flat as the base graph grows
+        consume_costs = []
+        for num_users in base_sizes:
+            base = _base_graph(num_users)
+            empty = _journal(_Tmp(tmp), name="empty.jsonl", commits=1, ops_per_commit=1)
+            # best-of-7: the subtraction needs tighter minima than the
+            # default, else base-validation jitter at large n drowns the
+            # per-commit consume cost
+            t_setup = timed(
+                lambda: CDCConsumer(schema, empty, base_graph=base).run(),
+                repeat=7,
+            )
+            t_total = timed(
+                lambda: CDCConsumer(schema, path, base_graph=base).run(),
+                repeat=7,
+            )
+            per_commit = (t_total - t_setup) / commits
+            consume_costs.append(per_commit)
+            print(
+                f"base n={num_users}: total {t_total * 1000:.2f} ms, "
+                f"setup {t_setup * 1000:.2f} ms, consume "
+                f"{per_commit * 1000:.3f} ms/commit"
+            )
+
+        # checkpoint overhead and warm-restart latency
+        checkpoint_dir = os.path.join(tmp, "ckpt")
+        t_plain = timed(lambda: CDCConsumer(schema, path).run())
+        t_durable = timed(
+            lambda: CDCConsumer(
+                schema, path, checkpoint_dir=checkpoint_dir, checkpoint_every=1
+            ).run()
+        )
+        t_resume = timed(
+            lambda: CDCConsumer(
+                schema, path, checkpoint_dir=checkpoint_dir, checkpoint_every=1
+            ).run(resume=True)
+        )
+        print(
+            f"{commits} commit(s) / {events} event(s): consume "
+            f"{t_plain * 1000:.2f} ms ({events / t_plain:.0f} events/s), "
+            f"checkpoint-every-commit {t_durable * 1000:.2f} ms "
+            f"({t_durable / t_plain:.2f}x), warm resume {t_resume * 1000:.2f} ms"
+        )
+    write_bench_json(
+        "e16",
+        {
+            "experiment": "E16",
+            "commits": commits,
+            "events": events,
+            "base_sizes": base_sizes,
+            "consume_s_per_commit": consume_costs,
+            "consume_s": t_plain,
+            "events_per_second": events / t_plain,
+            "checkpointed_s": t_durable,
+            "checkpoint_overhead": t_durable / t_plain,
+            "warm_resume_s": t_resume,
+        },
+    )
+    print()
+
+
 SECTIONS = {
     "e1": e1_data_complexity,
     "e3": e3_fo,
@@ -513,6 +598,7 @@ SECTIONS = {
     "e13": e13_portfolio_sat,
     "e14": e14_analysis,
     "e15": e15_columnar_stream,
+    "e16": e16_cdc,
 }
 
 

@@ -48,7 +48,7 @@ from contextlib import contextmanager
 from . import obs
 from .api import GraphQLExecutor, extend_to_api_schema
 from .dl import schema_to_tbox
-from .errors import ReproError, exit_code_for, render_error
+from .errors import GraphLoadError, ReproError, exit_code_for, render_error
 from .pg import load_graph
 from .resilience import Budget, faults
 from .satisfiability import SatisfiabilityChecker
@@ -131,9 +131,54 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print per-rule wall time to stderr (forces the indexed engine)",
     )
+    jsonl_group = validate_cmd.add_argument_group("JSONL input")
+    jsonl_group.add_argument(
+        "--stream", action="store_true",
+        help="validate a .jsonl graph out-of-core in bounded memory "
+        "(chunked along scope boundaries; report byte-identical to in-memory)",
+    )
+    jsonl_group.add_argument(
+        "--chunk-size", type=int, default=65536, metavar="N",
+        help="elements per chunk for --stream (default 65536)",
+    )
+    jsonl_group.add_argument(
+        "--backend", choices=("dict", "columnar"), default="dict",
+        help="in-memory representation for .jsonl inputs without --stream",
+    )
     _add_budget_arguments(validate_cmd)
     _add_obs_arguments(validate_cmd)
     validate_cmd.set_defaults(handler=_cmd_validate)
+
+    cdc = subparsers.add_parser(
+        "cdc",
+        help="consume a mutation journal, keeping the violation set current",
+    )
+    cdc.add_argument("schema")
+    cdc.add_argument("journal", help="JSONL mutation journal")
+    cdc.add_argument(
+        "--graph", default=None, metavar="FILE",
+        help="base graph the journal applies to (default: empty graph)",
+    )
+    cdc.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write atomic checkpoints here (required for --resume)",
+    )
+    cdc.add_argument(
+        "--checkpoint-every", type=int, default=16, metavar="N",
+        help="commits between checkpoints (default 16)",
+    )
+    cdc.add_argument(
+        "--resume", action="store_true",
+        help="recover from the newest valid checkpoint (falling back to the "
+        "previous one, then to cold replay) before consuming",
+    )
+    cdc.add_argument(
+        "--events-json", default=None, metavar="FILE",
+        help="append violation APPEARED/DISAPPEARED transitions here as JSONL",
+    )
+    _add_budget_arguments(cdc)
+    _add_obs_arguments(cdc)
+    cdc.set_defaults(handler=_cmd_cdc)
 
     sat = subparsers.add_parser("sat", help="check object-type satisfiability")
     sat.add_argument("schema")
@@ -190,6 +235,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("old_schema")
     diff.add_argument("new_schema")
+    diff.add_argument(
+        "--json", action="store_true", help="machine-readable change list"
+    )
     diff.set_defaults(handler=_cmd_diff)
 
     stats = subparsers.add_parser("stats", help="profile a graph instance")
@@ -285,9 +333,20 @@ def _load_schema(path: str, check: bool = True):
         return parse_schema(handle.read(), check=check)
 
 
-def _load_graph(path: str):
+def _load_graph(path: str, backend: str = "dict"):
+    """Load a graph document; ``.jsonl`` files go through the line format."""
+    if path.endswith(".jsonl"):
+        from .pg.io import load_graph_jsonl
+
+        with open(path) as handle:
+            return load_graph_jsonl(handle, source=path, backend=backend)
     with open(path) as handle:
-        return load_graph(handle)
+        graph = load_graph(handle)
+    if backend == "columnar":
+        from .pg import freeze
+
+        return freeze(graph)
+    return graph
 
 
 def _cmd_check(args) -> int:
@@ -370,7 +429,23 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_validate(args) -> int:
     schema = _load_schema(args.schema)
-    graph = _load_graph(args.graph)
+    if args.stream:
+        from .validation import StreamValidator
+
+        if not args.graph.endswith(".jsonl"):
+            raise GraphLoadError(
+                f"--stream validates JSON-Lines graph files; {args.graph!r} "
+                "is not a .jsonl file (see docs/STREAMING.md)",
+                source=args.graph,
+            )
+        report = StreamValidator(
+            schema,
+            chunk_elements=args.chunk_size,
+            budget=_budget_from_args(args),
+            on_budget=args.on_budget,
+        ).validate(args.graph, mode=args.mode)
+        return _finish_validate(report)
+    graph = _load_graph(args.graph, backend=args.backend)
     if args.profile:
         from .validation import IndexedValidator, compile_plan, plan_cache_info
 
@@ -396,12 +471,48 @@ def _cmd_validate(args) -> int:
             budget=_budget_from_args(args),
             on_budget=args.on_budget,
         )
+    return _finish_validate(report)
+
+
+def _finish_validate(report) -> int:
     print(report.summary())
     for violation in sorted(report.violations, key=str):
         print(f"  {violation}")
     if report.violations:
         return 1
     return 0 if report.complete else 3
+
+
+def _cmd_cdc(args) -> int:
+    from .validation import CDCConsumer
+
+    schema = _load_schema(args.schema)
+    base_graph = _load_graph(args.graph) if args.graph else None
+    consumer = CDCConsumer(
+        schema,
+        args.journal,
+        base_graph=base_graph,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        events_path=args.events_json,
+        budget=_budget_from_args(args),
+        on_budget=args.on_budget,
+    )
+    result = consumer.run(resume=args.resume)
+    if result.recovered_from is not None:
+        print(f"resumed from {result.recovered_from}")
+    print(
+        f"{result.commits} commit(s), {result.events_applied} event(s) applied, "
+        f"{len(result.events)} violation transition(s), "
+        f"{result.checkpoints_written} checkpoint(s)"
+        + (f", {result.retries} retried apply(s)" if result.retries else "")
+    )
+    for event in result.events:
+        print(f"  {event}")
+    print(result.report.summary())
+    if result.report.violations:
+        return 1
+    return 0 if result.report.complete else 3
 
 
 def _cmd_sat(args) -> int:
@@ -521,12 +632,21 @@ def _cmd_infer(args) -> int:
 def _cmd_diff(args) -> int:
     from .evolution import diff_schemas
 
-    old = _load_schema(args.old_schema)
-    new = _load_schema(args.new_schema)
+    try:
+        old = _load_schema(args.old_schema)
+        new = _load_schema(args.new_schema)
+    except (ReproError, OSError) as error:
+        # a schema that cannot even be loaded leaves the compatibility
+        # question UNDECIDED -- exit 3 (the UNKNOWN code), not 2
+        print(render_error(error), file=sys.stderr)
+        return 3
     diff = diff_schemas(old, new)
-    print(diff.summary())
-    for change in diff.changes:
-        print(f"  {change}")
+    if args.json:
+        print(json.dumps(diff.to_json(), indent=2, sort_keys=True))
+    else:
+        print(diff.summary())
+        for change in diff.changes:
+            print(f"  {change}")
     return 0 if diff.is_backward_compatible else 1
 
 

@@ -62,6 +62,13 @@ class Change:
     def __str__(self) -> str:
         return f"[{self.impact.value}] {self.location}: {self.description}"
 
+    def to_json(self) -> dict[str, str]:
+        return {
+            "impact": self.impact.value,
+            "location": self.location,
+            "description": self.description,
+        }
+
 
 @dataclass
 class SchemaDiff:
@@ -89,6 +96,13 @@ class SchemaDiff:
             f"{len(self.changes)} change(s): "
             f"{len(self.breaking)} breaking, {len(self.compatible)} compatible"
         )
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "summary": self.summary(),
+            "backward_compatible": self.is_backward_compatible,
+            "changes": [change.to_json() for change in self.changes],
+        }
 
 
 def diff_schemas(old: "GraphQLSchema", new: "GraphQLSchema") -> SchemaDiff:

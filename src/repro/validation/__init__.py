@@ -8,8 +8,10 @@ from .engine import (
     validate,
     weakly_satisfies,
 )
-from .incremental import IncrementalValidator
+from .cdc import CDCConsumer, CDCResult, ViolationEvent
+from .incremental import IncrementalValidator, migrated_validator
 from .indexed import IndexedValidator
+from .journal import JournalWriter, MutationEvent, MutationJournal
 from .naive import NaiveValidator
 from .parallel import ParallelValidator, merge_shard_results, validate_shard
 from .plan import (
@@ -33,6 +35,8 @@ from .violations import (
 
 __all__ = [
     "ALL_RULES",
+    "CDCConsumer",
+    "CDCResult",
     "ColumnarShard",
     "DIRECTIVE_RULES",
     "ENGINES",
@@ -40,6 +44,9 @@ __all__ = [
     "GraphShard",
     "IncrementalValidator",
     "IndexedValidator",
+    "JournalWriter",
+    "MutationEvent",
+    "MutationJournal",
     "NaiveValidator",
     "ParallelValidator",
     "RULES",
@@ -48,10 +55,12 @@ __all__ = [
     "ValidationPlan",
     "ValidationReport",
     "Violation",
+    "ViolationEvent",
     "WEAK_RULES",
     "compile_plan",
     "make_validator",
     "merge_shard_results",
+    "migrated_validator",
     "partition_graph",
     "plan_cache_clear",
     "plan_cache_info",

@@ -23,6 +23,7 @@ from .. import obs
 from ..pg.values import value_signature
 from .indexed import IndexedValidator, _ordered_pairs
 from .plan import ValidationPlan
+from .sites import KeySite, labels_below
 from .violations import ValidationReport, Violation
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -407,6 +408,133 @@ class IncrementalValidator:
             self._violations[scope] = violations
         else:
             self._violations.pop(scope, None)
+
+
+def migrated_validator(
+    source: IncrementalValidator,
+    new_schema: "GraphQLSchema",
+    affected_labels: frozenset[str],
+) -> tuple[IncrementalValidator, int]:
+    """Migrate *source* to *new_schema*, rechecking only affected scopes.
+
+    The caller (the CDC consumer's schema-change path) guarantees that the
+    subtype relation, interface/union memberships and scalar/enum value
+    sets are identical between the two schemas, and that every schema
+    change only affects elements whose labels lie in *affected_labels*
+    (plus edge scopes incident to such elements).  Under that contract the
+    violation store entries of unaffected scopes remain exactly valid, so
+    this function transfers them wholesale and re-runs only:
+
+    * per-node scopes of nodes with an affected label (re-deriving their
+      DS7 key signatures under the new plan);
+    * per-edge and edge-group scopes of edges with an affected endpoint;
+    * key scopes whose signature index carried over (same ``(type,
+      fields)`` site with the same scalar-field tuple) only where members
+      moved, plus full index builds for sites new to the plan.
+
+    Returns the migrated validator and the number of scopes rechecked --
+    the cost the E16 benchmark tracks.  Validation work is proportional to
+    the affected population; the only whole-graph pass is a label
+    comparison per edge to *find* the affected edges.
+    """
+    graph = source.graph
+    fresh = IncrementalValidator.__new__(IncrementalValidator)
+    fresh.schema = new_schema
+    fresh.graph = graph
+    fresh.budget = source.budget
+    fresh._engine = IndexedValidator(new_schema)
+    fresh.plan = fresh._engine.plan
+    fresh._key_sites = fresh.plan.key_sites
+
+    # -- remap the DS7 signature index by (type, fields) site identity --- #
+    def identity(site: KeySite) -> tuple[str, tuple[str, ...]]:
+        return (site.type_name, site.fields)
+
+    old_index = {identity(site): i for i, site in enumerate(source._key_sites)}
+    carried: dict[int, int] = {}  # new site index -> old site index
+    for j, site in enumerate(fresh._key_sites):
+        i = old_index.get(identity(site))
+        if i is not None and (
+            source.plan.key_scalar_fields[i] == fresh.plan.key_scalar_fields[j]
+        ):
+            carried[j] = i
+    fresh._signatures = [
+        source._signatures[carried[j]] if j in carried else {}
+        for j in range(len(fresh._key_sites))
+    ]
+    fresh._node_signatures = {
+        node: [
+            per_site[carried[j]] if j in carried else None
+            for j in range(len(fresh._key_sites))
+        ]
+        for node, per_site in source._node_signatures.items()
+    }
+
+    # -- transfer the violation store, rekeying DS7 scopes --------------- #
+    old_to_new = {i: j for j, i in carried.items()}
+    fresh._violations = {}
+    for scope, violations in source._violations.items():
+        if scope[0] == "key":
+            mapped = old_to_new.get(scope[1])
+            if mapped is not None:
+                fresh._violations[("key", mapped, scope[2])] = violations
+        else:
+            fresh._violations[scope] = violations
+
+    # -- recheck the affected scopes ------------------------------------- #
+    rechecked = 0
+    touched_key_scopes: set[tuple[int, tuple]] = set()
+
+    def reindex(node: "ElementId") -> None:
+        before = fresh._node_signatures.get(node)
+        if before:
+            for j, signature in enumerate(before):
+                if signature is not None:
+                    touched_key_scopes.add((j, signature))
+        fresh._unindex_node_signatures(node)
+        fresh._index_node_signatures(node)
+        for j, signature in enumerate(fresh._node_signatures[node]):
+            if signature is not None:
+                touched_key_scopes.add((j, signature))
+
+    affected_nodes: set["ElementId"] = set()
+    for label in affected_labels:
+        affected_nodes.update(graph.nodes_with_label(label))
+    for node in affected_nodes:
+        reindex(node)
+        fresh._recheck_node(node)
+        rechecked += 1
+    # sites new to the plan must index their whole label population, even
+    # the part outside affected_labels (defensive: the caller's affected
+    # set normally covers it)
+    for j, site in enumerate(fresh._key_sites):
+        if j in carried:
+            continue
+        for label in labels_below(new_schema, site.type_name):
+            if label in affected_labels:
+                continue
+            for node in graph.nodes_with_label(label):
+                reindex(node)
+
+    groups: set[ScopeKey] = set()
+    for edge in graph.edges:
+        edge_source, edge_target = graph.endpoints(edge)
+        if (
+            graph.label(edge_source) in affected_labels
+            or graph.label(edge_target) in affected_labels
+        ):
+            fresh._recheck_edge(edge)
+            rechecked += 1
+            label = graph.label(edge)
+            groups.add(("out", edge_source, label))
+            groups.add(("in", edge_target, label))
+    for scope in groups:
+        fresh._recheck_edge_group(scope)
+        rechecked += 1
+    for j, signature in sorted(touched_key_scopes, key=lambda pair: (pair[0], str(pair[1]))):
+        fresh._recheck_key_scope(j, signature)
+        rechecked += 1
+    return fresh, rechecked
 
 
 class _SingleNodeIndex:

@@ -1,0 +1,347 @@
+"""The CDC mutation journal: an ordered, versioned JSONL stream of graph
+mutations.
+
+A journal is the durable write-ahead form of a living Property Graph: one
+JSON object per line, applied in order.  The first line is a *header*
+pinning the format and version; every later line is one mutation event::
+
+    {"format": "pgschema-mutation-journal", "version": 1}
+    {"op": "add_node", "id": "u1", "label": "User", "properties": {...}}
+    {"op": "add_edge", "id": "e1", "source": "s1", "target": "u1",
+     "label": "user", "properties": {...}}
+    {"op": "set_property", "id": "u1", "name": "login", "value": "alice"}
+    {"op": "remove_property", "id": "u1", "name": "login"}
+    {"op": "remove_edge", "id": "e1"}
+    {"op": "remove_node", "id": "u1"}
+    {"op": "set_schema", "sdl": "type User { ... }"}
+    {"op": "commit"}
+
+``commit`` lines are batch-commit markers: the CDC consumer
+(:mod:`repro.validation.cdc`) applies events transactionally per commit,
+emits violation appear/disappear deltas at each marker, and checkpoints
+only at marker boundaries -- which is what makes byte-offset resume exact.
+``set_schema`` events put schema evolution in the same ordered stream, the
+Bonifati-et-al. framing: graph mutations and schema changes are one
+history.
+
+Reading is hardened exactly like :mod:`repro.pg.io`: the journal is read
+in *binary* so byte offsets are seekable, and every way a line can be
+malformed -- invalid UTF-8, truncated JSON, a non-object record, an
+unknown ``op``, missing required keys, wrongly-typed ``properties`` --
+raises a typed :class:`~repro.errors.GraphLoadError` carrying the source
+name and the 1-based line, column and absolute byte offset of the problem.
+A resumed read (``start_offset > 0``) continues mid-file from a checkpoint
+without re-scanning the prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from types import TracebackType
+from typing import IO, Any, Iterator, Mapping, Sequence
+
+from ..errors import GraphLoadError
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "JOURNAL_VERSION",
+    "JournalWriter",
+    "MutationEvent",
+    "MutationJournal",
+    "check_journal_record",
+]
+
+JOURNAL_FORMAT = "pgschema-mutation-journal"
+JOURNAL_VERSION = 1
+
+#: op -> required keys beyond "op".
+_EVENT_KEYS: dict[str, tuple[str, ...]] = {
+    "add_node": ("id", "label"),
+    "remove_node": ("id",),
+    "add_edge": ("id", "source", "target", "label"),
+    "remove_edge": ("id",),
+    "set_property": ("id", "name", "value"),
+    "remove_property": ("id", "name"),
+    "commit": (),
+    "set_schema": ("sdl",),
+}
+
+#: ops that may carry a "properties" object.
+_PROPERTY_OPS = frozenset({"add_node", "add_edge"})
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """One decoded, shape-checked journal event.
+
+    Attributes:
+        op: The operation kind (a key of the event vocabulary).
+        record: The full decoded JSON record (including ``op``).
+        seq: 1-based event sequence number within the journal (the header
+            line does not count).
+        line: 1-based line number in the journal file.
+        end_offset: Absolute byte offset just *past* this event's line --
+            the exact resume point for a checkpoint taken after it.
+    """
+
+    op: str
+    record: Mapping[str, Any]
+    seq: int
+    line: int
+    end_offset: int
+
+    @property
+    def is_commit(self) -> bool:
+        return self.op == "commit"
+
+
+def check_journal_record(
+    record: Any, line: int, source: str | None
+) -> dict[str, Any]:
+    """Shape-check one decoded journal record; raise with line context."""
+    if not isinstance(record, dict):
+        raise GraphLoadError(
+            f"journal record must be an object, got {type(record).__name__}",
+            source=source,
+            line=line,
+            column=1,
+        )
+    op = record.get("op")
+    if op not in _EVENT_KEYS:
+        if "op" in record:
+            problem = (
+                f'journal record "op" must be one of '
+                f"{sorted(_EVENT_KEYS)}, got {op!r}"
+            )
+        else:
+            problem = "journal record is missing required key 'op'"
+        raise GraphLoadError(problem, source=source, line=line, column=1)
+    for key in _EVENT_KEYS[op]:
+        if key not in record:
+            raise GraphLoadError(
+                f"{op} event is missing required key {key!r}",
+                source=source,
+                line=line,
+                column=1,
+            )
+    if op in _PROPERTY_OPS:
+        properties = record.get("properties")
+        if properties is not None and not isinstance(properties, dict):
+            raise GraphLoadError(
+                f"{op} event properties must be an object, "
+                f"got {type(properties).__name__}",
+                source=source,
+                line=line,
+                column=1,
+            )
+    if op == "set_schema" and not isinstance(record["sdl"], str):
+        raise GraphLoadError(
+            "set_schema event sdl must be a string, "
+            f"got {type(record['sdl']).__name__}",
+            source=source,
+            line=line,
+            column=1,
+        )
+    return record
+
+
+def _check_header(record: dict[str, Any], line: int, source: str | None) -> None:
+    declared = record.get("format")
+    if declared != JOURNAL_FORMAT:
+        raise GraphLoadError(
+            f"journal header format must be {JOURNAL_FORMAT!r}, got {declared!r}",
+            source=source,
+            line=line,
+            column=1,
+        )
+    version = record.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise GraphLoadError(
+            f"journal header version must be a positive integer, got {version!r}",
+            source=source,
+            line=line,
+            column=1,
+        )
+    if version > JOURNAL_VERSION:
+        raise GraphLoadError(
+            f"journal version {version} is newer than the supported "
+            f"version {JOURNAL_VERSION}",
+            source=source,
+            line=line,
+            column=1,
+        )
+
+
+class MutationJournal:
+    """A mutation journal on disk: byte-exact reads, append-only writes."""
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = os.fspath(path)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    def read(
+        self,
+        start_offset: int = 0,
+        start_seq: int = 0,
+        start_line: int = 0,
+    ) -> Iterator[MutationEvent]:
+        """Yield shape-checked events, resuming from a byte offset.
+
+        ``start_offset == 0`` reads from the beginning and *requires* the
+        version header as the first non-blank line.  A positive offset must
+        be an event boundary previously reported in
+        :attr:`MutationEvent.end_offset` (checkpoints store exactly that);
+        ``start_seq``/``start_line`` restore the numbering so later error
+        spans and checkpoints stay absolute.
+        """
+        with open(self.path, "rb") as fp:
+            if start_offset:
+                fp.seek(start_offset)
+            offset = start_offset
+            line_number = start_line
+            seq = start_seq
+            saw_header = start_offset > 0
+            for raw in fp:
+                line_number += 1
+                offset += len(raw)
+                try:
+                    text = raw.decode("utf-8")
+                except UnicodeDecodeError as bad:
+                    raise GraphLoadError(
+                        f"journal is not valid text: {bad.reason}",
+                        source=self.path,
+                        line=line_number,
+                        column=1,
+                        offset=offset - len(raw) + bad.start,
+                    ) from None
+                if not text.strip():
+                    continue
+                try:
+                    record = json.loads(text)
+                except json.JSONDecodeError as bad:
+                    raise GraphLoadError(
+                        f"invalid JSON: {bad.msg}",
+                        source=self.path,
+                        line=line_number,
+                        column=bad.colno,
+                        offset=offset - len(raw) + bad.pos,
+                    ) from None
+                except RecursionError:
+                    raise GraphLoadError(
+                        "journal record is nested too deeply",
+                        source=self.path,
+                        line=line_number,
+                        column=1,
+                        offset=offset - len(raw),
+                    ) from None
+                if not saw_header:
+                    if not isinstance(record, dict):
+                        raise GraphLoadError(
+                            "journal must start with a header object",
+                            source=self.path,
+                            line=line_number,
+                            column=1,
+                        )
+                    _check_header(record, line_number, self.path)
+                    saw_header = True
+                    continue
+                checked = check_journal_record(record, line_number, self.path)
+                seq += 1
+                yield MutationEvent(
+                    op=str(checked["op"]),
+                    record=checked,
+                    seq=seq,
+                    line=line_number,
+                    end_offset=offset,
+                )
+
+    def size(self) -> int:
+        """Current journal size in bytes (for lag gauges)."""
+        return os.path.getsize(self.path)
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+
+    def writer(self, append: bool = False) -> "JournalWriter":
+        """Open a :class:`JournalWriter`; a fresh file gets the header."""
+        return JournalWriter(self.path, append=append)
+
+    def write_events(self, events: Sequence[Mapping[str, Any]]) -> int:
+        """Write a whole event stream (header included); return the count."""
+        with self.writer() as writer:
+            for event in events:
+                writer.event(event)
+            return writer.events_written
+
+
+class JournalWriter:
+    """Append shape-checked events to a journal file.
+
+    Usable as a context manager; :meth:`sync` flushes and fsyncs so a
+    producer can make the stream durable at commit boundaries.
+    """
+
+    def __init__(self, path: str, append: bool = False) -> None:
+        self.path = path
+        self.events_written = 0
+        exists = append and os.path.exists(path) and os.path.getsize(path) > 0
+        self._fp: IO[bytes] = open(path, "ab" if exists else "wb")
+        if not exists:
+            self._write_record(
+                {"format": JOURNAL_FORMAT, "version": JOURNAL_VERSION}
+            )
+
+    def _write_record(self, record: Mapping[str, Any]) -> None:
+        payload = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        self._fp.write(payload.encode("utf-8") + b"\n")
+
+    def event(self, record: Mapping[str, Any]) -> None:
+        """Append one event (shape-checked before it hits the disk)."""
+        checked = check_journal_record(dict(record), 0, self.path)
+        encoded = {
+            key: self._encode_value(value) for key, value in checked.items()
+        }
+        self._write_record(encoded)
+        self.events_written += 1
+
+    @staticmethod
+    def _encode_value(value: Any) -> Any:
+        if isinstance(value, tuple):
+            return list(value)
+        if isinstance(value, dict):
+            return {
+                key: list(item) if isinstance(item, tuple) else item
+                for key, item in value.items()
+            }
+        return value
+
+    def commit(self) -> None:
+        """Append a batch-commit marker."""
+        self.event({"op": "commit"})
+
+    def sync(self) -> None:
+        """Flush and fsync (durability at a commit boundary)."""
+        self._fp.flush()
+        os.fsync(self._fp.fileno())
+
+    def close(self) -> None:
+        if not self._fp.closed:
+            self._fp.flush()
+            self._fp.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()

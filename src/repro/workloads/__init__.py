@@ -10,6 +10,13 @@ from .graphs import (
     library_graph,
     user_session_graph,
 )
+from .mutations import (
+    MUTATION_SCHEMA_SDL,
+    MUTATION_SCHEMA_VARIANTS,
+    MutationWorkloadConfig,
+    mutation_stream,
+    write_mutation_journal,
+)
 from .paper_schemas import CORPUS, PaperSchema, load
 from .schemas import (
     deep_lattice_schema,
@@ -22,6 +29,9 @@ from .schemas import (
 __all__ = [
     "CARDINALITY_FIELDS",
     "CORPUS",
+    "MUTATION_SCHEMA_SDL",
+    "MUTATION_SCHEMA_VARIANTS",
+    "MutationWorkloadConfig",
     "PaperSchema",
     "cardinality_graph",
     "conformant_graph",
@@ -31,9 +41,11 @@ __all__ = [
     "hub_chain_schema",
     "library_graph",
     "load",
+    "mutation_stream",
     "near_unsat_schema",
     "paper_schemas",
     "random_schema",
     "random_schema_sdl",
     "user_session_graph",
+    "write_mutation_journal",
 ]

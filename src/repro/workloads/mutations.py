@@ -1,0 +1,276 @@
+"""Seeded mutation-stream workloads for the CDC consumer.
+
+:func:`mutation_stream` produces a deterministic, *applicable* journal
+event list (no dangling endpoints, no duplicate ids, removals only of
+live elements) over a two-type User/UserSession domain, with a
+configurable op distribution in the style of pyrqg's ``WorkloadConfig``:
+each op kind carries a weight, and a ``violation_probability`` knob makes
+some events schema-violating (missing ``@required`` properties, wrongly
+typed values, ``@key`` collisions, duplicate non-list edges) so the
+stream exercises violation APPEARED *and* DISAPPEARED transitions.
+Schema-change events can be scheduled at chosen commits, cycling through
+compatible and breaking variants of the base schema -- they exercise the
+consumer's migrate-vs-rebuild path.
+
+The stream is a pure function of the config (seeded PRNG), which is what
+the crash-resume determinism property tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..validation.journal import MutationJournal
+
+__all__ = [
+    "MUTATION_SCHEMA_SDL",
+    "MUTATION_SCHEMA_VARIANTS",
+    "MutationWorkloadConfig",
+    "mutation_stream",
+    "write_mutation_journal",
+]
+
+#: The base schema the generated streams target.
+MUTATION_SCHEMA_SDL = """
+type User @key(fields: ["id"]) {
+  id: ID! @required
+  login: String! @required
+  age: Int
+  nicknames: [String!]
+}
+
+type UserSession {
+  id: ID! @required
+  user(certainty: Float!): User! @required
+  startTime: String! @required
+  endTime: String
+}
+"""
+
+#: Evolution variants cycled through by scheduled ``set_schema`` events:
+#: a breaking change (endTime becomes @required -> DS5 violations appear
+#: on sessions without it), the base again (they disappear), and a
+#: compatible widening (an optional User field is added).
+MUTATION_SCHEMA_VARIANTS: tuple[str, ...] = (
+    MUTATION_SCHEMA_SDL.replace(
+        "endTime: String", "endTime: String @required"
+    ),
+    MUTATION_SCHEMA_SDL,
+    MUTATION_SCHEMA_SDL.replace(
+        "age: Int", "age: Int\n  locale: String"
+    ),
+    MUTATION_SCHEMA_SDL,
+)
+
+_DEFAULT_DISTRIBUTION: dict[str, float] = {
+    "add_node": 4.0,
+    "add_edge": 3.0,
+    "set_property": 4.0,
+    "remove_property": 1.5,
+    "remove_edge": 1.0,
+    "remove_node": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class MutationWorkloadConfig:
+    """Shape of one generated mutation stream.
+
+    Attributes:
+        commits: Number of batch commits.
+        ops_per_commit: Mutation events per commit.
+        op_distribution: Relative weights per op kind (unknown kinds are
+            rejected; missing kinds default to weight 0).
+        violation_probability: Chance an event is schema-violating.
+        schema_change_commits: 1-based commit indices whose batch starts
+            with a ``set_schema`` event (cycling the variants above).
+        seed: PRNG seed; same config -> byte-identical stream.
+    """
+
+    commits: int = 20
+    ops_per_commit: int = 5
+    op_distribution: Mapping[str, float] = field(
+        default_factory=lambda: dict(_DEFAULT_DISTRIBUTION)
+    )
+    violation_probability: float = 0.2
+    schema_change_commits: tuple[int, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.op_distribution) - set(_DEFAULT_DISTRIBUTION)
+        if unknown:
+            raise ValueError(f"unknown op kinds in distribution: {sorted(unknown)}")
+        if not any(weight > 0 for weight in self.op_distribution.values()):
+            raise ValueError("op_distribution needs at least one positive weight")
+        if not 0.0 <= self.violation_probability <= 1.0:
+            raise ValueError("violation_probability must be within [0, 1]")
+
+
+class _StreamState:
+    """Shadow of the graph the stream builds, so every event applies."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.users: dict[str, dict[str, Any]] = {}
+        self.sessions: dict[str, dict[str, Any]] = {}
+        self.edges: dict[str, tuple[str, str]] = {}  # edge -> (session, user)
+        self.counter = 0
+
+    def fresh_id(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def pick(self, pool: list[str]) -> str:
+        return pool[self.rng.randrange(len(pool))]
+
+
+def _add_node(state: _StreamState, violate: bool) -> dict[str, Any]:
+    rng = state.rng
+    if not state.users or rng.random() < 0.5:
+        node_id = state.fresh_id("u")
+        properties: dict[str, Any] = {
+            "id": f"user-{node_id}",
+            "login": f"login-{node_id}",
+        }
+        if violate:
+            # DS5: a User without its @required login
+            del properties["login"]
+        state.users[node_id] = properties
+        return {"op": "add_node", "id": node_id, "label": "User",
+                "properties": properties}
+    node_id = state.fresh_id("s")
+    properties = {"id": f"sess-{node_id}", "startTime": "2019-06-30T09:00"}
+    if violate:
+        # WS1: startTime must be a String
+        properties["startTime"] = 900
+    state.sessions[node_id] = properties
+    return {"op": "add_node", "id": node_id, "label": "UserSession",
+            "properties": properties}
+
+
+def _add_edge(state: _StreamState, violate: bool) -> dict[str, Any]:
+    if not state.users or not state.sessions:
+        return _add_node(state, violate)
+    session = state.pick(sorted(state.sessions))
+    user = state.pick(sorted(state.users))
+    edge_id = state.fresh_id("e")
+    properties: dict[str, Any] = {"certainty": round(state.rng.random(), 3)}
+    if violate:
+        # WS2: certainty must be a Float
+        properties["certainty"] = "high"
+    state.edges[edge_id] = (session, user)
+    return {"op": "add_edge", "id": edge_id, "source": session, "target": user,
+            "label": "user", "properties": properties}
+
+
+def _set_property(state: _StreamState, violate: bool) -> dict[str, Any]:
+    rng = state.rng
+    if state.users and (not state.sessions or rng.random() < 0.5):
+        node_id = state.pick(sorted(state.users))
+        if violate:
+            # DS7: collide the @key field across users
+            name, value = "id", "dup-key"
+        elif rng.random() < 0.5:
+            name, value = "age", rng.randrange(18, 80)
+        else:
+            name, value = "login", f"login-{node_id}-{rng.randrange(100)}"
+        state.users[node_id][name] = value
+        return {"op": "set_property", "id": node_id, "name": name, "value": value}
+    if state.sessions:
+        node_id = state.pick(sorted(state.sessions))
+        if violate:
+            # WS1: endTime must be a String
+            name: str = "endTime"
+            value: Any = 1745
+        else:
+            name, value = "endTime", "2019-06-30T17:45"
+        state.sessions[node_id][name] = value
+        return {"op": "set_property", "id": node_id, "name": name, "value": value}
+    return _add_node(state, violate)
+
+
+def _remove_property(state: _StreamState, violate: bool) -> dict[str, Any]:
+    rng = state.rng
+    if violate and state.users:
+        # DS5: strip a @required property
+        node_id = state.pick(sorted(state.users))
+        state.users[node_id].pop("login", None)
+        return {"op": "remove_property", "id": node_id, "name": "login"}
+    removable = [
+        (node_id, name)
+        for pool in (state.users, state.sessions)
+        for node_id, properties in sorted(pool.items())
+        for name in sorted(properties)
+        if name in ("age", "endTime")
+    ]
+    if not removable:
+        return _set_property(state, violate)
+    node_id, name = removable[rng.randrange(len(removable))]
+    (state.users.get(node_id) or state.sessions.get(node_id) or {}).pop(name, None)
+    return {"op": "remove_property", "id": node_id, "name": name}
+
+
+def _remove_edge(state: _StreamState, violate: bool) -> dict[str, Any]:
+    if not state.edges:
+        return _add_edge(state, violate)
+    edge_id = state.pick(sorted(state.edges))
+    del state.edges[edge_id]
+    return {"op": "remove_edge", "id": edge_id}
+
+
+def _remove_node(state: _StreamState, violate: bool) -> dict[str, Any]:
+    pool = sorted(state.sessions) if state.sessions else sorted(state.users)
+    if not pool:
+        return _add_node(state, violate)
+    node_id = state.pick(pool)
+    state.sessions.pop(node_id, None)
+    state.users.pop(node_id, None)
+    state.edges = {
+        edge_id: endpoints
+        for edge_id, endpoints in state.edges.items()
+        if node_id not in endpoints
+    }
+    return {"op": "remove_node", "id": node_id}
+
+
+_GENERATORS = {
+    "add_node": _add_node,
+    "add_edge": _add_edge,
+    "set_property": _set_property,
+    "remove_property": _remove_property,
+    "remove_edge": _remove_edge,
+    "remove_node": _remove_node,
+}
+
+
+def mutation_stream(
+    config: MutationWorkloadConfig | None = None,
+) -> list[dict[str, Any]]:
+    """Generate the journal records (commit markers included) for *config*."""
+    config = config or MutationWorkloadConfig()
+    rng = random.Random(config.seed)
+    state = _StreamState(rng)
+    kinds = sorted(kind for kind, weight in config.op_distribution.items() if weight > 0)
+    weights = [float(config.op_distribution[kind]) for kind in kinds]
+    events: list[dict[str, Any]] = []
+    variant = 0
+    for commit in range(1, config.commits + 1):
+        if commit in config.schema_change_commits:
+            sdl = MUTATION_SCHEMA_VARIANTS[variant % len(MUTATION_SCHEMA_VARIANTS)]
+            variant += 1
+            events.append({"op": "set_schema", "sdl": sdl})
+        for _ in range(config.ops_per_commit):
+            kind = rng.choices(kinds, weights=weights, k=1)[0]
+            violate = rng.random() < config.violation_probability
+            events.append(_GENERATORS[kind](state, violate))
+        events.append({"op": "commit"})
+    return events
+
+
+def write_mutation_journal(
+    path: str, config: MutationWorkloadConfig | None = None
+) -> int:
+    """Write the stream for *config* to *path*; return the event count."""
+    return MutationJournal(path).write_events(mutation_stream(config))

@@ -5,8 +5,14 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.pg import dumps_graph
-from repro.workloads import CORPUS, user_session_graph
+from repro.pg import dump_graph_jsonl, dumps_graph
+from repro.workloads import (
+    CORPUS,
+    MUTATION_SCHEMA_SDL,
+    MutationWorkloadConfig,
+    user_session_graph,
+    write_mutation_journal,
+)
 
 
 @pytest.fixture
@@ -210,3 +216,166 @@ class TestStatsAndExport:
         )
         assert main(["diff", schema_file, str(new_path)]) == 1
         assert "breaking" in capsys.readouterr().out
+
+
+class TestDiffRobustness:
+    def test_json_output(self, schema_file, tmp_path, capsys):
+        new_path = tmp_path / "new.graphql"
+        new_path.write_text(
+            CORPUS["user_session_edge_props"].sdl.replace(
+                "endTime: Time!", "endTime: Time! @required"
+            )
+        )
+        assert main(["diff", schema_file, str(new_path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backward_compatible"] is False
+        assert any(
+            change["impact"] == "breaking" for change in payload["changes"]
+        )
+
+    def test_json_identical(self, schema_file, capsys):
+        assert main(["diff", schema_file, schema_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backward_compatible"] is True
+        assert payload["changes"] == []
+
+    def test_broken_schema_exits_three(self, schema_file, tmp_path, capsys):
+        bad = tmp_path / "broken.graphql"
+        bad.write_text("type {{{{")
+        assert main(["diff", schema_file, str(bad)]) == 3
+        err = capsys.readouterr().err
+        assert "error" in err and "E_SYNTAX" in err
+
+    def test_missing_file_exits_three(self, schema_file, capsys):
+        assert main(["diff", schema_file, "/no/such/file.graphql"]) == 3
+        assert "error" in capsys.readouterr().err
+
+
+class TestValidateStream:
+    @pytest.fixture
+    def jsonl_file(self, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        with open(path, "w", encoding="utf-8") as fp:
+            dump_graph_jsonl(user_session_graph(3, 1, seed=0), fp)
+        return str(path)
+
+    def test_stream_conformant(self, schema_file, jsonl_file, capsys):
+        assert main(["validate", schema_file, jsonl_file, "--stream"]) == 0
+        assert "conforms" in capsys.readouterr().out
+
+    def test_stream_chunk_size(self, schema_file, jsonl_file):
+        assert main(
+            ["validate", schema_file, jsonl_file, "--stream", "--chunk-size", "2"]
+        ) == 0
+
+    def test_stream_requires_jsonl(self, schema_file, graph_file, capsys):
+        assert main(["validate", schema_file, graph_file, "--stream"]) == 2
+        assert "--stream validates JSON-Lines" in capsys.readouterr().err
+
+    def test_backend_columnar(self, schema_file, graph_file, jsonl_file):
+        for graph in (graph_file, jsonl_file):
+            assert main(
+                ["validate", schema_file, graph, "--backend", "columnar"]
+            ) == 0
+
+    def test_stream_violations(self, schema_file, tmp_path, capsys):
+        graph = user_session_graph(2, 1, seed=0)
+        graph.add_node("ghost", "Phantom")
+        path = tmp_path / "bad.jsonl"
+        with open(path, "w", encoding="utf-8") as fp:
+            dump_graph_jsonl(graph, fp)
+        assert main(["validate", schema_file, str(path), "--stream"]) == 1
+        assert "SS1" in capsys.readouterr().out
+
+
+class TestCdc:
+    @pytest.fixture
+    def journal_file(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        write_mutation_journal(
+            str(path),
+            MutationWorkloadConfig(
+                commits=8, ops_per_commit=4, violation_probability=0.4, seed=0
+            ),
+        )
+        return str(path)
+
+    @pytest.fixture
+    def mutation_schema_file(self, tmp_path):
+        path = tmp_path / "mutation.graphql"
+        path.write_text(MUTATION_SCHEMA_SDL)
+        return str(path)
+
+    def test_run_reports_transitions(
+        self, mutation_schema_file, journal_file, capsys
+    ):
+        code = main(["cdc", mutation_schema_file, journal_file])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "commit(s)" in out
+
+    def test_resume_from_checkpoint(
+        self, mutation_schema_file, journal_file, tmp_path, capsys
+    ):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        main([
+            "cdc", mutation_schema_file, journal_file,
+            "--checkpoint-dir", checkpoint_dir, "--checkpoint-every", "2",
+        ])
+        capsys.readouterr()
+        code = main([
+            "cdc", mutation_schema_file, journal_file,
+            "--checkpoint-dir", checkpoint_dir, "--resume",
+        ])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "resumed from checkpoint:" in out
+        assert "0 commit(s)" in out
+
+    def test_events_json(self, mutation_schema_file, journal_file, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        main([
+            "cdc", mutation_schema_file, journal_file,
+            "--events-json", str(events_path),
+        ])
+        lines = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+            if line
+        ]
+        assert lines
+        assert {line["event"] for line in lines} <= {"appeared", "disappeared"}
+
+    def test_missing_journal_exits_two(self, mutation_schema_file, capsys):
+        assert main(["cdc", mutation_schema_file, "/no/such/journal.jsonl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_budget_exit_three(self, mutation_schema_file, tmp_path, capsys):
+        # a violation-free journal whose budget runs out mid-stream: the
+        # partial verdict is UNKNOWN, not violations, so the exit code is 3
+        from repro.validation import MutationJournal
+
+        journal = MutationJournal(str(tmp_path / "clean.jsonl"))
+        events = []
+        for i in range(6):
+            events.append({
+                "op": "add_node", "id": f"u{i}", "label": "User",
+                "properties": {"id": f"i{i}", "login": f"l{i}"},
+            })
+            events.append({"op": "commit"})
+        journal.write_events(events)
+        code = main([
+            "cdc", mutation_schema_file, str(tmp_path / "clean.jsonl"),
+            "--max-nodes", "3",
+        ])
+        assert code == 3
+        assert "incomplete" in capsys.readouterr().out.lower()
+
+    def test_budget_violations_exit_one(
+        self, mutation_schema_file, journal_file, capsys
+    ):
+        code = main([
+            "cdc", mutation_schema_file, journal_file, "--max-nodes", "5"
+        ])
+        assert code == 1
+        assert "incomplete" in capsys.readouterr().out.lower()

@@ -113,6 +113,90 @@ class TestDiffClassification:
         assert not classify(old, "type A { r(w: Float!): A }").is_backward_compatible
         assert classify("type A { r(w: Float!): A }", old).is_backward_compatible
 
+    def test_edge_argument_base_change_breaking(self):
+        old = "type A { r(w: Float): A }"
+        new = "type A { r(w: String): A }"
+        diff = classify(old, new)
+        assert not diff.is_backward_compatible
+        assert diff.breaking[0].location == "A.r(w)"
+
+    def test_edge_argument_list_change_breaking(self):
+        old = "type A { r(w: [Float]): A }"
+        new = "type A { r(w: Float): A }"
+        assert not classify(old, new).is_backward_compatible
+        assert not classify(new, old).is_backward_compatible
+
+    def test_edge_argument_inner_nonnull(self):
+        old = "type A { r(w: [Float!]): A }"
+        new = "type A { r(w: [Float]): A }"
+        # dropping inner non-null widens; adding it narrows
+        assert classify(old, new).is_backward_compatible
+        assert not classify(new, old).is_backward_compatible
+
+    def test_interface_implementation_removed_breaking(self):
+        old = (
+            "interface I { x: Int }\n"
+            "type A implements I { x: Int }\n"
+            "type B implements I { x: Int }\n"
+            "type T { r: I }"
+        )
+        new = (
+            "interface I { x: Int }\n"
+            "type A implements I { x: Int }\n"
+            "type B { x: Int }\n"
+            "type T { r: I }"
+        )
+        diff = classify(old, new)
+        assert not diff.is_backward_compatible
+        breaking = {change.location: change for change in diff.breaking}
+        assert "interface I" in breaking
+        assert "B" in breaking["interface I"].description
+        # adding an implementation back is compatible
+        assert classify(new, old).is_backward_compatible
+
+    def test_interface_implementation_removed_with_type_breaking(self):
+        old = (
+            "interface I { x: Int }\n"
+            "type A implements I { x: Int }\n"
+            "type B implements I { x: Int }\n"
+            "type T { r: I }"
+        )
+        new = (
+            "interface I { x: Int }\n"
+            "type A implements I { x: Int }\n"
+            "type T { r: I }"
+        )
+        diff = classify(old, new)
+        assert not diff.is_backward_compatible
+        # the type removal itself is the breaking change; no spurious
+        # interface-level report for a type that no longer exists
+        assert any(change.location == "type B" for change in diff.breaking)
+        assert not any(
+            change.location == "interface I" for change in diff.breaking
+        )
+
+    def test_relationship_retarget_interface_to_member(self):
+        shared = (
+            "interface I { x: Int }\n"
+            "type A implements I { x: Int }\n"
+            "type B implements I { x: Int }\n"
+        )
+        wide = shared + "type T { r: I }"
+        narrow = shared + "type T { r: A }"
+        # interface → single implementation shrinks the target set
+        assert not classify(wide, narrow).is_backward_compatible
+        assert classify(narrow, wide).is_backward_compatible
+
+    def test_diff_to_json_shape(self):
+        diff = classify("type A { x: Int }", "type B { x: Int }")
+        payload = diff.to_json()
+        assert payload["backward_compatible"] is False
+        assert payload["summary"] == diff.summary()
+        impacts = {change["impact"] for change in payload["changes"]}
+        assert impacts == {"breaking", "compatible"}
+        for change in payload["changes"]:
+            assert set(change) == {"impact", "location", "description"}
+
 
 class TestCompatibilityGuarantee:
     """Changes classified compatible must preserve strong satisfaction on
