@@ -1,0 +1,199 @@
+"""E17 -- schema-registry service mode: batched warm serving vs cold CLI.
+
+The service's reason to exist, measured.  A one-shot ``pgschema validate``
+pays the full cold path on every request: interpreter start, SDL parse,
+plan compile, graph load, validate.  The daemon pays it once at
+registration and then serves every request from the pinned plan, with
+concurrent requests coalesced into shared sharded runs.
+
+Three legs:
+
+1. **Cold baseline** -- one subprocess invocation per request, the
+   pre-service deployment model.
+2. **Warm closed loop** -- N client threads, each a closed loop over one
+   keep-alive connection, against an in-process :class:`ServiceThread`.
+3. **The floor** -- warm batched throughput must be >= 3x the cold
+   per-request throughput (the ISSUE 9 acceptance criterion; in practice
+   the gap is one to two orders of magnitude).  p50/p99 request latencies
+   come from the service's own ``service.latency_ms`` obs histogram via
+   ``/v1/stats`` and ride along in ``extra_info`` so ``BENCH_e17.json``
+   carries the tail, not just the mean.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.pg import dumps_graph
+from repro.service import ServiceClient, ServiceThread
+from repro.workloads import CORPUS, user_session_graph
+
+SDL = CORPUS["user_session_edge_props"].sdl
+
+if os.environ.get("PGSCHEMA_BENCH_QUICK") == "1":
+    COLD_REQUESTS = 3
+    CLIENTS = 4
+    REQUESTS_PER_CLIENT = 8
+else:
+    COLD_REQUESTS = 10
+    CLIENTS = 8
+    REQUESTS_PER_CLIENT = 25
+
+#: Per-request payload: small graphs are the service's target workload --
+#: exactly where per-request process start-up dwarfs the validation itself.
+GRAPH = user_session_graph(20, 2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    root = tmp_path_factory.mktemp("e17")
+    schema_path = root / "schema.graphql"
+    schema_path.write_text(SDL)
+    graph_path = root / "graph.json"
+    graph_path.write_text(dumps_graph(GRAPH))
+    return str(schema_path), str(graph_path)
+
+
+def cold_validate(schema_path: str, graph_path: str) -> None:
+    """One request, pre-service style: a fresh interpreter every time."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "validate", schema_path, graph_path],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+
+def closed_loop(host: str, port: int, requests: int, failures: list) -> None:
+    """One client: a closed loop of validate calls on one connection."""
+    try:
+        with ServiceClient(host, port) as client:
+            for _ in range(requests):
+                status, report = client.validate("bench", "users", GRAPH)
+                assert status == 200, report
+                assert report["verdict"] == "conforms"
+    except Exception as error:  # noqa: BLE001 - surfaced by the main thread
+        failures.append(error)
+
+
+def run_closed_loop(host: str, port: int) -> float:
+    """All clients through their loops; returns elapsed seconds."""
+    failures: list = []
+    threads = [
+        threading.Thread(
+            target=closed_loop, args=(host, port, REQUESTS_PER_CLIENT, failures)
+        )
+        for _ in range(CLIENTS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not failures, failures
+    return elapsed
+
+
+@pytest.mark.experiment("E17")
+def test_cold_subprocess_baseline(benchmark, artifacts):
+    """The per-request cost of the no-service deployment model."""
+    schema_path, graph_path = artifacts
+    benchmark.extra_info["model"] = "cold-subprocess"
+    benchmark(cold_validate, schema_path, graph_path)
+
+
+@pytest.mark.experiment("E17")
+def test_warm_service_closed_loop(benchmark):
+    """Closed-loop multi-client throughput against the warm daemon."""
+    thread = ServiceThread(port=0)
+    host, port = thread.start()
+    try:
+        with ServiceClient(host, port) as client:
+            status, _ = client.register("bench", "users", SDL)
+            assert status == 200
+        run_closed_loop(host, port)  # warm the connection/batch path
+
+        def loop() -> None:
+            run_closed_loop(host, port)
+
+        benchmark(loop)
+        benchmark.extra_info["model"] = "warm-service"
+        benchmark.extra_info["clients"] = CLIENTS
+        benchmark.extra_info["requests_per_round"] = CLIENTS * REQUESTS_PER_CLIENT
+        with ServiceClient(host, port) as client:
+            _, stats = client.stats()
+        latency = stats["histograms"].get("service.latency_ms", {})
+        benchmark.extra_info["latency_ms_p50"] = latency.get("p50")
+        benchmark.extra_info["latency_ms_p99"] = latency.get("p99")
+        benchmark.extra_info["coalesce_ratio"] = stats["service"]["batching"][
+            "coalesce_ratio"
+        ]
+    finally:
+        thread.stop()
+
+
+@pytest.mark.experiment("E17")
+def test_batched_warm_serving_floor(benchmark, artifacts):
+    """The acceptance criterion: warm batched serving sustains >= 3x the
+    throughput of per-request cold subprocess invocation."""
+    schema_path, graph_path = artifacts
+
+    # cold: requests/second with one subprocess per request
+    cold_start = time.perf_counter()
+    for _ in range(COLD_REQUESTS):
+        cold_validate(schema_path, graph_path)
+    cold_elapsed = time.perf_counter() - cold_start
+    cold_rps = COLD_REQUESTS / cold_elapsed
+
+    # warm: the closed-loop fleet against a live daemon
+    thread = ServiceThread(port=0)
+    host, port = thread.start()
+    try:
+        with ServiceClient(host, port) as client:
+            status, _ = client.register("bench", "users", SDL)
+            assert status == 200
+        run_closed_loop(host, port)  # warm-up round
+        elapsed = benchmark(lambda: run_closed_loop(host, port))
+        warm_rps = (CLIENTS * REQUESTS_PER_CLIENT) / elapsed
+        with ServiceClient(host, port) as client:
+            _, stats = client.stats()
+    finally:
+        thread.stop()
+
+    latency = stats["histograms"].get("service.latency_ms", {})
+    speedup = warm_rps / cold_rps
+    benchmark.extra_info.update(
+        {
+            "cold_rps": cold_rps,
+            "warm_rps": warm_rps,
+            "speedup": speedup,
+            "latency_ms_p50": latency.get("p50"),
+            "latency_ms_p99": latency.get("p99"),
+            "coalesce_ratio": stats["service"]["batching"]["coalesce_ratio"],
+        }
+    )
+    print(
+        f"\ncold {cold_rps:.1f} req/s, warm batched {warm_rps:.1f} req/s "
+        f"({speedup:.1f}x), p50 {latency.get('p50', 0.0):.2f} ms, "
+        f"p99 {latency.get('p99', 0.0):.2f} ms"
+    )
+    assert speedup >= 3.0, (
+        f"warm batched serving only {speedup:.2f}x over cold subprocess "
+        f"(floor is 3x): cold {cold_rps:.1f} req/s vs warm {warm_rps:.1f} req/s"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - quick manual run
+    raise SystemExit(
+        json.dumps({"hint": "run under pytest: pytest benchmarks/bench_e17_service.py"})
+    )

@@ -585,6 +585,81 @@ def e16_cdc() -> None:
     print()
 
 
+def e17_service() -> None:
+    print("## E17 — schema-registry service: batched warm serving vs cold CLI")
+    from bench_e17_service import (
+        CLIENTS,
+        COLD_REQUESTS,
+        REQUESTS_PER_CLIENT,
+        SDL,
+        cold_validate,
+        run_closed_loop,
+    )
+    import tempfile
+
+    from repro.pg import dumps_graph
+    from repro.service import ServiceClient, ServiceThread
+    from repro.workloads import user_session_graph
+
+    with tempfile.TemporaryDirectory(prefix="pgschema-e17-") as tmp:
+        schema_path = os.path.join(tmp, "schema.graphql")
+        with open(schema_path, "w") as handle:
+            handle.write(SDL)
+        graph_path = os.path.join(tmp, "graph.json")
+        with open(graph_path, "w") as handle:
+            handle.write(dumps_graph(user_session_graph(20, 2, seed=0)))
+
+        t0 = time.perf_counter()
+        for _ in range(COLD_REQUESTS):
+            cold_validate(schema_path, graph_path)
+        cold_rps = COLD_REQUESTS / (time.perf_counter() - t0)
+
+        thread = ServiceThread(port=0)
+        host, port = thread.start()
+        try:
+            with ServiceClient(host, port) as client:
+                client.register("bench", "users", SDL)
+            run_closed_loop(host, port)  # warm-up round
+            elapsed = min(run_closed_loop(host, port) for _ in range(3))
+            warm_rps = CLIENTS * REQUESTS_PER_CLIENT / elapsed
+            with ServiceClient(host, port) as client:
+                _, stats = client.stats()
+        finally:
+            thread.stop()
+
+    latency = stats["histograms"].get("service.latency_ms", {})
+    batching = stats["service"]["batching"]
+    speedup = warm_rps / cold_rps
+    print(
+        f"cold subprocess {cold_rps:.1f} req/s, warm batched "
+        f"{warm_rps:.1f} req/s ({speedup:.1f}x; floor 3x), "
+        f"{CLIENTS} client(s) x {REQUESTS_PER_CLIENT} request(s)"
+    )
+    print(
+        f"latency p50 {latency.get('p50', 0.0):.2f} ms, "
+        f"p99 {latency.get('p99', 0.0):.2f} ms; coalesce ratio "
+        f"{batching['coalesce_ratio']:.2f} "
+        f"({batching['requests']:.0f} requests / {batching['batches']:.0f} batches)"
+    )
+    assert speedup >= 3.0, f"service speedup {speedup:.2f}x below the 3x floor"
+    write_bench_json(
+        "e17",
+        {
+            "experiment": "E17",
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "cold_requests": COLD_REQUESTS,
+            "cold_rps": cold_rps,
+            "warm_rps": warm_rps,
+            "speedup": speedup,
+            "latency_ms_p50": latency.get("p50"),
+            "latency_ms_p99": latency.get("p99"),
+            "coalesce_ratio": batching["coalesce_ratio"],
+        },
+    )
+    print()
+
+
 SECTIONS = {
     "e1": e1_data_complexity,
     "e3": e3_fo,
@@ -599,6 +674,7 @@ SECTIONS = {
     "e14": e14_analysis,
     "e15": e15_columnar_stream,
     "e16": e16_cdc,
+    "e17": e17_service,
 }
 
 

@@ -30,6 +30,10 @@ Subcommands:
   coverage, degrees).
 * ``pgschema export-cypher SCHEMA.graphql [GRAPH.json]`` -- Neo4j DDL (and
   optionally the data) with a report of the inexpressible constraints.
+* ``pgschema serve`` -- the long-lived schema-registry service: a
+  JSON-over-HTTP daemon with request batching, warm-cache reuse and
+  backpressure (docs/SERVICE.md).  Startup failures (port in use, bad
+  registry dir) report ``error[E_SERVICE]`` and exit 2.
 
 Exit status: 0 on success/conformance, 1 on violations or unsatisfiable
 types, 2 on usage or input errors, 3 when an execution budget
@@ -245,9 +249,50 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--json", action="store_true",
         help="emit the profile as a metrics-snapshot JSON object "
-        "(same shape as --metrics run snapshots)",
+        "(same shape as --metrics run snapshots), including occupancy/"
+        "hit/miss/eviction gauges for the plan cache, the sat caches and "
+        "the compiled-scalar registry",
     )
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived schema-registry service "
+        "(JSON-over-HTTP; see docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8351,
+        help="TCP port to bind (default 8351; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--registry-dir", default=None, metavar="DIR",
+        help="persist registered schemas here (atomic writes; reloaded on "
+        "restart).  Default: in-memory only",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="admission-queue depth; beyond it requests get a typed 503 "
+        "(default 256)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32, metavar="N",
+        help="most requests coalesced into one batch sweep (default 32)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="shard workers for batched validation (default: all usable cores)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline; exhaustion returns a typed "
+        "partial report (HTTP 202), never a wrong answer",
+    )
+    _add_obs_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     export = subparsers.add_parser(
         "export-cypher", help="export Neo4j constraint DDL (and optionally data)"
@@ -656,13 +701,77 @@ def _cmd_stats(args) -> int:
     graph = _load_graph(args.graph)
     profile = profile_graph(graph)
     if args.json:
-        from .obs.export import metrics_payload
+        from .obs.export import attach_cache_stats, metrics_payload
 
         registry = profile_to_registry(profile)
+        # occupancy/hit/miss/eviction gauges for the plan cache, the sat
+        # verdict caches and the compiled-scalar registry -- the same
+        # numbers the service's /v1/stats endpoint reports
+        attach_cache_stats(registry)
         print(json.dumps(metrics_payload(registry), indent=2, sort_keys=True))
     else:
         for line in profile.summary_lines():
             print(line)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import contextlib
+    import signal
+
+    from .service import ValidationService
+
+    service = ValidationService(
+        args.registry_dir,
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        jobs=args.jobs,
+        deadline=args.deadline,
+    )
+
+    async def run() -> None:
+        host, port = await service.start()
+        print(f"pgschema service listening on http://{host}:{port}/v1/", flush=True)
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        # Explicit handlers, not KeyboardInterrupt: a daemon launched as a
+        # shell background job (CI's `pgschema serve &`) inherits SIGINT
+        # *ignored* -- no job control means async commands start with
+        # SIG_IGN -- and Python never installs its default handler over an
+        # inherited ignore.  add_signal_handler overrides the disposition,
+        # so `kill -INT`/`kill -TERM` always reach the graceful drain.
+        installed = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stopping.set)
+                installed.append(sig)
+            except (NotImplementedError, OSError):  # pragma: no cover
+                pass  # non-POSIX event loop: KeyboardInterrupt still works
+        server_task = asyncio.ensure_future(service.serve_forever())
+        stop_task = asyncio.ensure_future(stopping.wait())
+        try:
+            await asyncio.wait(
+                {server_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            for task in (server_task, stop_task):
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        # covers the window before the handlers install, and platforms
+        # whose loop cannot install them; asyncio.run cancels the task and
+        # the finally-drain still runs
+        pass
     return 0
 
 

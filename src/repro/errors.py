@@ -20,6 +20,9 @@ can catch one base class.  Subsystems refine it:
 * :class:`WorkerFailureError` -- a parallel-validation shard could not be
   completed even after retries and executor fallback.
 * :class:`FaultConfigError` -- a malformed ``PGSCHEMA_FAULTS`` specification.
+* :class:`ServiceError` / :class:`OverloadedError` -- the schema-registry
+  service cannot start (bad registry dir, unbindable address) or sheds load
+  (admission queue full; surfaced to HTTP clients as a typed 503).
 
 Uniform taxonomy: every class carries a stable machine-readable ``code``
 (``E_...``) and the CLI ``exit_code`` it maps to.  Command-line error
@@ -194,6 +197,22 @@ class FaultConfigError(ReproError):
     """A malformed fault-injection specification (``PGSCHEMA_FAULTS``)."""
 
     code = "E_FAULTS"
+
+
+class ServiceError(ReproError):
+    """The schema-registry service cannot start or serve (bad registry
+    directory, unbindable address, corrupt manifest).  CLI exit 2: these are
+    operator-input problems, not undecided questions."""
+
+    code = "E_SERVICE"
+
+
+class OverloadedError(ServiceError):
+    """The service admission queue is full.  Requests rejected this way get
+    a *typed* refusal (HTTP 503 carrying this code) -- never a wrong or
+    partial answer dressed up as a verdict."""
+
+    code = "E_OVERLOAD"
 
 
 def render_error(error: BaseException) -> str:

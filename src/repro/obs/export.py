@@ -65,6 +65,7 @@ def attach_cache_stats(registry: MetricsRegistry) -> None:
     other way around.
     """
     from repro.satisfiability.cache import sat_cache_info
+    from repro.schema.scalars import scalar_checker_info
     from repro.validation.plan import plan_cache_info
 
     # gauge names get an ``_info`` suffix: the ``*_cache.hits`` *counters*
@@ -74,6 +75,8 @@ def attach_cache_stats(registry: MetricsRegistry) -> None:
         registry.gauge(f"validation.plan_cache_info.{key}", value)
     for key, value in sat_cache_info().items():
         registry.gauge(f"sat.cache_info.{key}", value)
+    for key, value in scalar_checker_info().items():
+        registry.gauge(f"schema.scalar_checkers_info.{key}", value)
 
 
 def chrome_trace_payload(tracer: Tracer, **metadata: Any) -> dict:

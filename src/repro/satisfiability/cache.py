@@ -242,14 +242,18 @@ class SatCache:
 
 _registry_lock = threading.Lock()
 _registry: "OrderedDict[int, tuple[GraphQLSchema, SatCache]]" = OrderedDict()
+_evictions = 0
 
 
 def sat_cache_for(schema: "GraphQLSchema") -> SatCache:
     """The shared :class:`SatCache` for *schema* (identity-keyed LRU).
 
     The registry holds a strong reference to the schema, so the ``id()``
-    key cannot be recycled while its entry lives.
+    key cannot be recycled while its entry lives.  Long-lived holders (the
+    service's schema registry) pin their own :class:`SatCache` instances
+    instead, so registry eviction cannot cross tenants.
     """
+    global _evictions
     key = id(schema)
     with _registry_lock:
         entry = _registry.get(key)
@@ -260,6 +264,8 @@ def sat_cache_for(schema: "GraphQLSchema") -> SatCache:
         _registry[key] = (schema, cache)
         if len(_registry) > SAT_CACHE_MAXSIZE:
             _registry.popitem(last=False)
+            _evictions += 1
+            obs.count("sat.cache.evictions")
         return cache
 
 
@@ -267,8 +273,11 @@ def sat_cache_info() -> dict:
     """Aggregated counters over every live per-schema cache."""
     with _registry_lock:
         caches = [cache for _schema, cache in _registry.values()]
+        evictions = _evictions
     totals = {
         "schemas": len(caches),
+        "maxsize": SAT_CACHE_MAXSIZE,
+        "evictions": evictions,
         "hits": 0,
         "misses": 0,
         "types": 0,
@@ -286,5 +295,7 @@ def sat_cache_info() -> dict:
 
 def sat_cache_clear() -> None:
     """Drop every cached verdict (test isolation / cold benchmark runs)."""
+    global _evictions
     with _registry_lock:
         _registry.clear()
+        _evictions = 0

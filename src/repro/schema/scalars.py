@@ -28,6 +28,8 @@ default; a caller may register a narrower predicate.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from typing import Callable, Iterable, Mapping
 
 from ..errors import SchemaError
@@ -38,6 +40,46 @@ INT_MIN = -(2**31)
 INT_MAX = 2**31 - 1
 
 ScalarPredicate = Callable[[object], bool]
+
+# Compiled-checker observability: every registry memoizes the closures
+# :meth:`ScalarRegistry.checker_w` compiles (TypeRef is frozen/hashable, and
+# predicates for a given name can never be redefined, so a memoized checker
+# stays valid for the registry's lifetime).  The counters aggregate across
+# registries; the WeakSet lets :func:`scalar_checker_info` report live
+# occupancy without keeping registries alive.
+_checker_lock = threading.Lock()
+_checker_hits = 0
+_checker_misses = 0
+_registries: "weakref.WeakSet[ScalarRegistry]" = weakref.WeakSet()
+
+
+def scalar_checker_info() -> dict[str, int]:
+    """Aggregate compiled-checker statistics across live registries.
+
+    ``hits``/``misses`` count :meth:`ScalarRegistry.checker_w` memo lookups
+    (misses == closures compiled); ``size`` is the number of compiled
+    checkers currently held, ``registries`` how many live registries hold
+    them.  Reported by ``pgschema stats --json`` and the service's
+    ``/v1/stats`` endpoint.
+    """
+    with _checker_lock:
+        live = list(_registries)
+        return {
+            "hits": _checker_hits,
+            "misses": _checker_misses,
+            "size": sum(len(registry._checkers) for registry in live),
+            "registries": len(live),
+        }
+
+
+def scalar_checker_clear() -> None:
+    """Reset the aggregate counters and drop memoized checkers."""
+    global _checker_hits, _checker_misses
+    with _checker_lock:
+        for registry in list(_registries):
+            registry._checkers.clear()
+        _checker_hits = 0
+        _checker_misses = 0
 
 
 def _is_int(value: object) -> bool:
@@ -85,6 +127,8 @@ class ScalarRegistry:
     def __init__(self) -> None:
         self._predicates: dict[str, ScalarPredicate] = dict(BUILTIN_SCALARS)
         self._enums: dict[str, frozenset[str]] = {}
+        self._checkers: dict[TypeRef, ScalarPredicate] = {}
+        _registries.add(self)
 
     # ------------------------------------------------------------------ #
     # registration
@@ -211,8 +255,19 @@ class ScalarRegistry:
 
         Returns a closure equivalent to ``lambda v: in_values_w(v, type_ref)``
         with the wrapping shape resolved once instead of per value -- the
-        form the compiled validation plans feed to their hot loops.
+        form the compiled validation plans feed to their hot loops.  Compiled
+        closures are memoized per registry (safe under concurrent access:
+        dict reads/writes are atomic, a lost race costs one redundant
+        compile of an interchangeable closure, never a wrong predicate).
         """
+        global _checker_hits, _checker_misses
+        memoized = self._checkers.get(type_ref)
+        if memoized is not None:
+            with _checker_lock:
+                _checker_hits += 1
+            return memoized
+        with _checker_lock:
+            _checker_misses += 1
         base = type_ref.base
         if base in self._enums:
             allowed = self._enums[base]
@@ -253,6 +308,7 @@ class ScalarRegistry:
                     return nullable
                 return atom(value)
 
+        self._checkers[type_ref] = check
         return check
 
     def copy(self) -> "ScalarRegistry":

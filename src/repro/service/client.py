@@ -1,0 +1,139 @@
+"""A minimal stdlib HTTP client for the ``pgschema serve`` API.
+
+Thin sugar over :mod:`http.client` with keep-alive, shared by the service
+tests, the CI service-smoke job and ``bench_e17`` (whose closed-loop
+drivers each hold one persistent connection -- connection setup is not
+what the benchmark measures).  Not a public SDK: the API is plain
+JSON-over-HTTP and any client works (see the curl examples in
+``docs/SERVICE.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any
+
+from ..pg import graph_to_dict
+from ..pg.model import PropertyGraph
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One keep-alive connection to a running service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: HTTPConnection | None = None
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+
+    def request(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        """One round-trip; returns ``(status, decoded JSON body)``.
+
+        Reconnects once on a dropped keep-alive connection (the server may
+        have restarted between calls)."""
+        body = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        for retry in (False, True):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+                assert isinstance(decoded, dict)
+                return response.status, decoded
+            except (ConnectionError, OSError):
+                self.close()
+                if retry:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def _connect(self) -> HTTPConnection:
+        if self._connection is None:
+            self._connection = HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # endpoint sugar
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self, tenant: str, name: str, sdl: str
+    ) -> tuple[int, dict[str, Any]]:
+        return self.request(
+            "POST", "/v1/schemas", {"tenant": tenant, "name": name, "sdl": sdl}
+        )
+
+    def validate(
+        self,
+        tenant: str,
+        name: str,
+        graph: "PropertyGraph | dict[str, Any]",
+        *,
+        version: int | None = None,
+        mode: str = "strong",
+        deadline: float | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        document = (
+            graph_to_dict(graph) if isinstance(graph, PropertyGraph) else graph
+        )
+        payload: dict[str, Any] = {
+            "tenant": tenant,
+            "name": name,
+            "mode": mode,
+            "graph": document,
+        }
+        if version is not None:
+            payload["version"] = version
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.request("POST", "/v1/validate", payload)
+
+    def lint(
+        self, tenant: str, name: str, version: int | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        payload: dict[str, Any] = {"tenant": tenant, "name": name}
+        if version is not None:
+            payload["version"] = version
+        return self.request("POST", "/v1/lint", payload)
+
+    def sat(
+        self, tenant: str, name: str, version: int | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        payload: dict[str, Any] = {"tenant": tenant, "name": name}
+        if version is not None:
+            payload["version"] = version
+        return self.request("POST", "/v1/sat", payload)
+
+    def stats(self) -> tuple[int, dict[str, Any]]:
+        return self.request("GET", "/v1/stats")
+
+    def healthz(self) -> tuple[int, dict[str, Any]]:
+        return self.request("GET", "/v1/healthz")
+
+    def list_schemas(self, tenant: str) -> tuple[int, dict[str, Any]]:
+        return self.request("GET", f"/v1/schemas/{tenant}")

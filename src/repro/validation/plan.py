@@ -286,6 +286,7 @@ _cache_lock = threading.Lock()
 _cache: "OrderedDict[int, tuple[GraphQLSchema, ValidationPlan]]" = OrderedDict()
 _hits = 0
 _misses = 0
+_evictions = 0
 
 
 def compile_plan(schema: "GraphQLSchema") -> ValidationPlan:
@@ -297,7 +298,7 @@ def compile_plan(schema: "GraphQLSchema") -> ValidationPlan:
     least-recently-used schemas and plans are released once more than
     ``PLAN_CACHE_MAXSIZE`` schemas have been compiled.
     """
-    global _hits, _misses
+    global _hits, _misses, _evictions
     key = id(schema)
     with _cache_lock:
         entry = _cache.get(key)
@@ -311,31 +312,39 @@ def compile_plan(schema: "GraphQLSchema") -> ValidationPlan:
     with obs.span("validation.plan.compile"):
         plan = ValidationPlan(schema)
     with _cache_lock:
+        # two threads that both missed may both compile; the second write
+        # wins and the loser's plan is discarded -- equal by construction,
+        # so callers never observe the race, only a redundant compile
         _cache[key] = (schema, plan)
         _cache.move_to_end(key)
         while len(_cache) > PLAN_CACHE_MAXSIZE:
             _cache.popitem(last=False)
+            _evictions += 1
+            obs.count("validation.plan_cache.evictions")
     return plan
 
 
 def plan_cache_info() -> dict[str, int]:
     """Cache statistics: ``hits``, ``misses`` (== compilations), ``size``,
-    ``maxsize`` (reported by ``pgschema validate --profile``)."""
+    ``maxsize``, ``evictions`` (reported by ``pgschema validate --profile``,
+    ``pgschema stats --json`` and the service ``/v1/stats`` endpoint)."""
     with _cache_lock:
         return {
             "hits": _hits,
             "misses": _misses,
             "size": len(_cache),
             "maxsize": PLAN_CACHE_MAXSIZE,
+            "evictions": _evictions,
         }
 
 
 def plan_cache_clear() -> None:
     """Drop every cached plan and reset the statistics."""
-    global _hits, _misses
+    global _hits, _misses, _evictions
     with _cache_lock:
         dropped = list(_cache.values())
         _cache.clear()
         _hits = 0
         _misses = 0
+        _evictions = 0
     del dropped  # release plans outside the lock (reapers may fire)

@@ -183,6 +183,23 @@ class TestStatsAndExport:
         out = capsys.readouterr().out
         assert "node label User" in out
 
+    def test_stats_json_includes_cache_gauges(self, graph_file, capsys):
+        """stats --json carries the process-wide cache occupancy gauges
+        (plan LRU, sat caches, compiled-scalar registry)."""
+        assert main(["stats", graph_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "pgschema-metrics"
+        gauges = payload["gauges"]
+        for prefix in (
+            "validation.plan_cache_info.",
+            "sat.cache_info.",
+            "schema.scalar_checkers_info.",
+        ):
+            assert any(name.startswith(prefix) for name in gauges), prefix
+        assert "validation.plan_cache_info.evictions" in gauges
+        assert "sat.cache_info.evictions" in gauges
+        assert "schema.scalar_checkers_info.size" in gauges
+
     def test_export_cypher_schema_only(self, schema_file, capsys):
         assert main(["export-cypher", schema_file]) == 0
         out = capsys.readouterr().out
@@ -286,6 +303,33 @@ class TestValidateStream:
             dump_graph_jsonl(graph, fp)
         assert main(["validate", schema_file, str(path), "--stream"]) == 1
         assert "SS1" in capsys.readouterr().out
+
+
+class TestServe:
+    """``pgschema serve`` startup failures join the exit-code matrix:
+    typed ``error[E_SERVICE]`` on stderr, exit 2 -- same contract as every
+    other command's usage/IO errors."""
+
+    def test_port_in_use_exits_two(self, capsys):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            sock.listen(1)
+            port = sock.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 2
+        err = capsys.readouterr().err
+        assert "error[E_SERVICE]" in err
+        assert "cannot bind" in err
+
+    def test_registry_dir_is_a_file_exits_two(self, tmp_path, capsys):
+        occupied = tmp_path / "occupied"
+        occupied.write_text("not a directory")
+        assert main(
+            ["serve", "--port", "0", "--registry-dir", str(occupied)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error[E_SERVICE]" in err
 
 
 class TestCdc:

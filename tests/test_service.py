@@ -1,0 +1,420 @@
+"""The schema-registry service: registry, batching, HTTP lifecycle, chaos.
+
+The contract under test (ISSUE 9's acceptance criteria):
+
+* batched concurrent requests return reports **byte-identical** to the
+  single-shot ``validate()`` path, across jobs/batch sizes and after any
+  ladder fallback;
+* saturated queues and expired deadlines yield **typed** refusals/partials
+  (``E_OVERLOAD`` 503, ``complete: false`` 202) -- never wrong answers;
+* tenants are isolated: records pin their own plans and sat caches, and
+  lookups are tenant-scoped;
+* the registry survives a restart (atomic persistence + reload);
+* graceful shutdown drains every admitted request;
+* a ``crash@service.batch`` fault is survived by the retry/serial ladder.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import OverloadedError, ServiceError, WorkerFailureError
+from repro.resilience import faults
+from repro.schema import parse_schema
+from repro.service import (
+    BatchingValidator,
+    SchemaRegistry,
+    ServiceClient,
+    ServiceThread,
+    report_payload,
+)
+from repro.validation import validate
+from repro.workloads import CORPUS, user_session_graph
+
+SDL = CORPUS["user_session_edge_props"].sdl
+
+
+def canonical(report) -> str:
+    return json.dumps(report_payload(report), sort_keys=True)
+
+
+@pytest.fixture
+def registry():
+    return SchemaRegistry()
+
+
+@pytest.fixture
+def record(registry):
+    return registry.register("acme", "users", SDL)
+
+
+@pytest.fixture
+def graph():
+    return user_session_graph(40, 4, seed=0)
+
+
+@pytest.fixture
+def expected(graph):
+    """The single-shot CLI-path report, canonically serialized."""
+    return canonical(validate(parse_schema(SDL), graph, mode="strong"))
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+
+
+class TestRegistry:
+    def test_versions_are_sequential_per_name(self, registry):
+        first = registry.register("t", "s", SDL)
+        second = registry.register("t", "s", SDL)
+        assert (first.version, second.version) == (1, 2)
+        assert registry.get("t", "s").version == 2
+        assert registry.get("t", "s", 1) is first
+
+    def test_tenant_scoping(self, registry):
+        registry.register("alpha", "users", SDL)
+        assert registry.list("beta") == []
+        with pytest.raises(ServiceError, match="unknown schema"):
+            registry.get("beta", "users")
+        # same name under another tenant starts its own version line
+        assert registry.register("beta", "users", SDL).version == 1
+
+    def test_records_pin_private_caches(self, registry):
+        a = registry.register("alpha", "users", SDL)
+        b = registry.register("beta", "users", SDL)
+        assert a.plan is not b.plan
+        assert a.sat_cache is not b.sat_cache
+        assert a.sat_cache.schema is a.schema
+
+    def test_invalid_tokens_rejected(self, registry):
+        for bad in ("", "../etc", "a/b", ".hidden", "x" * 70):
+            with pytest.raises(ServiceError, match="invalid"):
+                registry.register(bad, "s", SDL)
+            with pytest.raises(ServiceError, match="invalid"):
+                registry.register("t", bad, SDL)
+
+    def test_bad_sdl_burns_no_version(self, registry):
+        registry.register("t", "s", SDL)
+        with pytest.raises(Exception):
+            registry.register("t", "s", "type {{{{")
+        assert registry.register("t", "s", SDL).version == 2
+
+    def test_persistence_roundtrip(self, tmp_path):
+        root = str(tmp_path / "reg")
+        first = SchemaRegistry(root)
+        first.register("acme", "users", SDL)
+        first.register("acme", "users", SDL)
+        first.register("beta", "other", SDL)
+        reloaded = SchemaRegistry(root)
+        assert len(reloaded) == 3
+        assert reloaded.list("acme") == [{"name": "users", "versions": [1, 2]}]
+        assert reloaded.get("acme", "users").version == 2
+        # reloaded records come back warm: plan compiled, cache pinned
+        assert reloaded.get("beta", "other").plan is not None
+
+    def test_crashed_write_leftovers_skipped(self, tmp_path):
+        root = str(tmp_path / "reg")
+        registry = SchemaRegistry(root)
+        registry.register("acme", "users", SDL)
+        # a torn write never reaches the .graphql name, only the .tmp
+        leftover = tmp_path / "reg" / "acme" / "users" / "2.graphql.tmp"
+        leftover.write_text("type Broken {{{{")
+        reloaded = SchemaRegistry(root)
+        assert len(reloaded) == 1
+
+    def test_registry_path_is_a_file(self, tmp_path):
+        path = tmp_path / "occupied"
+        path.write_text("not a directory")
+        with pytest.raises(ServiceError, match="registry"):
+            SchemaRegistry(str(path))
+
+
+# --------------------------------------------------------------------------- #
+# batching: determinism, coalescing, backpressure, chaos
+# --------------------------------------------------------------------------- #
+
+
+class TestBatching:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("max_batch", [1, 8])
+    def test_batched_reports_byte_identical(
+        self, record, graph, expected, jobs, max_batch
+    ):
+        batcher = BatchingValidator(jobs=jobs, max_batch=max_batch)
+        try:
+            futures = [batcher.submit(record, graph) for _ in range(12)]
+            for future in futures:
+                assert canonical(future.result(timeout=60)) == expected
+        finally:
+            batcher.close()
+
+    def test_violations_survive_batching_byte_identical(self, record):
+        graph = user_session_graph(10, 2, seed=1)
+        graph.add_node("ghost", "Phantom")
+        graph.set_property("ghost", "name", 42)
+        expected = canonical(validate(parse_schema(SDL), graph, mode="strong"))
+        batcher = BatchingValidator(jobs=3)
+        try:
+            futures = [batcher.submit(record, graph) for _ in range(6)]
+            for future in futures:
+                report = future.result(timeout=60)
+                assert report.violations
+                assert canonical(report) == expected
+        finally:
+            batcher.close()
+
+    def test_coalescing_merges_concurrent_requests(self, record, graph, expected):
+        """Requests admitted while a batch is in flight coalesce into the
+        next sweep: a delay fault pins the first batch, the backlog must
+        then be served in fewer batches than requests."""
+        faults.install("delay@service.batch:seconds=0.3,times=1")
+        try:
+            batcher = BatchingValidator(jobs=2, max_batch=32)
+            try:
+                futures = [batcher.submit(record, graph) for _ in range(10)]
+                for future in futures:
+                    assert canonical(future.result(timeout=60)) == expected
+                assert batcher.batches < batcher.requests
+                stats = batcher.stats()
+                assert stats["coalesce_ratio"] > 1.0
+            finally:
+                batcher.close()
+        finally:
+            faults.uninstall()
+
+    def test_queue_saturation_is_typed_overload(self, record, graph, expected):
+        """Past the admission bound, submits raise E_OVERLOAD -- and every
+        admitted request is still answered correctly."""
+        faults.install("delay@service.batch:seconds=0.2")
+        try:
+            batcher = BatchingValidator(jobs=1, max_queue=2, max_batch=1)
+            try:
+                admitted = []
+                with pytest.raises(OverloadedError) as overload:
+                    for _ in range(8):
+                        admitted.append(batcher.submit(record, graph))
+                assert overload.value.code == "E_OVERLOAD"
+                assert len(admitted) <= 4  # one in flight + two queued + slack
+                for future in admitted:
+                    assert canonical(future.result(timeout=60)) == expected
+            finally:
+                batcher.close()
+        finally:
+            faults.uninstall()
+
+    def test_expired_deadline_is_typed_partial(self, record, graph):
+        batcher = BatchingValidator(jobs=2)
+        try:
+            report = batcher.submit(record, graph, deadline=1e-9).result(timeout=60)
+        finally:
+            batcher.close()
+        assert report.complete is False
+        assert report.verdict == "unknown"
+        assert report.interruption is not None
+        assert report.interruption.dimension == "deadline"
+
+    def test_crash_fault_survived_by_retry(self, record, graph, expected):
+        """A crash on the first batch attempt is retried and recovered;
+        the eventual report is still byte-identical."""
+        faults.install("crash@service.batch:attempt=0")
+        try:
+            batcher = BatchingValidator(jobs=2)
+            try:
+                report = batcher.submit(record, graph).result(timeout=60)
+            finally:
+                batcher.close()
+        finally:
+            faults.uninstall()
+        assert canonical(report) == expected
+        assert batcher.recovery_log
+        assert batcher.recovery_log[0]["site"] == "service.batch"
+
+    def test_persistent_crash_falls_back_to_serial(self, record, graph, expected):
+        """Crashes on every thread-rung attempt drop the batch to the
+        serial fallback, which still produces the identical report."""
+        faults.install("crash@service.batch:executor=thread")
+        try:
+            batcher = BatchingValidator(jobs=2, max_retries=1)
+            try:
+                report = batcher.submit(record, graph).result(timeout=60)
+            finally:
+                batcher.close()
+        finally:
+            faults.uninstall()
+        assert canonical(report) == expected
+        executors = [entry["executor"] for entry in batcher.recovery_log]
+        assert executors.count("thread") == 2  # first try + one retry
+
+    def test_total_failure_is_worker_failure_error(self, record, graph):
+        faults.install("crash@service.batch")
+        try:
+            batcher = BatchingValidator(jobs=2, max_retries=0)
+            try:
+                future = batcher.submit(record, graph)
+                with pytest.raises(WorkerFailureError):
+                    future.result(timeout=60)
+            finally:
+                batcher.close()
+        finally:
+            faults.uninstall()
+
+    def test_graceful_close_drains_admitted_requests(self, record, graph, expected):
+        faults.install("delay@service.batch:seconds=0.1,times=2")
+        try:
+            batcher = BatchingValidator(jobs=2, max_batch=2)
+            futures = [batcher.submit(record, graph) for _ in range(6)]
+            batcher.close()  # returns only after the queue is drained
+        finally:
+            faults.uninstall()
+        for future in futures:
+            assert future.done()
+            assert canonical(future.result()) == expected
+        with pytest.raises(ServiceError, match="shutting down"):
+            batcher.submit(record, graph)
+
+
+# --------------------------------------------------------------------------- #
+# HTTP lifecycle
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def service(tmp_path):
+    thread = ServiceThread(registry_dir=str(tmp_path / "reg"), port=0)
+    host, port = thread.start()
+    client = ServiceClient(host, port)
+    yield client, thread
+    client.close()
+    thread.stop()
+
+
+class TestHttpService:
+    def test_register_validate_roundtrip(self, service, graph, expected):
+        client, _thread = service
+        status, body = client.register("acme", "users", SDL)
+        assert status == 200 and body["version"] == 1
+        status, report = client.validate("acme", "users", graph)
+        assert status == 200
+        assert json.dumps(report, sort_keys=True) == expected
+
+    def test_concurrent_http_clients_byte_identical(self, service, graph, expected):
+        client, thread = service
+        client.register("acme", "users", SDL)
+        host, port = thread.service.address
+        outcomes: list[tuple[int, str]] = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            with ServiceClient(host, port) as mine:
+                for _ in range(3):
+                    status, report = mine.validate("acme", "users", graph)
+                    with lock:
+                        outcomes.append(
+                            (status, json.dumps(report, sort_keys=True))
+                        )
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(outcomes) == 18
+        assert all(status == 200 for status, _ in outcomes)
+        assert {payload for _, payload in outcomes} == {expected}
+
+    def test_deadline_partial_is_202(self, service, graph):
+        client, _thread = service
+        client.register("acme", "users", SDL)
+        status, report = client.validate("acme", "users", graph, deadline=1e-9)
+        assert status == 202
+        assert report["complete"] is False
+        assert report["verdict"] == "unknown"
+        assert report["interruption"]["dimension"] == "deadline"
+
+    def test_tenant_isolation_over_http(self, service, graph):
+        client, _thread = service
+        client.register("acme", "users", SDL)
+        status, body = client.validate("evil", "users", graph)
+        assert status == 404
+        assert body["error"]["code"] == "E_SERVICE"
+        status, listing = client.list_schemas("evil")
+        assert status == 200 and listing["schemas"] == []
+
+    def test_typed_input_errors(self, service):
+        client, _thread = service
+        status, body = client.register("acme", "broken", "type {{{{")
+        assert status == 400 and body["error"]["code"] == "E_SYNTAX"
+        status, body = client.request("POST", "/v1/validate", {"tenant": "t"})
+        assert status == 400 and body["error"]["code"] == "E_SERVICE"
+        status, body = client.request("GET", "/v1/nope")
+        assert status == 405 and body["error"]["code"] == "E_SERVICE"
+
+    def test_lint_sat_stats_endpoints(self, service, graph):
+        client, _thread = service
+        client.register("acme", "users", SDL)
+        status, lint = client.lint("acme", "users")
+        assert status == 200 and isinstance(lint["findings"], list)
+        status, sat = client.sat("acme", "users")
+        assert status == 200 and sat["report"]["sound"] is True
+        client.validate("acme", "users", graph)
+        status, stats = client.stats()
+        assert status == 200
+        assert stats["format"] == "pgschema-metrics"
+        batching = stats["service"]["batching"]
+        assert batching["requests"] >= 1
+        tenants = stats["service"]["tenants"]
+        assert tenants["acme"]["warm_plan_hits"] >= 1
+        assert "service.coalesce_ratio" in stats["gauges"]
+
+    def test_restart_reloads_registry(self, tmp_path, graph, expected):
+        root = str(tmp_path / "persist")
+        first = ServiceThread(registry_dir=root, port=0)
+        host, port = first.start()
+        with ServiceClient(host, port) as client:
+            client.register("acme", "users", SDL)
+            client.register("acme", "users", SDL)
+        first.stop()
+        second = ServiceThread(registry_dir=root, port=0)
+        host, port = second.start()
+        try:
+            with ServiceClient(host, port) as client:
+                status, listing = client.list_schemas("acme")
+                assert listing["schemas"] == [{"name": "users", "versions": [1, 2]}]
+                status, report = client.validate("acme", "users", graph, version=1)
+                assert status == 200
+                assert json.dumps(report, sort_keys=True) == expected
+        finally:
+            second.stop()
+
+    def test_graceful_shutdown_answers_in_flight(self, tmp_path, graph, expected):
+        """Requests submitted just before shutdown are drained, not dropped."""
+        faults.install("delay@service.batch:seconds=0.1,times=1")
+        try:
+            thread = ServiceThread(port=0)
+            host, port = thread.start()
+            results: list[tuple[int, str]] = []
+
+            def slow_call() -> None:
+                with ServiceClient(host, port) as mine:
+                    mine.register("acme", "users", SDL)
+                    status, report = mine.validate("acme", "users", graph)
+                    results.append((status, json.dumps(report, sort_keys=True)))
+
+            caller = threading.Thread(target=slow_call)
+            caller.start()
+            time.sleep(0.05)  # let the request reach the delayed batch
+            thread.stop()
+            caller.join(timeout=30)
+        finally:
+            faults.uninstall()
+        assert results == [(200, expected)]
+
+    def test_port_collision_raises_service_error(self, service):
+        _client, thread = service
+        host, port = thread.service.address
+        clash = ServiceThread(host=host, port=port)
+        with pytest.raises(ServiceError, match="cannot bind"):
+            clash.start()

@@ -111,6 +111,7 @@ class TestPlanCache:
             "misses": 0,
             "size": 0,
             "maxsize": plan_module.PLAN_CACHE_MAXSIZE,
+            "evictions": 0,
         }
 
 
