@@ -6,11 +6,13 @@ pytest-benchmark harness times, but with fitted growth exponents and
 pass/fail verdicts in one place).
 
 Sections may be selected by name (``python benchmarks/collect_results.py
-e11 e12 e13``); the engine-performance sections (E11/E12/E13) additionally
-write machine-readable ``BENCH_<name>.json`` files next to the working
-directory -- CI's bench-smoke job runs them in quick mode
+e11 e12 e13``); the engine-performance sections (E11 through E17)
+additionally write machine-readable ``BENCH_<name>.json`` files into the
+working directory -- CI's bench-smoke job runs them in quick mode
 (``PGSCHEMA_BENCH_QUICK=1``) and uploads the JSON as a build artifact so
-timing regressions leave a paper trail.
+timing regressions leave a paper trail.  Every artifact is stamped with
+the :func:`repro.perf.environment_fingerprint` that produced it, the same
+fingerprint keying comparability in the ``pgschema perf`` profile store.
 """
 
 from __future__ import annotations
@@ -58,10 +60,13 @@ def write_bench_json(name: str, payload: dict) -> None:
     :func:`main`), the section's registry snapshot rides along under the
     ``metrics`` key, so every benchmark artifact carries the engine
     counters (shard sizes, cache hits, tableau statistics) that produced
-    its timings.
+    its timings.  The ``env`` fingerprint identifies where the numbers were
+    measured; artifacts with different fingerprints are not comparable.
     """
+    from repro.perf import environment_fingerprint
+
     path = f"BENCH_{name}.json"
-    payload = dict(payload, quick=QUICK)
+    payload = dict(payload, quick=QUICK, env=environment_fingerprint())
     observation = obs.active()
     if observation is not None and observation.registry is not None:
         from repro.obs.export import attach_cache_stats, metrics_payload

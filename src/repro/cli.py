@@ -34,6 +34,12 @@ Subcommands:
   JSON-over-HTTP daemon with request batching, warm-cache reuse and
   backpressure (docs/SERVICE.md).  Startup failures (port in use, bad
   registry dir) report ``error[E_SERVICE]`` and exit 2.
+* ``pgschema perf record|diff|trend|check`` -- continuous performance
+  tracking over the ``.perf/`` profile store: record the deterministic
+  scenario registry (including the adversarial workload families), diff
+  two recorded runs through the degradation detector, render per-scenario
+  trends, and gate CI -- ``perf check`` exits 1 on a confirmed
+  ``Degradation`` (docs/PERF_TRACKING.md).
 
 Exit status: 0 on success/conformance, 1 on violations or unsatisfiable
 types, 2 on usage or input errors, 3 when an execution budget
@@ -251,7 +257,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the profile as a metrics-snapshot JSON object "
         "(same shape as --metrics run snapshots), including occupancy/"
         "hit/miss/eviction gauges for the plan cache, the sat caches and "
-        "the compiled-scalar registry",
+        "the compiled-scalar registry, plus a perf block summarising the "
+        "profile store (scenario count, last commit, newest verdicts)",
+    )
+    stats.add_argument(
+        "--perf-store", default=".perf", metavar="DIR",
+        help="profile store summarised in the --json perf block (default .perf)",
     )
     stats.set_defaults(handler=_cmd_stats)
 
@@ -301,7 +312,81 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("graph", nargs="?")
     export.set_defaults(handler=_cmd_export_cypher)
 
+    perf = subparsers.add_parser(
+        "perf",
+        help="continuous performance tracking over the .perf/ profile store "
+        "(see docs/PERF_TRACKING.md)",
+    )
+    perf_sub = perf.add_subparsers(required=True)
+
+    record = perf_sub.add_parser(
+        "record", help="run the scenario registry and append one profile run"
+    )
+    record.add_argument(
+        "--commit", default=None, metavar="SHA",
+        help="commit label for the run (default: git HEAD, else 'unknown')",
+    )
+    record.add_argument(
+        "--quick", action="store_true",
+        help="small workload sizes (the CI perf-smoke shape)",
+    )
+    record.add_argument(
+        "--repeats", type=int, default=5, metavar="N",
+        help="timed samples per scenario after one warm-up (default 5)",
+    )
+    record.add_argument(
+        "--scenario", action="append", metavar="SEL",
+        help="record only these scenarios (exact id, id prefix like "
+        "'validate.', or family name); repeatable",
+    )
+    _add_perf_store_argument(record)
+    record.add_argument("--json", action="store_true", help="machine-readable output")
+    record.set_defaults(handler=_cmd_perf_record)
+
+    perf_diff = perf_sub.add_parser(
+        "diff", help="compare two recorded runs through the degradation detector"
+    )
+    _add_perf_run_arguments(perf_diff)
+    perf_diff.set_defaults(handler=_cmd_perf_diff)
+
+    trend = perf_sub.add_parser(
+        "trend", help="per-scenario history across every recorded run"
+    )
+    trend.add_argument(
+        "--scenario", default=None, metavar="ID", help="one scenario (default: all)"
+    )
+    _add_perf_store_argument(trend)
+    trend.add_argument("--json", action="store_true", help="machine-readable output")
+    trend.set_defaults(handler=_cmd_perf_trend)
+
+    perf_check = perf_sub.add_parser(
+        "check",
+        help="CI gate: diff the last two runs, exit 1 on a confirmed Degradation",
+    )
+    _add_perf_run_arguments(perf_check)
+    perf_check.set_defaults(handler=_cmd_perf_check)
+
     return parser
+
+
+def _add_perf_store_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--store", default=".perf", metavar="DIR",
+        help="profile store root (default .perf)",
+    )
+
+
+def _add_perf_run_arguments(subparser: argparse.ArgumentParser) -> None:
+    _add_perf_store_argument(subparser)
+    subparser.add_argument(
+        "--baseline", type=int, default=None, metavar="RUN",
+        help="baseline run number (default: the run before the target)",
+    )
+    subparser.add_argument(
+        "--target", type=int, default=None, metavar="RUN",
+        help="target run number (default: the last recorded run)",
+    )
+    subparser.add_argument("--json", action="store_true", help="machine-readable output")
 
 
 def _add_budget_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -702,13 +787,16 @@ def _cmd_stats(args) -> int:
     profile = profile_graph(graph)
     if args.json:
         from .obs.export import attach_cache_stats, metrics_payload
+        from .perf import ProfileStore, perf_summary
 
         registry = profile_to_registry(profile)
         # occupancy/hit/miss/eviction gauges for the plan cache, the sat
         # verdict caches and the compiled-scalar registry -- the same
         # numbers the service's /v1/stats endpoint reports
         attach_cache_stats(registry)
-        print(json.dumps(metrics_payload(registry), indent=2, sort_keys=True))
+        payload = metrics_payload(registry)
+        payload["perf"] = perf_summary(ProfileStore(args.perf_store))
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for line in profile.summary_lines():
             print(line)
@@ -772,6 +860,124 @@ def _cmd_serve(args) -> int:
         # whose loop cannot install them; asyncio.run cancels the task and
         # the finally-drain still runs
         pass
+    return 0
+
+
+def _git_head_commit() -> str:
+    import subprocess
+
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return completed.stdout.strip() if completed.returncode == 0 else "unknown"
+
+
+def _cmd_perf_record(args) -> int:
+    from .perf import PerfStoreError, ProfileStore, record_profiles
+
+    store = ProfileStore(args.store)
+    commit = args.commit or _git_head_commit()
+    run = store.last_run() + 1
+
+    def progress(scenario_id: str, best: float) -> None:
+        if not args.json:
+            print(f"  {scenario_id}: {best * 1000:.2f} ms")
+
+    try:
+        profiles = record_profiles(
+            commit=commit,
+            run=run,
+            quick=args.quick,
+            repeats=args.repeats,
+            only=args.scenario,
+            progress=progress,
+        )
+    except ValueError as error:
+        raise PerfStoreError(str(error)) from None
+    store.append(profiles)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "run": run,
+                    "commit": commit,
+                    "quick": args.quick,
+                    "profiles": len(profiles),
+                    "store": store.root,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"recorded run {run} at {commit[:12]}: "
+            f"{len(profiles)} profile(s) -> {store.root}"
+        )
+    return 0
+
+
+def _perf_diff_report(args):
+    from .perf import PerfStoreError, ProfileStore, diff_runs
+
+    try:
+        return diff_runs(ProfileStore(args.store), args.baseline, args.target)
+    except ValueError as error:
+        raise PerfStoreError(str(error)) from None
+
+
+def _cmd_perf_diff(args) -> int:
+    from .perf import render_diff_markdown
+
+    report = _perf_diff_report(args)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(render_diff_markdown(report), end="")
+    return 1 if report.has_degradation else 0
+
+
+def _cmd_perf_trend(args) -> int:
+    from .perf import PerfStoreError, ProfileStore, render_trend_markdown, trend_rows
+
+    try:
+        history = trend_rows(ProfileStore(args.store), args.scenario)
+    except ValueError as error:
+        raise PerfStoreError(str(error)) from None
+    if args.json:
+        print(json.dumps(history, indent=2, sort_keys=True))
+    else:
+        print(render_trend_markdown(history), end="")
+    return 0
+
+
+def _cmd_perf_check(args) -> int:
+    from .perf import render_diff_markdown
+
+    report = _perf_diff_report(args)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif report.has_degradation:
+        print(render_diff_markdown(report), end="")
+    if report.has_degradation:
+        degraded = ", ".join(entry.scenario for entry in report.degradations)
+        print(
+            f"perf check: FAIL -- confirmed degradation in {degraded} "
+            f"(run {report.baseline_run} -> {report.target_run})",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.json:
+        print(
+            f"perf check: OK (run {report.baseline_run} -> {report.target_run}, "
+            f"{len(report.entries)} scenario(s), no confirmed degradation)"
+        )
     return 0
 
 

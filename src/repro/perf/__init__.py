@@ -1,0 +1,84 @@
+"""Continuous performance tracking (perun's record/check idiom, stdlib-only).
+
+Four layers, composed by the ``pgschema perf`` CLI:
+
+- :mod:`repro.perf.store` -- the append-only, schema-pinned profile store
+  under ``.perf/`` (JSONL data + atomic index), keyed by commit, scenario
+  and environment fingerprint.
+- :mod:`repro.perf.scenarios` -- the registry of deterministic, seeded
+  profiling scenarios spanning every engine, including the adversarial
+  workload families (deep lattices, union fan-outs, ``@key`` collision
+  domains, near-UNSAT cardinality webs).
+- :mod:`repro.perf.detect` -- degradation detection: a median-ratio
+  screen confirmed by an exact rank permutation test, producing typed
+  verdicts (``Optimization``/``NoChange``/``MaybeDegradation``/
+  ``Degradation`` with severity).
+- :mod:`repro.perf.report` -- run diffs, per-scenario trends, and the
+  ``perf`` summary block that ``pgschema stats`` and ``/v1/stats`` expose.
+"""
+
+from .detect import (
+    Comparison,
+    Thresholds,
+    Verdict,
+    compare_samples,
+    rank_sum_p_value,
+    severity_for_ratio,
+)
+from .report import (
+    DiffEntry,
+    DiffReport,
+    diff_runs,
+    perf_summary,
+    render_diff_markdown,
+    render_trend_markdown,
+    trend_rows,
+)
+from .scenarios import (
+    SCENARIOS,
+    Scenario,
+    adversarial_families,
+    record_profiles,
+    run_scenario,
+    scenario,
+    select_scenarios,
+)
+from .store import (
+    PROFILE_FORMAT,
+    PROFILE_SCHEMA,
+    PROFILE_VERSION,
+    PerfStoreError,
+    Profile,
+    ProfileStore,
+    environment_fingerprint,
+)
+
+__all__ = [
+    "PROFILE_FORMAT",
+    "PROFILE_SCHEMA",
+    "PROFILE_VERSION",
+    "SCENARIOS",
+    "Comparison",
+    "DiffEntry",
+    "DiffReport",
+    "PerfStoreError",
+    "Profile",
+    "ProfileStore",
+    "Scenario",
+    "Thresholds",
+    "Verdict",
+    "adversarial_families",
+    "compare_samples",
+    "diff_runs",
+    "environment_fingerprint",
+    "perf_summary",
+    "rank_sum_p_value",
+    "record_profiles",
+    "render_diff_markdown",
+    "render_trend_markdown",
+    "run_scenario",
+    "scenario",
+    "select_scenarios",
+    "severity_for_ratio",
+    "trend_rows",
+]

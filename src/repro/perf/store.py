@@ -1,0 +1,447 @@
+"""The per-commit profile store: append-only JSONL plus an atomic index.
+
+A *profile* is one scenario's measurement batch: the commit it was recorded
+at, the run number (one ``pgschema perf record`` invocation == one run),
+the per-repeat wall-clock samples, an environment fingerprint, and -- when
+the scenario ran under a metrics observation -- the obs registry snapshot,
+so a regression is attributable to internal signals (plan-cache misses,
+tableau expansions, shard sizes), not just wall clock.
+
+Layout under the store root (default ``.perf/``)::
+
+    .perf/profiles.jsonl   append-only, one profile object per line
+    .perf/index.json       atomic summary (tmp + fsync + os.replace)
+
+The JSONL file is the source of truth; the index is a cheap derived
+summary and is rebuilt whenever it disagrees with the data file (so a
+crash between the two writes can never corrupt the store).  A torn final
+line -- the only state an interrupted append can leave -- is ignored on
+read, mirroring the CDC journal's crash posture.
+
+Every profile is schema-pinned: :data:`PROFILE_SCHEMA` is validated on
+append *and* on read through the same mini JSON-schema checker the
+metrics/trace exporters use, and the golden copy is checked in at
+``docs/schemas/perf_profile.schema.json`` (a test asserts the two stay
+byte-for-byte in sync).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import statistics
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..errors import ReproError
+
+__all__ = [
+    "PROFILE_FORMAT",
+    "PROFILE_SCHEMA",
+    "PROFILE_VERSION",
+    "PerfStoreError",
+    "Profile",
+    "ProfileStore",
+    "environment_fingerprint",
+]
+
+PROFILE_FORMAT = "pgschema-perf-profile"
+PROFILE_VERSION = 1
+
+INDEX_FORMAT = "pgschema-perf-index"
+INDEX_VERSION = 1
+
+
+class PerfStoreError(ReproError):
+    """A profile store that cannot be read or written (corrupt line,
+    schema-violating record, unwritable root)."""
+
+    code = "E_PERF"
+
+
+#: The runtime copy of ``docs/schemas/perf_profile.schema.json``.  The
+#: store validates every record against it on append and on read; the
+#: checked-in golden file must match byte-for-byte (pinned by a test and
+#: checkable via ``python -m repro.obs check``).
+PROFILE_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "format",
+        "version",
+        "commit",
+        "run",
+        "scenario",
+        "family",
+        "quick",
+        "env",
+        "samples",
+        "stats",
+    ],
+    "properties": {
+        "format": {"type": "string", "enum": [PROFILE_FORMAT]},
+        "version": {"type": "integer", "minimum": 1},
+        "commit": {"type": "string"},
+        "run": {"type": "integer", "minimum": 1},
+        "scenario": {"type": "string"},
+        "family": {"type": "string"},
+        "quick": {"type": "boolean"},
+        "env": {
+            "type": "object",
+            "required": [
+                "digest",
+                "python",
+                "implementation",
+                "platform",
+                "machine",
+                "cpu_count",
+            ],
+            "properties": {
+                "digest": {"type": "string"},
+                "python": {"type": "string"},
+                "implementation": {"type": "string"},
+                "platform": {"type": "string"},
+                "machine": {"type": "string"},
+                "cpu_count": {"type": "integer", "minimum": 1},
+            },
+        },
+        "samples": {
+            "type": "array",
+            "items": {"type": "number", "minimum": 0},
+        },
+        "stats": {
+            "type": "object",
+            "required": ["median", "mean", "min", "max"],
+            "properties": {
+                "median": {"type": "number", "minimum": 0},
+                "mean": {"type": "number", "minimum": 0},
+                "min": {"type": "number", "minimum": 0},
+                "max": {"type": "number", "minimum": 0},
+            },
+        },
+        "metrics": {"type": ["object", "null"]},
+        "meta": {"type": "object"},
+    },
+}
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """Where a profile was measured: interpreter, platform, CPU budget.
+
+    Timings are only comparable within one fingerprint, so the ``digest``
+    (a stable hash of the other fields) keys every cross-run comparison.
+    The same fingerprint is stamped into each ``BENCH_*.json`` artifact by
+    the benchmark collector.
+    """
+    info: dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    digest = hashlib.sha256(
+        json.dumps(info, sort_keys=True).encode("utf-8")
+    ).hexdigest()[:16]
+    return {**info, "digest": digest}
+
+
+@dataclass(frozen=True)
+class Profile:
+    """One scenario's recorded measurement batch."""
+
+    commit: str
+    run: int
+    scenario: str
+    family: str
+    samples: tuple[float, ...]
+    env: dict[str, Any] = field(default_factory=environment_fingerprint)
+    quick: bool = False
+    metrics: dict[str, Any] | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise PerfStoreError(
+                f"profile {self.scenario!r}@{self.commit!r} has no samples"
+            )
+
+    @property
+    def median(self) -> float:
+        return float(statistics.median(self.samples))
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "format": PROFILE_FORMAT,
+            "version": PROFILE_VERSION,
+            "commit": self.commit,
+            "run": self.run,
+            "scenario": self.scenario,
+            "family": self.family,
+            "quick": self.quick,
+            "env": dict(self.env),
+            "samples": list(self.samples),
+            "stats": {
+                "median": self.median,
+                "mean": sum(self.samples) / len(self.samples),
+                "min": min(self.samples),
+                "max": max(self.samples),
+            },
+            "metrics": self.metrics,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "Profile":
+        problems = _check_profile(payload)
+        if problems:
+            raise PerfStoreError(
+                "profile record violates the pinned schema: "
+                + "; ".join(problems[:3])
+            )
+        return cls(
+            commit=payload["commit"],
+            run=payload["run"],
+            scenario=payload["scenario"],
+            family=payload["family"],
+            samples=tuple(float(s) for s in payload["samples"]),
+            env=dict(payload["env"]),
+            quick=payload["quick"],
+            metrics=payload.get("metrics"),
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+def _check_profile(payload: Any) -> list[str]:
+    # imported lazily: obs.export imports nothing from perf, so this is the
+    # dependency direction that keeps the layering acyclic
+    from ..obs.export import check_schema
+
+    return check_schema(payload, PROFILE_SCHEMA)
+
+
+class ProfileStore:
+    """Append-only, schema-pinned store of :class:`Profile` records."""
+
+    DATA_NAME = "profiles.jsonl"
+    INDEX_NAME = "index.json"
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    @property
+    def data_path(self) -> str:
+        return os.path.join(self.root, self.DATA_NAME)
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, self.INDEX_NAME)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.data_path)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    def profiles(self) -> list[Profile]:
+        """Every valid record, in append order.
+
+        A torn *final* line (interrupted append) is silently ignored;
+        corruption anywhere else raises :class:`PerfStoreError` with the
+        line number.
+        """
+        if not self.exists():
+            return []
+        records: list[Profile] = []
+        lines = self._raw_lines()
+        for number, line in lines:
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as bad:
+                if number == lines[-1][0]:
+                    break  # torn tail from an interrupted append
+                raise PerfStoreError(
+                    f"{self.data_path}:{number}: corrupt profile record: {bad}"
+                ) from None
+            records.append(Profile.from_json(payload))
+        return records
+
+    def _raw_lines(self) -> list[tuple[int, str]]:
+        with open(self.data_path, "r", encoding="utf-8") as fp:
+            return [
+                (number, line)
+                for number, line in enumerate(fp, start=1)
+                if line.strip()
+            ]
+
+    def runs(self) -> dict[int, list[Profile]]:
+        """Profiles grouped by run number, in run order."""
+        grouped: dict[int, list[Profile]] = {}
+        for profile in self.profiles():
+            grouped.setdefault(profile.run, []).append(profile)
+        return dict(sorted(grouped.items()))
+
+    def last_run(self) -> int:
+        index = self._load_index()
+        if index is not None:
+            return int(index.get("runs", 0))
+        return max((p.run for p in self.profiles()), default=0)
+
+    def commits(self) -> list[str]:
+        """Distinct commits in first-recorded order."""
+        seen: dict[str, None] = {}
+        for profile in self.profiles():
+            seen.setdefault(profile.commit, None)
+        return list(seen)
+
+    def scenarios(self) -> list[str]:
+        return sorted({p.scenario for p in self.profiles()})
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+
+    def append(self, profiles: list[Profile]) -> None:
+        """Append a batch of profiles and refresh the index atomically.
+
+        Records are validated against :data:`PROFILE_SCHEMA` before any
+        byte is written, so a malformed profile can never reach the data
+        file.
+        """
+        if not profiles:
+            return
+        payloads = [profile.to_json() for profile in profiles]
+        for payload in payloads:
+            problems = _check_profile(payload)
+            if problems:
+                raise PerfStoreError(
+                    "refusing to append a schema-violating profile: "
+                    + "; ".join(problems[:3])
+                )
+        os.makedirs(self.root, exist_ok=True)
+        self._drop_torn_tail()
+        with open(self.data_path, "a", encoding="utf-8") as fp:
+            for payload in payloads:
+                fp.write(json.dumps(payload, sort_keys=True) + "\n")
+            fp.flush()
+            os.fsync(fp.fileno())
+        self._write_index()
+
+    def _drop_torn_tail(self) -> None:
+        """Truncate a torn final line (interrupted append) before writing.
+
+        Readers already skip the fragment; dropping it keeps the data file
+        clean so the fragment can never end up mid-file after new appends.
+        """
+        try:
+            fp = open(self.data_path, "rb+")
+        except FileNotFoundError:
+            return
+        with fp:
+            fp.seek(0, os.SEEK_END)
+            size = fp.tell()
+            if size == 0:
+                return
+            fp.seek(size - 1)
+            if fp.read(1) == b"\n":
+                return
+            position = size
+            while position > 0:
+                step = min(4096, position)
+                fp.seek(position - step)
+                chunk = fp.read(step)
+                cut = chunk.rfind(b"\n")
+                if cut != -1:
+                    fp.truncate(position - step + cut + 1)
+                    return
+                position -= step
+            fp.truncate(0)
+
+    def _write_index(self) -> None:
+        profiles = self.profiles()
+        index = {
+            "format": INDEX_FORMAT,
+            "version": INDEX_VERSION,
+            "profiles": len(profiles),
+            "runs": max((p.run for p in profiles), default=0),
+            "commits": self._ordered_commits(profiles),
+            "scenarios": sorted({p.scenario for p in profiles}),
+            "last_commit": profiles[-1].commit if profiles else None,
+            "env_digests": sorted({p.env.get("digest", "") for p in profiles}),
+        }
+        tmp = self.index_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fp:
+            json.dump(index, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp, self.index_path)
+
+    @staticmethod
+    def _ordered_commits(profiles: list[Profile]) -> list[str]:
+        seen: dict[str, None] = {}
+        for profile in profiles:
+            seen.setdefault(profile.commit, None)
+        return list(seen)
+
+    def _load_index(self) -> dict[str, Any] | None:
+        """The index if it exists and agrees with the data file, else a
+        freshly rebuilt one (crash between the two writes heals here)."""
+        if not self.exists():
+            return None
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as fp:
+                index = json.load(fp)
+        except (OSError, json.JSONDecodeError):
+            index = None
+        if (
+            not isinstance(index, dict)
+            or index.get("format") != INDEX_FORMAT
+            or index.get("profiles") != len(self._raw_lines())
+        ):
+            self._write_index()
+            with open(self.index_path, "r", encoding="utf-8") as fp:
+                loaded = json.load(fp)
+            assert isinstance(loaded, dict)
+            return loaded
+        return index
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> dict[str, Any]:
+        """The cheap health view surfaced by ``pgschema stats --json`` and
+        the service's ``/v1/stats`` (see :func:`repro.perf.perf_summary`
+        for the variant that adds the newest verdicts)."""
+        index = self._load_index()
+        if index is None:
+            return {
+                "store": self.root,
+                "profiles": 0,
+                "runs": 0,
+                "scenarios": 0,
+                "commits": 0,
+                "last_commit": None,
+            }
+        return {
+            "store": self.root,
+            "profiles": index["profiles"],
+            "runs": index["runs"],
+            "scenarios": len(index["scenarios"]),
+            "commits": len(index["commits"]),
+            "last_commit": index["last_commit"],
+        }
+
+    def __iter__(self) -> Iterator[Profile]:
+        return iter(self.profiles())
+
+    def __len__(self) -> int:
+        return len(self.profiles())

@@ -146,9 +146,11 @@ class ValidationService:
         jobs: int | None = None,
         deadline: float | None = None,
         max_retries: int = 2,
+        perf_store: str = ".perf",
     ) -> None:
         self.host = host
         self.port = port
+        self.perf_store = perf_store
         self.registry = SchemaRegistry(registry_dir)
         self.batcher = BatchingValidator(
             jobs=jobs,
@@ -463,6 +465,9 @@ class ValidationService:
             "batching": self.batcher.stats(),
             "tenants": self.registry.tenant_stats(),
         }
+        from ..perf import ProfileStore, perf_summary
+
+        payload["perf"] = perf_summary(ProfileStore(self.perf_store))
         return 200, payload
 
 

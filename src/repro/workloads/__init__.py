@@ -19,11 +19,15 @@ from .mutations import (
 )
 from .paper_schemas import CORPUS, PaperSchema, load
 from .schemas import (
+    cardinality_web_schema,
     deep_lattice_schema,
     hub_chain_schema,
+    key_collision_graph,
+    key_collision_schema,
     near_unsat_schema,
     random_schema,
     random_schema_sdl,
+    union_fanout_schema,
 )
 
 __all__ = [
@@ -34,11 +38,14 @@ __all__ = [
     "MutationWorkloadConfig",
     "PaperSchema",
     "cardinality_graph",
+    "cardinality_web_schema",
     "conformant_graph",
     "corrupt_graph",
     "deep_lattice_schema",
     "food_graph",
     "hub_chain_schema",
+    "key_collision_graph",
+    "key_collision_schema",
     "library_graph",
     "load",
     "mutation_stream",
@@ -46,6 +53,7 @@ __all__ = [
     "paper_schemas",
     "random_schema",
     "random_schema_sdl",
+    "union_fanout_schema",
     "user_session_graph",
     "write_mutation_journal",
 ]

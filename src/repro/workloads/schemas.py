@@ -165,6 +165,163 @@ def near_unsat_schema(conflicts: int = 3, collide: bool = False) -> GraphQLSchem
     return parse_schema("\n".join(lines))
 
 
+def union_fanout_schema(members: int = 8, fields: int = 8) -> GraphQLSchema:
+    """A union fan-out family stressing admissible-target resolution.
+
+    ``members`` object types sit under a family of *suffix* unions
+    (``U_k = M_k | ... | M_last``), and a ``Hub`` type declares ``fields``
+    required list fields, each typed at a different union.  Every sat/
+    validation question over a hub field must expand a union of up to
+    ``members`` alternatives, and every member type carries a ``link`` field
+    back into its own suffix union, so target resolution fans out again one
+    level down.  Everything is satisfiable; the adversarial cost is the
+    union expansion itself -- the same ∀-meet work the deep lattice forces
+    through interfaces, here forced purely through union membership.
+    """
+    if members < 2:
+        raise ValueError("need at least two union members")
+    if fields < 1:
+        raise ValueError("need at least one hub field")
+    lines: list[str] = []
+    for k in range(members):
+        suffix = " | ".join(f"M{j}" for j in range(k, members))
+        lines.append(f"union U{k} = {suffix}")
+    lines.append("")
+    for i in range(members):
+        lines += [
+            f"type M{i} {{",
+            "  tag: String! @required",
+            f"  link: U{i} @required",
+            "}",
+            "",
+        ]
+    lines.append("type Hub {")
+    for j in range(fields):
+        lines.append(f"  f{j}: [U{j % members}] @required @distinct")
+    lines.append("}")
+    lines.append("")
+    return parse_schema("\n".join(lines))
+
+
+def key_collision_schema(blocks: int = 4, enum_values: int = 3) -> GraphQLSchema:
+    """Pathological ``@key`` collision domains (finite key spaces).
+
+    Each block declares an enum of ``enum_values`` symbols and a node type
+    whose ``@key`` is the pair (enum attribute, Boolean attribute): only
+    ``2 * enum_values`` distinct key tuples exist, so any population beyond
+    that *must* collide (rule DS7) and the key-domain analysis (PG015/16)
+    can bound the type's extent statically.  Blocks are chained through a
+    ``peer`` relationship so collision questions propagate across types.
+    Pair with :func:`key_collision_graph` for instances at and beyond the
+    domain boundary.
+    """
+    if blocks < 1:
+        raise ValueError("need at least one key block")
+    if enum_values < 2:
+        raise ValueError("need at least two enum values")
+    lines: list[str] = []
+    for i in range(blocks):
+        symbols = " ".join(f"V{i}_{j}" for j in range(enum_values))
+        lines += [
+            f"enum D{i} {{ {symbols} }}",
+            "",
+            f'type K{i} @key(fields: ["a", "b"]) {{',
+            f"  a: D{i}! @required",
+            "  b: Boolean! @required",
+            f"  peer: K{(i + 1) % blocks}",
+            "}",
+            "",
+        ]
+    return parse_schema("\n".join(lines))
+
+
+def key_collision_graph(
+    blocks: int = 4,
+    enum_values: int = 3,
+    nodes_per_type: int = 32,
+    seed: int | None = None,
+) -> "PropertyGraph":
+    """An instance for :func:`key_collision_schema` at the same parameters.
+
+    Key tuples are assigned round-robin over the ``2 * enum_values``-element
+    domain, so with ``nodes_per_type`` above the domain size every type
+    carries deterministic DS7 collisions -- the adversarial validation
+    workload -- while ``nodes_per_type <= 2 * enum_values`` stays conformant.
+    Peer edges link consecutive nodes within each block.
+    """
+    from ..pg.model import PropertyGraph
+
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    nodes: list[list[object]] = []
+    for i in range(blocks):
+        nodes.append(
+            [
+                graph.add_node(
+                    f"k{i}_{j}",
+                    f"K{i}",
+                    {
+                        "a": f"V{i}_{j % enum_values}",
+                        "b": bool((j // enum_values) % 2),
+                    },
+                )
+                for j in range(nodes_per_type)
+            ]
+        )
+    edge_count = 0
+    for i in range(blocks):
+        for j, node in enumerate(nodes[i]):
+            if rng.random() < 0.75:
+                target = nodes[(i + 1) % blocks][j]
+                graph.add_edge(f"e{edge_count}", node, target, "peer")
+                edge_count += 1
+    return graph
+
+
+def cardinality_web_schema(blocks: int = 4, collide: bool = False) -> GraphQLSchema:
+    """A near-UNSAT cardinality *web*: Example 6.1 blocks wired in a ring.
+
+    Every block is a conflicting-cardinality cell in the
+    :func:`near_unsat_schema` style -- an interface-level
+    ``@uniqueForTarget`` cap over two disjoint implementing sources with one
+    ``@requiredForTarget`` obligation, leaving exactly the one forced edge
+    the cap admits -- but the sinks additionally form a ``@required`` ring
+    (``Sink_i`` must reach ``Sink_{i+1 mod blocks}``), so obligations
+    propagate around the whole web instead of staying block-local.  The web
+    is satisfiable only via a looping model the analyzer's good fixpoint
+    refuses to claim, forcing tableau searches whose cost scales with the
+    ring. With ``collide=True`` the second source turns
+    ``@requiredForTarget`` too: the over-capacity block kills its sink and
+    the ring propagates the death to every block -- the whole web goes
+    unsatisfiable at once.
+    """
+    if blocks < 2:
+        raise ValueError("need at least two blocks to form a web")
+    second = " @requiredForTarget" if collide else ""
+    lines: list[str] = []
+    for index in range(blocks):
+        lines += [
+            f"interface Web{index} {{",
+            f"  feed: [Sink{index}] @uniqueForTarget",
+            "}",
+            "",
+            f"type SrcA{index} implements Web{index} {{",
+            f"  feed: [Sink{index}] @uniqueForTarget @requiredForTarget",
+            "}",
+            "",
+            f"type SrcB{index} implements Web{index} {{",
+            f"  feed: [Sink{index}] @uniqueForTarget{second}",
+            "}",
+            "",
+            f"type Sink{index} {{",
+            "  tag: String!",
+            f"  next: Sink{(index + 1) % blocks} @required",
+            "}",
+            "",
+        ]
+    return parse_schema("\n".join(lines))
+
+
 def random_schema_sdl(
     num_object_types: int,
     num_interface_types: int,
